@@ -1,0 +1,69 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints the paper's rows/series for one table or figure.
+// By default sizes are capped so the whole suite runs in minutes on a
+// laptop-class machine; set REPRO_FULL=1 in the environment to run the
+// paper-scale sweeps (up to 500 000 particles — hours on one core).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/system.hpp"
+#include "pme/params.hpp"
+
+namespace hbd::bench {
+
+inline bool full_mode() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// The paper's simulation configurations (Table III particle counts).
+inline std::vector<std::size_t> table3_sizes() {
+  if (full_mode())
+    return {125,   250,   500,    1000,   2000,   3000,  4000,  5000,
+            6000,  7000,  8000,   10000,  20000,  40000, 80000, 100000,
+            200000, 300000, 500000};
+  return {125, 250, 500, 1000, 2000, 5000, 10000};
+}
+
+/// Builds the paper's benchmark suspension: monodisperse, volume fraction
+/// 0.2, repulsive harmonic contacts (Sec. V-C uses Φ = 0.2 for performance).
+inline ParticleSystem benchmark_suspension(std::size_t n, double phi = 0.2,
+                                           std::uint64_t seed = 2014) {
+  Xoshiro256 rng(seed);
+  return suspension_at_volume_fraction(n, phi, 1.0, rng);
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  paper reference: %s\n", paper_note);
+  std::printf("  mode: %s (REPRO_FULL=1 for the paper-scale sweep)\n",
+              full_mode() ? "FULL" : "quick");
+  std::printf("==============================================================\n");
+}
+
+/// Median-of-three timing of a callable.
+template <class F>
+double time_once(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+template <class F>
+double time_median3(F&& f) {
+  double a = time_once(f), b = time_once(f), c = time_once(f);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+}  // namespace hbd::bench

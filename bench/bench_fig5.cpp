@@ -1,0 +1,90 @@
+// Figure 5 reproduction: reciprocal-space PME phase breakdown
+//   (a) versus the number of particles at fixed mesh,
+//   (b) versus the mesh dimension at fixed n = 5000,
+// with the predicted time from the performance model (Sec. IV-D) calibrated
+// to this host.  Paper observations to reproduce: the FFTs dominate overall;
+// spreading/interpolation grow with n and eventually rival the FFTs;
+// applying the influence function becomes costly at large K; measured ≈
+// modeled.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hybrid/calibrate.hpp"
+#include "pme/pme_operator.hpp"
+
+namespace {
+
+void run_case(const hbd::ParticleSystem& sys, std::size_t mesh, int order,
+              const hbd::PmePerfModel& model) {
+  using namespace hbd;
+  PmeParams pp;
+  pp.mesh = mesh;
+  pp.order = order;
+  pp.rmax = std::min(5.0, 0.499 * sys.box);
+  pp.xi = std::sqrt(std::log(1e4)) / pp.rmax;
+  const auto wrapped = sys.wrapped_positions();
+  PmeOperator pme(wrapped, sys.box, sys.radius, pp);
+
+  const std::size_t n = sys.size();
+  std::vector<double> f(3 * n, 0.0), u(3 * n, 0.0);
+  Xoshiro256 rng(3);
+  fill_gaussian(rng, f);
+
+  const int reps = 3;
+  pme.apply_recip(f, u);  // warm-up
+  pme.clear_timers();
+  for (int r = 0; r < reps; ++r) pme.apply_recip(f, u);
+
+  const auto& t = pme.timers();
+  const double spread = t.total("spreading") / reps;
+  const double fft = t.total("fft") / reps;
+  const double infl = t.total("influence") / reps;
+  const double ifft = t.total("ifft") / reps;
+  const double interp = t.total("interpolation") / reps;
+  const double total = spread + fft + infl + ifft + interp;
+  const double modeled = model.t_recip(mesh, order, n);
+
+  std::printf(
+      "%8zu %5zu | %9.4f %9.4f %9.4f %9.4f %9.4f | %9.4f %9.4f\n", n, mesh,
+      spread, fft, infl, ifft, interp, total, modeled);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hbd;
+  using namespace hbd::bench;
+  print_header("Figure 5 — reciprocal PME phase breakdown vs model",
+               "paper: FFT-dominated; spread/interp grow with n; "
+               "measured tracks the model");
+
+  const HardwareParams host = calibrate_host();
+  std::printf("calibrated host: BW %.1f GB/s, measured FFT rates:",
+              host.stream_bw_gbs);
+  for (const auto& [k, rate] : host.fft_rate_points)
+    std::printf("  K=%.0f %.2f GF/s", k, rate / 1e9);
+  std::printf("\n");
+  const PmePerfModel model(host);
+
+  const std::size_t big_mesh = full_mode() ? 256 : 96;
+  std::printf("\n(a) K = %zu, p = 6, varying n\n", big_mesh);
+  std::printf("%8s %5s | %9s %9s %9s %9s %9s | %9s %9s\n", "n", "K", "spread",
+              "fft", "infl", "ifft", "interp", "total", "model");
+  const std::vector<std::size_t> ns =
+      full_mode() ? std::vector<std::size_t>{5000, 20000, 80000, 200000,
+                                             500000}
+                  : std::vector<std::size_t>{1000, 5000, 20000};
+  for (std::size_t n : ns)
+    run_case(benchmark_suspension(n), big_mesh, 6, model);
+
+  std::printf("\n(b) n = 5000, p = 6, varying K\n");
+  std::printf("%8s %5s | %9s %9s %9s %9s %9s | %9s %9s\n", "n", "K", "spread",
+              "fft", "infl", "ifft", "interp", "total", "model");
+  const std::vector<std::size_t> ks =
+      full_mode() ? std::vector<std::size_t>{64, 96, 128, 192, 256}
+                  : std::vector<std::size_t>{32, 48, 64, 96};
+  const ParticleSystem sys = benchmark_suspension(5000);
+  for (std::size_t k : ks) run_case(sys, k, 6, model);
+  return 0;
+}

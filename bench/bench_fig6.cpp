@@ -1,0 +1,34 @@
+// Figure 6 reproduction: reciprocal-space PME on Westmere-EP vs Xeon Phi
+// (KNC, native mode).
+//
+// No KNC exists in this environment, so the comparison runs through the
+// calibrated performance model of Sec. IV-D with the Table I hardware
+// parameter sets (see DESIGN.md).  Paper result: KNC is slightly faster or
+// even slower for small systems (MKL FFT inefficiency, especially the
+// inverse FFT) and up to ~1.6x faster for large ones.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hybrid/perf_model.hpp"
+
+int main() {
+  using namespace hbd;
+  using namespace hbd::bench;
+  print_header("Figure 6 — reciprocal PME: Westmere-EP vs KNC (modeled)",
+               "paper: KNC ≤1x for small n, up to 1.6x faster for large n");
+
+  const PmePerfModel cpu(westmere_ep());
+  const PmePerfModel knc(xeon_phi_knc());
+
+  std::printf("%8s %6s %3s %14s %14s %10s\n", "n", "K", "p", "Westmere(s)",
+              "KNC(s)", "KNC gain");
+  for (std::size_t n : table3_sizes()) {
+    const ParticleSystem sys = benchmark_suspension(n);
+    const PmeParams pp = choose_pme_params(sys.box, sys.radius, 1e-3);
+    const double t_cpu = cpu.t_recip(pp.mesh, pp.order, n);
+    const double t_knc = knc.t_recip(pp.mesh, pp.order, n);
+    std::printf("%8zu %6zu %3d %14.5f %14.5f %9.2fx\n", n, pp.mesh, pp.order,
+                t_cpu, t_knc, t_cpu / t_knc);
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-kernel benchmarks (google-benchmark) for the building blocks of the
+// PME pipeline: 3-D FFTs, BCSR SpMV (single and multi-vector), spreading /
+// interpolation in both P modes, and the influence function.  These back the
+// kernel-level claims of Sec. IV (multi-vector SpMV efficiency, spreading
+// bandwidth limits, influence-function bandwidth limits).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "pme/influence.hpp"
+#include "pme/interp_matrix.hpp"
+#include "pme/realspace.hpp"
+
+namespace {
+
+using namespace hbd;
+using hbd::bench::benchmark_suspension;
+
+void BM_Fft3dForward(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Fft3d fft(k, k, k);
+  aligned_vector<double> mesh(k * k * k, 0.5);
+  aligned_vector<Complex> spec(fft.complex_size());
+  for (auto _ : state) {
+    fft.forward(mesh.data(), spec.data());
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(k * k * k));
+}
+BENCHMARK(BM_Fft3dForward)->Arg(32)->Arg(48)->Arg(64)->Arg(96);
+
+void BM_Fft3dInverse(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Fft3d fft(k, k, k);
+  aligned_vector<double> mesh(k * k * k, 0.5);
+  aligned_vector<Complex> spec(fft.complex_size());
+  fft.forward(mesh.data(), spec.data());
+  for (auto _ : state) {
+    fft.inverse(spec.data(), mesh.data());
+    benchmark::DoNotOptimize(mesh.data());
+  }
+}
+BENCHMARK(BM_Fft3dInverse)->Arg(32)->Arg(64);
+
+void BM_BcsrSpmvSingle(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  const Bcsr3Matrix m = build_realspace_operator(
+      wrapped, sys.box, 1.0, 0.6, std::min(4.0, 0.49 * sys.box));
+  std::vector<double> x(3 * n, 1.0), y(3 * n);
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz_blocks"] = static_cast<double>(m.nnz_blocks());
+}
+BENCHMARK(BM_BcsrSpmvSingle)->Arg(1000)->Arg(5000);
+
+void BM_BcsrSpmvBlock(benchmark::State& state) {
+  // Multi-vector SpMM with s right-hand sides: should beat s single SpMVs
+  // (the matrix streams once).
+  const std::size_t n = 5000;
+  const std::size_t s = static_cast<std::size_t>(state.range(0));
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  const Bcsr3Matrix m = build_realspace_operator(
+      wrapped, sys.box, 1.0, 0.6, std::min(4.0, 0.49 * sys.box));
+  Matrix x(3 * n, s), y(3 * n, s);
+  Xoshiro256 rng(1);
+  fill_gaussian(rng, {x.data(), 3 * n * s});
+  for (auto _ : state) {
+    m.multiply_block(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(s));
+}
+BENCHMARK(BM_BcsrSpmvBlock)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SpreadPrecomputed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t mesh = 64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  InterpMatrix p(wrapped, sys.box, mesh, 6, /*precompute=*/true);
+  std::vector<double> f(3 * n, 1.0);
+  aligned_vector<double> fx(mesh * mesh * mesh), fy(fx.size()), fz(fx.size());
+  for (auto _ : state) {
+    p.spread(f, fx.data(), fy.data(), fz.data());
+    benchmark::DoNotOptimize(fx.data());
+  }
+}
+BENCHMARK(BM_SpreadPrecomputed)->Arg(1000)->Arg(10000);
+
+void BM_SpreadOnTheFly(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t mesh = 64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  InterpMatrix p(wrapped, sys.box, mesh, 6, /*precompute=*/false);
+  std::vector<double> f(3 * n, 1.0);
+  aligned_vector<double> fx(mesh * mesh * mesh), fy(fx.size()), fz(fx.size());
+  for (auto _ : state) {
+    p.spread(f, fx.data(), fy.data(), fz.data());
+    benchmark::DoNotOptimize(fx.data());
+  }
+}
+BENCHMARK(BM_SpreadOnTheFly)->Arg(1000)->Arg(10000);
+
+void BM_Interpolate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t mesh = 64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  InterpMatrix p(wrapped, sys.box, mesh, 6);
+  aligned_vector<double> ux(mesh * mesh * mesh, 1.0), uy(ux), uz(ux);
+  std::vector<double> u(3 * n);
+  for (auto _ : state) {
+    p.interpolate(ux.data(), uy.data(), uz.data(), u);
+    benchmark::DoNotOptimize(u.data());
+  }
+}
+BENCHMARK(BM_Interpolate)->Arg(1000)->Arg(10000);
+
+void BM_InfluenceApply(benchmark::State& state) {
+  const std::size_t mesh = static_cast<std::size_t>(state.range(0));
+  InfluenceFunction infl(mesh, 30.0, 1.0, 0.5, 6);
+  const std::size_t sz = mesh * mesh * (mesh / 2 + 1);
+  aligned_vector<Complex> cx(sz, Complex{1.0, 0.5}), cy(cx), cz(cx);
+  for (auto _ : state) {
+    infl.apply(cx.data(), cy.data(), cz.data());
+    benchmark::DoNotOptimize(cx.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(sz * (8 + 6 * 16)));
+}
+BENCHMARK(BM_InfluenceApply)->Arg(32)->Arg(64)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Crowded suspension — the paper's motivating scenario (macromolecular
+// crowding in biology): diffusion slows down markedly as the volume
+// fraction grows, an effect only captured with hydrodynamic interactions.
+//
+// Runs a short matrix-free BD simulation at several volume fractions and a
+// control run with HI switched off (mobility = identity), showing that the
+// hydrodynamic slowdown is a real HI effect and not just steric exclusion.
+#include <cstdio>
+#include <memory>
+
+#include "core/diffusion.hpp"
+#include "core/forces.hpp"
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "pme/params.hpp"
+
+namespace {
+
+using namespace hbd;
+
+double run_hi(double phi, std::size_t n) {
+  Xoshiro256 rng(2020);
+  ParticleSystem sys = suspension_at_volume_fraction(n, phi, 1.0, rng);
+  BdConfig config;
+  config.dt = 1e-4;
+  config.lambda_rpy = 16;
+  config.seed = 5;
+  const PmeParams pme = choose_pme_params(sys.box, 1.0, 1e-3);
+  auto forces = std::make_shared<RepulsiveHarmonic>(1.0);
+  MatrixFreeBdSimulation sim(std::move(sys), forces, config, pme, 1e-2);
+  MsdRecorder msd;
+  msd.record(sim.system().positions);
+  for (int s = 0; s < 40; ++s) {
+    sim.step(4);
+    msd.record(sim.system().positions);
+  }
+  return msd.diffusion_coefficient(msd.snapshots() / 2, 4 * config.dt);
+}
+
+/// No-HI control: free diffusion + steric forces, mobility = μ0 I.
+double run_nohi(double phi, std::size_t n) {
+  Xoshiro256 rng(2020);
+  ParticleSystem sys = suspension_at_volume_fraction(n, phi, 1.0, rng);
+  auto forces = std::make_shared<RepulsiveHarmonic>(1.0);
+  const double dt = 1e-4;
+  Xoshiro256 noise(6);
+  MsdRecorder msd;
+  msd.record(sys.positions);
+  std::vector<double> f(3 * n);
+  for (int s = 0; s < 160; ++s) {
+    std::fill(f.begin(), f.end(), 0.0);
+    forces->add_forces(sys.wrapped_positions(), sys.box, f);
+    const double sigma = std::sqrt(2.0 * dt);
+    for (std::size_t i = 0; i < n; ++i)
+      for (int d = 0; d < 3; ++d)
+        sys.positions[i][d] +=
+            dt * f[3 * i + d] + sigma * noise.next_gaussian();
+    if ((s + 1) % 4 == 0) msd.record(sys.positions);
+  }
+  return msd.diffusion_coefficient(msd.snapshots() / 2, 4 * dt);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 216;
+  std::printf("crowded suspension, %zu particles: short-time diffusion\n", n);
+  std::printf("%5s | %10s %10s %12s\n", "phi", "D (HI)", "D (no HI)",
+              "D theory(HI)");
+  for (double phi : {0.05, 0.15, 0.25, 0.35}) {
+    const double d_hi = run_hi(phi, n);
+    const double d_nohi = run_nohi(phi, n);
+    std::printf("%5.2f | %10.3f %10.3f %12.3f\n", phi, d_hi, d_nohi,
+                hbd::short_time_self_diffusion(phi));
+  }
+  std::printf("with HI, crowding suppresses short-time diffusion; the no-HI "
+              "control stays near D0 (steric forces alone barely matter at "
+              "short times)\n");
+  return 0;
+}

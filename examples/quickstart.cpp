@@ -1,0 +1,63 @@
+// Quickstart: simulate a small Brownian suspension with hydrodynamic
+// interactions using the matrix-free (PME + block Krylov) BD algorithm, and
+// verify that the measured diffusion coefficient is physically sensible.
+//
+//   build/examples/quickstart
+//
+// Reduced units: particle radius a = 1, kB T = 1, single-particle mobility
+// μ0 = 1, so the bare diffusion coefficient D0 = 1.
+#include <cstdio>
+#include <memory>
+
+#include "core/diffusion.hpp"
+#include "core/forces.hpp"
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "pme/params.hpp"
+
+int main() {
+  using namespace hbd;
+
+  // 1. Create a suspension: 500 particles at 15% volume fraction.
+  Xoshiro256 rng(42);
+  ParticleSystem system = suspension_at_volume_fraction(500, 0.15, 1.0, rng);
+  std::printf("box %.2f, volume fraction %.3f, %zu particles\n", system.box,
+              system.volume_fraction(), system.size());
+
+  // 2. Pick PME parameters for a relative mobility error of ~1e-3.
+  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-3);
+  std::printf("PME: mesh K=%zu, spline order p=%d, rmax=%.2f, alpha=%.3f\n",
+              pme.mesh, pme.order, pme.rmax, pme.xi);
+
+  // 3. Steric repulsion keeps particles from overlapping.
+  auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);
+
+  // 4. Configure and run the matrix-free BD simulation.
+  BdConfig config;
+  config.dt = 1e-4;        // time in units of a²/D0
+  config.lambda_rpy = 16;  // mobility reused for 16 steps
+  config.seed = 7;
+  MatrixFreeBdSimulation sim(std::move(system), forces, config, pme,
+                             /*krylov_tol=*/1e-2);
+
+  // 5. Run and measure the short-time diffusion coefficient.
+  MsdRecorder msd;
+  msd.record(sim.system().positions);
+  const int blocks = 40;
+  for (int b = 0; b < blocks; ++b) {
+    sim.step(4);
+    msd.record(sim.system().positions);
+    if ((b + 1) % 10 == 0)
+      std::printf("  t = %.4f (%zu steps), Krylov its of last update: %d\n",
+                  sim.time(), sim.steps_taken(),
+                  sim.last_krylov_stats().iterations);
+  }
+  const double d = msd.diffusion_coefficient(2, 4 * config.dt);
+  // At short lag times, MSD/(6τ) measures the RPY self-mobility, which for
+  // a periodic system is 1 − 2.837·a/L (Hasimoto) independent of crowding;
+  // the crowding-induced slowdown develops at longer lags.
+  std::printf("measured short-time D/D0 = %.3f (RPY periodic: %.3f)\n", d,
+              1.0 - 2.837297 / sim.system().box);
+  std::printf("done.\n");
+  return 0;
+}

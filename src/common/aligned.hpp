@@ -1,0 +1,51 @@
+// Cache-line / SIMD aligned storage for numerical kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace hbd {
+
+inline constexpr std::size_t kAlignment = 64;  // cache line / AVX-512 friendly
+
+/// Minimal allocator producing 64-byte aligned storage, usable with
+/// std::vector.  All large mesh/matrix buffers in the library use this so the
+/// innermost SIMD loops see aligned data.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    // Round the byte count up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hbd

@@ -1,0 +1,159 @@
+#include "common/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+namespace {
+/// Wraps x into [0, box).
+double wrap(double x, double box) {
+  x = std::fmod(x, box);
+  return x < 0.0 ? x + box : x;
+}
+}  // namespace
+
+CellList::CellList(std::span<const Vec3> pos, double box, double cutoff)
+    : pos_(pos), box_(box), cutoff_(cutoff) {
+  HBD_CHECK(box > 0.0 && cutoff > 0.0);
+  ncell_ = std::max<std::size_t>(1, static_cast<std::size_t>(box / cutoff));
+  // With fewer than 3 cells per dimension, neighbor enumeration would visit
+  // cells twice; cap and rely on the all-cells fallback there.
+  if (ncell_ < 3) ncell_ = 1;
+
+  const std::size_t total = ncell_ * ncell_ * ncell_;
+  std::vector<std::uint32_t> count(total + 1, 0);
+  std::vector<std::uint32_t> cell_of_particle(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const std::size_t c = cell_of(pos[i]);
+    cell_of_particle[i] = static_cast<std::uint32_t>(c);
+    ++count[c + 1];
+  }
+  for (std::size_t c = 0; c < total; ++c) count[c + 1] += count[c];
+  cell_start_ = count;
+  particles_.resize(pos.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    particles_[cursor[cell_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t CellList::cell_of(const Vec3& p) const {
+  std::size_t idx[3];
+  for (int d = 0; d < 3; ++d) {
+    const double x = wrap(p[d], box_);
+    std::size_t c = static_cast<std::size_t>(x / box_ *
+                                             static_cast<double>(ncell_));
+    if (c >= ncell_) c = ncell_ - 1;  // guard fp rounding at the boundary
+    idx[d] = c;
+  }
+  return (idx[0] * ncell_ + idx[1]) * ncell_ + idx[2];
+}
+
+void CellList::for_each_pair(
+    const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
+        fn) const {
+  const double cut2 = cutoff_ * cutoff_;
+  if (ncell_ == 1) {
+    // Fallback: all pairs.
+    for (std::size_t a = 0; a < pos_.size(); ++a) {
+      for (std::size_t b = a + 1; b < pos_.size(); ++b) {
+        const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+        const double r2 = norm2(d);
+        if (r2 <= cut2) fn(a, b, d, r2);
+      }
+    }
+    return;
+  }
+
+  const long nc = static_cast<long>(ncell_);
+  for (long cx = 0; cx < nc; ++cx) {
+    for (long cy = 0; cy < nc; ++cy) {
+      for (long cz = 0; cz < nc; ++cz) {
+        const std::size_t c = (cx * nc + cy) * nc + cz;
+        // Pairs within cell c.
+        for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1]; ++u) {
+          for (std::size_t v = u + 1; v < cell_start_[c + 1]; ++v) {
+            const std::size_t a = particles_[u], b = particles_[v];
+            const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+            const double r2 = norm2(d);
+            if (r2 <= cut2) fn(a, b, d, r2);
+          }
+        }
+        // Pairs with half the neighboring cells (avoid double visits).
+        for (long dx = -1; dx <= 1; ++dx) {
+          for (long dy = -1; dy <= 1; ++dy) {
+            for (long dz = -1; dz <= 1; ++dz) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              // Keep lexicographically positive offsets only.
+              if (dx < 0 || (dx == 0 && dy < 0) ||
+                  (dx == 0 && dy == 0 && dz < 0))
+                continue;
+              const long ox = (cx + dx + nc) % nc;
+              const long oy = (cy + dy + nc) % nc;
+              const long oz = (cz + dz + nc) % nc;
+              const std::size_t o = (ox * nc + oy) * nc + oz;
+              for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1];
+                   ++u) {
+                for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1];
+                     ++v) {
+                  const std::size_t a = particles_[u], b = particles_[v];
+                  const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+                  const double r2 = norm2(d);
+                  if (r2 <= cut2)
+                    fn(std::min(a, b), std::max(a, b),
+                       a < b ? d : Vec3{-d.x, -d.y, -d.z}, r2);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void CellList::for_each_neighbor_of_all(
+    const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
+        fn) const {
+  const double cut2 = cutoff_ * cutoff_;
+  const long nc = static_cast<long>(ncell_);
+#pragma omp parallel for schedule(dynamic, 32)
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if (ncell_ == 1) {
+      for (std::size_t j = 0; j < pos_.size(); ++j) {
+        if (j == i) continue;
+        const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
+        const double r2 = norm2(d);
+        if (r2 <= cut2) fn(i, j, d, r2);
+      }
+      continue;
+    }
+    // Home cell coordinates of particle i.
+    const std::size_t home = cell_of(pos_[i]);
+    const long cx = static_cast<long>(home / (ncell_ * ncell_));
+    const long cy = static_cast<long>((home / ncell_) % ncell_);
+    const long cz = static_cast<long>(home % ncell_);
+    for (long dx = -1; dx <= 1; ++dx) {
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dz = -1; dz <= 1; ++dz) {
+          const long ox = (cx + dx + nc) % nc;
+          const long oy = (cy + dy + nc) % nc;
+          const long oz = (cz + dz + nc) % nc;
+          const std::size_t o = (ox * nc + oy) * nc + oz;
+          for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1]; ++v) {
+            const std::size_t j = particles_[v];
+            if (j == i) continue;
+            const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
+            const double r2 = norm2(d);
+            if (r2 <= cut2) fn(i, j, d, r2);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hbd

@@ -1,0 +1,58 @@
+// Verlet cell lists (paper ref. [27]) for linear-time enumeration of
+// particle pairs within a cutoff under cubic periodic boundary conditions.
+// Used to assemble the sparse real-space Ewald operator and to evaluate
+// short-range steric forces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+/// Spatial hash of particles into a uniform grid of cells with side ≥ cutoff.
+class CellList {
+ public:
+  /// Builds the list for particles in a cubic box of width `box` (positions
+  /// may lie outside [0, box); they are wrapped).  `cutoff` must be positive
+  /// and at most box/2 for the minimum-image pair enumeration to be exact.
+  CellList(std::span<const Vec3> pos, double box, double cutoff);
+
+  std::size_t num_cells_per_dim() const { return ncell_; }
+
+  /// Calls fn(i, j, rij, r2) for every unordered pair (i < j) whose
+  /// minimum-image distance is at most the cutoff.  rij is the
+  /// minimum-image displacement r_i − r_j and r2 = |rij|².  Serial order.
+  void for_each_pair(
+      const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
+          fn) const;
+
+  /// Parallel variant: for every particle i (OpenMP over i), calls
+  /// fn(i, j, rij, r2) for ALL neighbors j ≠ i within the cutoff (each pair
+  /// seen from both sides, so per-i accumulation needs no synchronization).
+  void for_each_neighbor_of_all(
+      const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
+          fn) const;
+
+ private:
+  std::size_t cell_of(const Vec3& p) const;
+
+  std::span<const Vec3> pos_;
+  double box_;
+  double cutoff_;
+  std::size_t ncell_;                      // cells per dimension
+  std::vector<std::uint32_t> cell_start_;  // CSR-style cell → particle index
+  std::vector<std::uint32_t> particles_;   // particle ids sorted by cell
+};
+
+/// Minimum-image displacement a − b in a cubic box.
+inline Vec3 minimum_image(const Vec3& a, const Vec3& b, double box) {
+  Vec3 d = a - b;
+  for (int c = 0; c < 3; ++c) d[c] -= box * std::round(d[c] / box);
+  return d;
+}
+
+}  // namespace hbd

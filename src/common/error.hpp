@@ -1,0 +1,44 @@
+// Error handling: a library exception type plus lightweight check macros.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hbd {
+
+/// Exception thrown on precondition or invariant violations in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hbd
+
+/// Precondition/invariant check that is always active (not compiled out in
+/// release builds): numerical-library misuse should fail loudly, not corrupt
+/// results.
+#define HBD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::hbd::detail::throw_error(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define HBD_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::hbd::detail::throw_error(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                \
+  } while (0)

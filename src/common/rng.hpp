@@ -1,0 +1,50 @@
+// Random number generation for Brownian dynamics: xoshiro256++ streams with
+// Gaussian sampling.  Each simulation owns one master generator; parallel
+// regions derive per-thread streams with long jumps so results are
+// reproducible for a fixed seed regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hbd {
+
+/// xoshiro256++ PRNG (Blackman & Vigna).  Fast, passes BigCrush, and has
+/// cheap 2^128-step jumps for creating independent parallel streams.
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal variate (Box–Muller, one value cached).
+  double next_gaussian();
+
+  /// Advances the state by 2^128 steps; used to split off non-overlapping
+  /// parallel substreams.
+  void long_jump();
+
+  /// Returns a copy of *this and long-jumps this generator, yielding an
+  /// independent stream.
+  Xoshiro256 split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Fills `out` with i.i.d. standard normals from `rng` (sequential,
+/// deterministic order).
+void fill_gaussian(Xoshiro256& rng, std::span<double> out);
+
+/// Fills `out` with i.i.d. uniforms in [0,1).
+void fill_uniform(Xoshiro256& rng, std::span<double> out);
+
+}  // namespace hbd

@@ -1,0 +1,73 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the PME
+// phase breakdown (Fig. 5 reproduction).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace hbd {
+
+/// Simple monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase timings, e.g. the spreading / FFT / influence /
+/// interpolation breakdown of one PME application.
+class PhaseTimers {
+ public:
+  void add(const std::string& name, double seconds) {
+    totals_[name] += seconds;
+    counts_[name] += 1;
+  }
+  void clear() {
+    totals_.clear();
+    counts_.clear();
+  }
+
+  double total(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  long count(const std::string& name) const {
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+ private:
+  std::map<std::string, double> totals_;
+  std::map<std::string, long> counts_;
+};
+
+/// RAII helper: adds the scope's duration to a PhaseTimers entry on exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers* timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ~ScopedPhase() {
+    if (timers_ != nullptr) timers_->add(name_, timer_.seconds());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers* timers_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,11 @@
+#include "common/vec3.hpp"
+
+#include <ostream>
+
+namespace hbd {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace hbd

@@ -1,0 +1,65 @@
+// Small fixed-size 3-vector used throughout the library for particle
+// positions, forces and lattice vectors.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace hbd {
+
+/// Plain 3-vector of doubles with the usual arithmetic.  Deliberately an
+/// aggregate so it can live in contiguous arrays that alias raw double
+/// storage (x,y,z interleaved).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr double& operator[](int i) { return (&x)[i]; }
+  constexpr const double& operator[](int i) const { return (&x)[i]; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Unit vector in the direction of a; undefined for the zero vector.
+inline Vec3 normalized(const Vec3& a) {
+  const double inv = 1.0 / norm(a);
+  return {a.x * inv, a.y * inv, a.z * inv};
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace hbd

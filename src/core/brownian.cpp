@@ -1,0 +1,36 @@
+#include "core/brownian.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hbd {
+
+Matrix gaussian_block(Xoshiro256& rng, std::size_t dim, std::size_t count) {
+  Matrix z(dim, count);
+  fill_gaussian(rng, {z.data(), dim * count});
+  return z;
+}
+
+CholeskyBrownianSampler::CholeskyBrownianSampler(const Matrix& mobility)
+    : factor_(cholesky(mobility)) {}
+
+Matrix CholeskyBrownianSampler::sample_block(const Matrix& z,
+                                             double two_kbt_dt) {
+  HBD_CHECK(z.rows() == factor_.rows());
+  Matrix d = z;
+  trmm_lower_left(factor_, d);  // D = S Z
+  scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
+  return d;
+}
+
+Matrix KrylovBrownianSampler::sample_block(const Matrix& z,
+                                           double two_kbt_dt) {
+  Matrix d = krylov_sqrt_apply(*op_, z, config_, &stats_);
+  scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
+  return d;
+}
+
+}  // namespace hbd

@@ -1,0 +1,55 @@
+// Brownian displacement samplers.  The fluctuation–dissipation theorem
+// requires ⟨g gᵀ⟩ = 2 kB T M Δt (paper Eq. 1); both samplers draw a block of
+// λ_RPY displacement vectors from the same mobility:
+//
+//   * CholeskyBrownianSampler — the conventional route: M = S Sᵀ once, then
+//     D = √(2 kB T Δt) · S Z  (Algorithm 1, lines 5–7);
+//   * KrylovBrownianSampler  — the matrix-free route: block Lanczos
+//     approximation of √(2 kB T Δt) · M^{1/2} Z (Algorithm 2, line 6).
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/krylov.hpp"
+#include "core/mobility.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Draws the i.i.d. standard Gaussian block Z (3n×s, row-major).
+Matrix gaussian_block(Xoshiro256& rng, std::size_t dim, std::size_t count);
+
+class BrownianSampler {
+ public:
+  virtual ~BrownianSampler() = default;
+  /// Returns D (3n×s): s displacement vectors with covariance
+  /// 2 kB T Δt M per column.
+  virtual Matrix sample_block(const Matrix& z, double two_kbt_dt) = 0;
+};
+
+/// Cholesky-based sampler over an explicit dense mobility matrix.  The
+/// factorization is performed once at construction (reused for all blocks
+/// drawn from this matrix).
+class CholeskyBrownianSampler final : public BrownianSampler {
+ public:
+  explicit CholeskyBrownianSampler(const Matrix& mobility);
+  Matrix sample_block(const Matrix& z, double two_kbt_dt) override;
+
+ private:
+  Matrix factor_;  // lower-triangular S
+};
+
+/// Matrix-free sampler via block Lanczos on any MobilityOperator.
+class KrylovBrownianSampler final : public BrownianSampler {
+ public:
+  KrylovBrownianSampler(MobilityOperator& op, KrylovConfig config)
+      : op_(&op), config_(config) {}
+  Matrix sample_block(const Matrix& z, double two_kbt_dt) override;
+  const KrylovStats& last_stats() const { return stats_; }
+
+ private:
+  MobilityOperator* op_;
+  KrylovConfig config_;
+  KrylovStats stats_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,62 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+namespace {
+constexpr char kMagic[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '1'};
+
+template <class T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+void read_pod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  HBD_CHECK_MSG(in.good(), "truncated checkpoint");
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& cp) {
+  std::ofstream out(path, std::ios::binary);
+  HBD_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, cp.system.box);
+  write_pod(out, cp.system.radius);
+  write_pod(out, cp.steps_taken);
+  write_pod(out, cp.seed);
+  const std::size_t n = cp.system.size();
+  write_pod(out, n);
+  out.write(reinterpret_cast<const char*>(cp.system.positions.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3)));
+  HBD_CHECK_MSG(out.good(), "checkpoint write failed for " << path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HBD_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  HBD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a hydrobd checkpoint: " << path);
+  Checkpoint cp;
+  read_pod(in, &cp.system.box);
+  read_pod(in, &cp.system.radius);
+  read_pod(in, &cp.steps_taken);
+  read_pod(in, &cp.seed);
+  std::size_t n = 0;
+  read_pod(in, &n);
+  HBD_CHECK_MSG(n < (1u << 28), "implausible particle count in checkpoint");
+  cp.system.positions.resize(n);
+  in.read(reinterpret_cast<char*>(cp.system.positions.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3)));
+  HBD_CHECK_MSG(in.good(), "truncated checkpoint " << path);
+  return cp;
+}
+
+}  // namespace hbd

@@ -1,0 +1,27 @@
+// Simulation checkpointing: saves the particle configuration and run
+// metadata to a small binary file so long campaigns (the paper's 500,000-step
+// production runs take ~10 hours) can be split across sessions.  On resume
+// the mobility operator and the Brownian displacement block are rebuilt at
+// the first step, so the continued trajectory is statistically equivalent
+// (and deterministic given the stored RNG seed and step count).
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace hbd {
+
+struct Checkpoint {
+  ParticleSystem system;
+  std::size_t steps_taken = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Writes a checkpoint; throws hbd::Error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& cp);
+
+/// Reads a checkpoint; throws hbd::Error on I/O or format errors.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace hbd

@@ -1,0 +1,38 @@
+#include "core/diffusion.hpp"
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+void MsdRecorder::record(const std::vector<Vec3>& positions) {
+  if (!frames_.empty())
+    HBD_CHECK(positions.size() == frames_.front().size());
+  frames_.push_back(positions);
+}
+
+double MsdRecorder::msd(std::size_t lag) const {
+  HBD_CHECK(lag >= 1 && lag < frames_.size());
+  const std::size_t n = frames_.front().size();
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t origin = 0; origin + lag < frames_.size(); ++origin) {
+    const auto& a = frames_[origin];
+    const auto& b = frames_[origin + lag];
+    for (std::size_t i = 0; i < n; ++i) total += norm2(b[i] - a[i]);
+    count += n;
+  }
+  return total / static_cast<double>(count);
+}
+
+double MsdRecorder::diffusion_coefficient(std::size_t lag,
+                                          double dt_per_snapshot) const {
+  const double tau = static_cast<double>(lag) * dt_per_snapshot;
+  return msd(lag) / (6.0 * tau);
+}
+
+double short_time_self_diffusion(double volume_fraction) {
+  const double phi = volume_fraction;
+  return 1.0 - 1.8315 * phi + 0.88 * phi * phi;
+}
+
+}  // namespace hbd

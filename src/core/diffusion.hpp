@@ -1,0 +1,37 @@
+// Translational diffusion statistics (paper Eq. 12):
+//   D(τ) = ⟨(r(t+τ) − r(t))²⟩ / (6τ),
+// averaged over particles and over time origins.  Positions must be
+// unwrapped (the simulation drivers keep them unwrapped).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+class MsdRecorder {
+ public:
+  /// Appends one snapshot (a full copy of the unwrapped positions).
+  void record(const std::vector<Vec3>& positions);
+
+  std::size_t snapshots() const { return frames_.size(); }
+
+  /// Mean square displacement at a lag of `lag` snapshots, averaged over all
+  /// particles and all valid time origins.
+  double msd(std::size_t lag) const;
+
+  /// D(τ)/1 with τ = lag·dt_per_snapshot.
+  double diffusion_coefficient(std::size_t lag, double dt_per_snapshot) const;
+
+ private:
+  std::vector<std::vector<Vec3>> frames_;
+};
+
+/// Beenakker–Mazur-style short-time self-diffusion correlation for hard
+/// spheres: Ds/D0 ≈ 1 − 1.8315·φ + 0.88·φ² (the "theoretical values" curve
+/// of the paper's Fig. 3).
+double short_time_self_diffusion(double volume_fraction);
+
+}  // namespace hbd

@@ -1,0 +1,40 @@
+// Block Krylov subspace computation of Brownian displacements (paper
+// Sec. III-B, ref. [8]): given an SPD mobility operator M available only via
+// products, approximate M^{1/2} Z for a block of λ_RPY Gaussian vectors at
+// once.  Block Lanczos builds an orthonormal basis V = [V₁ … V_m] with a
+// block-tridiagonal projection T = Vᵀ M V and uses
+//     M^{1/2} Z ≈ V · T^{1/2} · E₁ · R₁    (Z = V₁ R₁),
+// iterating until the relative change of the approximation drops below the
+// tolerance e_k.  Using one subspace for the whole block needs fewer total
+// iterations than vector-by-vector Lanczos, and each iteration applies M to
+// a block (multi-vector SpMV in the real-space part).
+#pragma once
+
+#include <cstddef>
+
+#include "core/mobility.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+struct KrylovConfig {
+  double tolerance = 1e-2;  ///< relative-change stopping criterion (e_k)
+  int max_iterations = 200;
+  /// Full reorthogonalization keeps the basis numerically orthonormal; the
+  /// extra GEMMs are cheap next to the PME applies.
+  bool full_reorthogonalization = true;
+};
+
+struct KrylovStats {
+  int iterations = 0;
+  double relative_change = 0.0;
+  bool converged = false;
+};
+
+/// Returns X ≈ M^{1/2} Z (Z is 3n×s, row-major).  Throws if the projected
+/// matrix loses positive semidefiniteness beyond roundoff.
+Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
+                         const KrylovConfig& config = {},
+                         KrylovStats* stats = nullptr);
+
+}  // namespace hbd

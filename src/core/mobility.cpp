@@ -1,0 +1,18 @@
+#include "core/mobility.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace hbd {
+
+void DenseMobility::apply_block(const Matrix& x, Matrix& y) {
+  HBD_CHECK(x.rows() == m_.rows() && y.rows() == m_.rows() &&
+            x.cols() == y.cols());
+  gemm(false, false, 1.0, m_, x, 0.0, y);
+}
+
+void DenseMobility::apply(std::span<const double> x, std::span<double> y) {
+  gemv(1.0, m_, x, 0.0, y);
+}
+
+}  // namespace hbd

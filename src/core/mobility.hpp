@@ -1,0 +1,53 @@
+// Abstraction over mobility operators so the Brownian samplers and BD
+// drivers are agnostic to whether the mobility is a dense Ewald matrix or
+// the matrix-free PME operator.
+#pragma once
+
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+#include "pme/pme_operator.hpp"
+
+namespace hbd {
+
+/// SPD linear operator applied to blocks of vectors (row-major 3n×s).
+class MobilityOperator {
+ public:
+  virtual ~MobilityOperator() = default;
+  virtual std::size_t dim() const = 0;
+  /// y = M x for a block of vectors.
+  virtual void apply_block(const Matrix& x, Matrix& y) = 0;
+  /// y = M x for a single vector.
+  virtual void apply(std::span<const double> x, std::span<double> y) = 0;
+};
+
+/// Dense (conventional Ewald BD) mobility.
+class DenseMobility final : public MobilityOperator {
+ public:
+  explicit DenseMobility(Matrix m) : m_(std::move(m)) {}
+  std::size_t dim() const override { return m_.rows(); }
+  void apply_block(const Matrix& x, Matrix& y) override;
+  void apply(std::span<const double> x, std::span<double> y) override;
+  const Matrix& matrix() const { return m_; }
+
+ private:
+  Matrix m_;
+};
+
+/// Matrix-free PME mobility (borrows the operator).
+class PmeMobility final : public MobilityOperator {
+ public:
+  explicit PmeMobility(PmeOperator& pme) : pme_(&pme) {}
+  std::size_t dim() const override { return 3 * pme_->particles(); }
+  void apply_block(const Matrix& x, Matrix& y) override {
+    pme_->apply_block(x, y);
+  }
+  void apply(std::span<const double> x, std::span<double> y) override {
+    pme_->apply(x, y);
+  }
+
+ private:
+  PmeOperator* pme_;
+};
+
+}  // namespace hbd

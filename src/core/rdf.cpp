@@ -1,0 +1,60 @@
+#include "core/rdf.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/cell_list.hpp"
+#include "common/error.hpp"
+
+namespace hbd {
+
+RdfAccumulator::RdfAccumulator(double box, double rmax, std::size_t bins)
+    : box_(box), rmax_(rmax), bins_(bins), counts_(bins, 0.0) {
+  HBD_CHECK(rmax > 0.0 && rmax <= 0.5 * box && bins >= 1);
+}
+
+void RdfAccumulator::add_snapshot(std::span<const Vec3> pos) {
+  if (snapshots_ == 0)
+    particles_ = pos.size();
+  else
+    HBD_CHECK(pos.size() == particles_);
+  const double dr = rmax_ / static_cast<double>(bins_);
+  CellList cl(pos, box_, rmax_);
+  cl.for_each_pair([&](std::size_t, std::size_t, const Vec3&, double r2) {
+    const double r = std::sqrt(r2);
+    const std::size_t bin =
+        std::min(bins_ - 1, static_cast<std::size_t>(r / dr));
+    counts_[bin] += 2.0;  // each pair contributes to both particles
+  });
+  ++snapshots_;
+}
+
+Rdf RdfAccumulator::result() const {
+  HBD_CHECK(snapshots_ >= 1 && particles_ >= 2);
+  const double dr = rmax_ / static_cast<double>(bins_);
+  const double density =
+      static_cast<double>(particles_) / (box_ * box_ * box_);
+  Rdf out;
+  out.r.resize(bins_);
+  out.g.resize(bins_);
+  for (std::size_t b = 0; b < bins_; ++b) {
+    const double r_lo = static_cast<double>(b) * dr;
+    const double r_hi = r_lo + dr;
+    out.r[b] = 0.5 * (r_lo + r_hi);
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = density * shell * static_cast<double>(particles_) *
+                         static_cast<double>(snapshots_);
+    out.g[b] = counts_[b] / ideal;
+  }
+  return out;
+}
+
+Rdf compute_rdf(std::span<const Vec3> pos, double box, double rmax,
+                std::size_t bins) {
+  RdfAccumulator acc(box, rmax, bins);
+  acc.add_snapshot(pos);
+  return acc.result();
+}
+
+}  // namespace hbd

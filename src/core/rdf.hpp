@@ -1,0 +1,43 @@
+// Radial distribution function g(r) for periodic suspensions — the standard
+// structural diagnostic used to check that a configuration has the expected
+// liquid-like order (e.g. contact peak for repulsive spheres, g → 1 at long
+// range).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+struct Rdf {
+  std::vector<double> r;  ///< bin centers
+  std::vector<double> g;  ///< g(r) values
+};
+
+/// Computes g(r) up to `rmax` (≤ box/2) with `bins` bins, averaged over all
+/// particle pairs in the cubic periodic box.
+Rdf compute_rdf(std::span<const Vec3> pos, double box, double rmax,
+                std::size_t bins);
+
+/// Accumulates g(r) over multiple snapshots (same particle count and box).
+class RdfAccumulator {
+ public:
+  RdfAccumulator(double box, double rmax, std::size_t bins);
+
+  void add_snapshot(std::span<const Vec3> pos);
+  std::size_t snapshots() const { return snapshots_; }
+
+  /// Averaged g(r); throws if no snapshot was added.
+  Rdf result() const;
+
+ private:
+  double box_, rmax_;
+  std::size_t bins_;
+  std::size_t snapshots_ = 0;
+  std::size_t particles_ = 0;
+  std::vector<double> counts_;
+};
+
+}  // namespace hbd

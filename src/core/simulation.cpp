@@ -1,0 +1,131 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace hbd {
+
+namespace {
+
+/// One propagation step shared by both drivers:
+/// r += μ0·(M̃ f)·Δt + d, with d the pre-sampled Brownian displacement.
+void propagate(ParticleSystem& system,
+               const std::shared_ptr<const ForceField>& forces,
+               const BdConfig& config, MobilityOperator& mobility,
+               const Matrix& displacements, std::size_t column) {
+  const std::size_t n = system.size();
+  const std::vector<Vec3> wrapped = system.wrapped_positions();
+  std::vector<double> f(3 * n, 0.0), u(3 * n, 0.0);
+  if (forces) forces->add_forces(wrapped, system.box, f);
+  mobility.apply(f, u);
+  const double h = config.mu0 * config.dt;
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    system.positions[i].x += h * u[3 * i] + displacements(3 * i, column);
+    system.positions[i].y +=
+        h * u[3 * i + 1] + displacements(3 * i + 1, column);
+    system.positions[i].z +=
+        h * u[3 * i + 2] + displacements(3 * i + 2, column);
+  }
+}
+
+}  // namespace
+
+// ---- Algorithm 1: conventional Ewald BD ------------------------------------
+
+EwaldBdSimulation::EwaldBdSimulation(ParticleSystem system,
+                                     std::shared_ptr<const ForceField> forces,
+                                     BdConfig config, double ewald_tol)
+    : system_(std::move(system)),
+      forces_(std::move(forces)),
+      config_(config),
+      ewald_params_(
+          ewald_params_for_tolerance(system_.box, system_.radius, ewald_tol)),
+      rng_(config.seed) {
+  HBD_CHECK(config_.lambda_rpy >= 1);
+}
+
+void EwaldBdSimulation::rebuild() {
+  const std::vector<Vec3> wrapped = system_.wrapped_positions();
+  mobility_.emplace(
+      ewald_mobility_dense(wrapped, system_.box, system_.radius,
+                           ewald_params_));
+  if (config_.kbt == 0.0) {
+    displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
+  } else {
+    sampler_.emplace(mobility_->matrix());
+    const Matrix z =
+        gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
+    displacements_ = sampler_->sample_block(
+        z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
+  }
+  block_cursor_ = 0;
+}
+
+void EwaldBdSimulation::step(std::size_t nsteps) {
+  for (std::size_t s = 0; s < nsteps; ++s) {
+    if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
+    propagate(system_, forces_, config_, *mobility_, displacements_,
+              block_cursor_);
+    ++block_cursor_;
+    ++steps_;
+  }
+}
+
+std::size_t EwaldBdSimulation::mobility_bytes() const {
+  const std::size_t d = 3 * system_.size();
+  // Dense mobility + Cholesky factor + displacement block.
+  return 2 * d * d * sizeof(double) +
+         d * config_.lambda_rpy * sizeof(double);
+}
+
+// ---- Algorithm 2: matrix-free BD --------------------------------------------
+
+MatrixFreeBdSimulation::MatrixFreeBdSimulation(
+    ParticleSystem system, std::shared_ptr<const ForceField> forces,
+    BdConfig config, PmeParams pme_params, double krylov_tol)
+    : system_(std::move(system)),
+      forces_(std::move(forces)),
+      config_(config),
+      pme_params_(pme_params),
+      rng_(config.seed) {
+  HBD_CHECK(config_.lambda_rpy >= 1);
+  krylov_config_.tolerance = krylov_tol;
+}
+
+void MatrixFreeBdSimulation::rebuild() {
+  const std::vector<Vec3> wrapped = system_.wrapped_positions();
+  pme_.emplace(wrapped, system_.box, system_.radius, pme_params_);
+  if (config_.kbt == 0.0) {
+    // Athermal (pure drift) run: no Brownian displacements to sample.
+    displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
+    krylov_stats_ = {};
+  } else {
+    PmeMobility mob(*pme_);
+    KrylovBrownianSampler sampler(mob, krylov_config_);
+    const Matrix z =
+        gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
+    displacements_ = sampler.sample_block(
+        z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
+    krylov_stats_ = sampler.last_stats();
+  }
+  block_cursor_ = 0;
+}
+
+void MatrixFreeBdSimulation::step(std::size_t nsteps) {
+  for (std::size_t s = 0; s < nsteps; ++s) {
+    if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
+    PmeMobility mob(*pme_);
+    propagate(system_, forces_, config_, mob, displacements_, block_cursor_);
+    ++block_cursor_;
+    ++steps_;
+  }
+}
+
+std::size_t MatrixFreeBdSimulation::mobility_bytes() const {
+  return pme_ ? pme_->bytes() : 0;
+}
+
+}  // namespace hbd

@@ -1,0 +1,101 @@
+// The two BD drivers of the paper:
+//
+//   * EwaldBdSimulation      — Algorithm 1 (conventional): dense Ewald
+//     mobility matrix + Cholesky Brownian displacements;
+//   * MatrixFreeBdSimulation — Algorithm 2 (the paper's contribution): PME
+//     mobility operator + block Krylov Brownian displacements.
+//
+// Both propagate r(t+Δt) = r(t) + μ0 M̃ f Δt + g with ⟨g gᵀ⟩ = 2 kB T μ0 M̃ Δt
+// (Ermak–McCammon without the divergence term, which vanishes for RPY), and
+// both hold the mobility fixed for λ_RPY consecutive steps.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/brownian.hpp"
+#include "core/forces.hpp"
+#include "core/system.hpp"
+#include "ewald/beenakker.hpp"
+#include "pme/pme_operator.hpp"
+
+namespace hbd {
+
+/// Parameters shared by both drivers.  Reduced units: the defaults make the
+/// bare diffusion coefficient D0 = kB T μ0 = 1.
+struct BdConfig {
+  double dt = 1e-4;            ///< time step
+  double kbt = 1.0;            ///< thermal energy kB T
+  double mu0 = 1.0;            ///< single-particle mobility 1/(6πηa)
+  std::size_t lambda_rpy = 16; ///< mobility update interval (steps)
+  std::uint64_t seed = 12345;  ///< RNG seed (deterministic trajectories)
+};
+
+class EwaldBdSimulation {
+ public:
+  /// `ewald_tol` controls the truncation accuracy of the dense Ewald sums.
+  EwaldBdSimulation(ParticleSystem system,
+                    std::shared_ptr<const ForceField> forces, BdConfig config,
+                    double ewald_tol = 1e-6);
+
+  void step(std::size_t nsteps = 1);
+
+  const ParticleSystem& system() const { return system_; }
+  double time() const { return static_cast<double>(steps_) * config_.dt; }
+  std::size_t steps_taken() const { return steps_; }
+  /// Bytes held by the dense mobility representation (Fig. 7a).
+  std::size_t mobility_bytes() const;
+
+ private:
+  void rebuild();
+
+  ParticleSystem system_;
+  std::shared_ptr<const ForceField> forces_;
+  BdConfig config_;
+  EwaldParams ewald_params_;
+  Xoshiro256 rng_;
+
+  std::optional<DenseMobility> mobility_;
+  std::optional<CholeskyBrownianSampler> sampler_;
+  Matrix displacements_;        // 3n×λ block of Brownian displacements
+  std::size_t block_cursor_ = 0;
+  std::size_t steps_ = 0;
+};
+
+class MatrixFreeBdSimulation {
+ public:
+  MatrixFreeBdSimulation(ParticleSystem system,
+                         std::shared_ptr<const ForceField> forces,
+                         BdConfig config, PmeParams pme_params,
+                         double krylov_tol = 1e-2);
+
+  void step(std::size_t nsteps = 1);
+
+  const ParticleSystem& system() const { return system_; }
+  double time() const { return static_cast<double>(steps_) * config_.dt; }
+  std::size_t steps_taken() const { return steps_; }
+  std::size_t mobility_bytes() const;
+  /// Krylov iteration count of the most recent mobility update.
+  const KrylovStats& last_krylov_stats() const { return krylov_stats_; }
+  /// The current PME operator (valid after the first step).
+  PmeOperator* pme() { return pme_ ? &*pme_ : nullptr; }
+
+ private:
+  void rebuild();
+
+  ParticleSystem system_;
+  std::shared_ptr<const ForceField> forces_;
+  BdConfig config_;
+  PmeParams pme_params_;
+  KrylovConfig krylov_config_;
+  Xoshiro256 rng_;
+
+  std::optional<PmeOperator> pme_;
+  KrylovStats krylov_stats_;
+  Matrix displacements_;
+  std::size_t block_cursor_ = 0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace hbd

@@ -1,0 +1,95 @@
+#include "core/system.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/cell_list.hpp"
+#include "common/error.hpp"
+
+namespace hbd {
+
+double ParticleSystem::volume_fraction() const {
+  return static_cast<double>(size()) * 4.0 / 3.0 * std::numbers::pi * radius *
+         radius * radius / (box * box * box);
+}
+
+std::vector<Vec3> ParticleSystem::wrapped_positions() const {
+  std::vector<Vec3> w = positions;
+  for (Vec3& r : w) {
+    for (int d = 0; d < 3; ++d) {
+      r[d] = std::fmod(r[d], box);
+      if (r[d] < 0.0) r[d] += box;
+    }
+  }
+  return w;
+}
+
+ParticleSystem random_suspension(std::size_t n, double box, double radius,
+                                 double min_sep, Xoshiro256& rng) {
+  ParticleSystem sys;
+  sys.box = box;
+  sys.radius = radius;
+  sys.positions.reserve(n);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 2000 * n + 10000;
+  while (sys.positions.size() < n) {
+    HBD_CHECK_MSG(++attempts <= max_attempts,
+                  "random_suspension: RSA stalled at "
+                      << sys.positions.size() << "/" << n
+                      << " particles; use lattice_suspension");
+    const Vec3 cand{box * rng.next_double(), box * rng.next_double(),
+                    box * rng.next_double()};
+    bool ok = true;
+    for (const Vec3& p : sys.positions) {
+      if (norm(minimum_image(cand, p, box)) < min_sep * radius) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) sys.positions.push_back(cand);
+  }
+  return sys;
+}
+
+ParticleSystem lattice_suspension(std::size_t n, double box, double radius,
+                                  Xoshiro256& rng, double jitter) {
+  ParticleSystem sys;
+  sys.box = box;
+  sys.radius = radius;
+  sys.positions.reserve(n);
+  // Smallest cubic lattice with at least n sites.
+  std::size_t m = 1;
+  while (m * m * m < n) ++m;
+  const double spacing = box / static_cast<double>(m);
+  HBD_CHECK_MSG(spacing >= 2.0 * radius,
+                "lattice_suspension: box too small for " << n
+                                                         << " particles");
+  const double gap = spacing - 2.0 * radius;
+  const double amp = jitter * 0.5 * gap;
+  for (std::size_t ix = 0; ix < m && sys.positions.size() < n; ++ix) {
+    for (std::size_t iy = 0; iy < m && sys.positions.size() < n; ++iy) {
+      for (std::size_t iz = 0; iz < m && sys.positions.size() < n; ++iz) {
+        Vec3 p{(static_cast<double>(ix) + 0.5) * spacing,
+               (static_cast<double>(iy) + 0.5) * spacing,
+               (static_cast<double>(iz) + 0.5) * spacing};
+        p.x += amp * (2.0 * rng.next_double() - 1.0);
+        p.y += amp * (2.0 * rng.next_double() - 1.0);
+        p.z += amp * (2.0 * rng.next_double() - 1.0);
+        sys.positions.push_back(p);
+      }
+    }
+  }
+  return sys;
+}
+
+ParticleSystem suspension_at_volume_fraction(std::size_t n, double phi,
+                                             double radius, Xoshiro256& rng) {
+  HBD_CHECK(phi > 0.0 && phi < 0.5);
+  const double vol = static_cast<double>(n) * 4.0 / 3.0 * std::numbers::pi *
+                     radius * radius * radius / phi;
+  const double box = std::cbrt(vol);
+  if (phi < 0.25) return random_suspension(n, box, radius, 2.0, rng);
+  return lattice_suspension(n, box, radius, rng);
+}
+
+}  // namespace hbd

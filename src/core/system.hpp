@@ -1,0 +1,49 @@
+// Particle system setup: monodisperse suspensions in a cubic periodic box
+// (the paper's benchmark model, Sec. V-A) and helpers for initial
+// configurations at a given volume fraction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+/// A monodisperse suspension in a cubic periodic box.  Positions are kept
+/// unwrapped (for mean-square-displacement statistics); operators wrap
+/// internally.
+struct ParticleSystem {
+  std::vector<Vec3> positions;
+  double box = 0.0;
+  double radius = 1.0;
+
+  std::size_t size() const { return positions.size(); }
+
+  /// Volume fraction n·(4/3)πa³/L³.
+  double volume_fraction() const;
+
+  /// Copies of the positions wrapped into [0, box)³.
+  std::vector<Vec3> wrapped_positions() const;
+};
+
+/// Random sequential addition of n non-overlapping spheres (separation at
+/// least `min_sep`·radius).  Throws if the target density is unreachable by
+/// RSA (≳ 0.38 volume fraction); use lattice_suspension there.
+ParticleSystem random_suspension(std::size_t n, double box, double radius,
+                                 double min_sep, Xoshiro256& rng);
+
+/// Particles on a simple cubic lattice with a small random jitter — works at
+/// any volume fraction below close packing.  `jitter` is in units of the
+/// lattice gap beyond contact.
+ParticleSystem lattice_suspension(std::size_t n, double box, double radius,
+                                  Xoshiro256& rng, double jitter = 0.3);
+
+/// Convenience: suspension of n particles at volume fraction phi (lattice
+/// initializer, suitable for all phi of interest).
+ParticleSystem suspension_at_volume_fraction(std::size_t n, double phi,
+                                             double radius, Xoshiro256& rng);
+
+}  // namespace hbd

@@ -1,0 +1,20 @@
+#include "core/trajectory.hpp"
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+XyzTrajectoryWriter::XyzTrajectoryWriter(const std::string& path)
+    : out_(path) {
+  HBD_CHECK_MSG(out_.good(), "cannot open trajectory file " << path);
+}
+
+void XyzTrajectoryWriter::write_frame(std::span<const Vec3> positions,
+                                      const std::string& comment) {
+  out_ << positions.size() << "\n" << comment << "\n";
+  for (const Vec3& p : positions)
+    out_ << "P " << p.x << " " << p.y << " " << p.z << "\n";
+  out_.flush();
+}
+
+}  // namespace hbd

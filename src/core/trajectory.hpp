@@ -1,0 +1,26 @@
+// Minimal trajectory output in extended-XYZ format, one frame per record
+// call; readable by OVITO/VMD for visual inspection of example runs.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+class XyzTrajectoryWriter {
+ public:
+  /// Opens (truncates) the file; throws hbd::Error on failure.
+  explicit XyzTrajectoryWriter(const std::string& path);
+
+  /// Writes one frame; `comment` lands on the XYZ comment line.
+  void write_frame(std::span<const Vec3> positions,
+                   const std::string& comment = "");
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,220 @@
+#include "ewald/beenakker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+namespace {
+constexpr double kInvSqrtPi = 0.5641895835477562869;  // 1/√π
+}
+
+PairCoeffs beenakker_real(double r, double a, double xi) {
+  HBD_CHECK(r > 0.0);
+  const double r2 = r * r;
+  const double a3 = a * a * a;
+  const double xi3 = xi * xi * xi;
+  const double xi5 = xi3 * xi * xi;
+  const double xi7 = xi5 * xi * xi;
+  const double erfc_t = std::erfc(xi * r);
+  const double gauss = std::exp(-xi * xi * r2) * kInvSqrtPi;
+
+  PairCoeffs c;
+  c.f = erfc_t * (0.75 * a / r + 0.5 * a3 / (r2 * r)) +
+        gauss * (4.0 * xi7 * a3 * r2 * r2 + 3.0 * xi3 * a * r2 -
+                 20.0 * xi5 * a3 * r2 - 4.5 * xi * a + 14.0 * xi3 * a3 +
+                 xi * a3 / r2);
+  c.g = erfc_t * (0.75 * a / r - 1.5 * a3 / (r2 * r)) +
+        gauss * (-4.0 * xi7 * a3 * r2 * r2 - 3.0 * xi3 * a * r2 +
+                 16.0 * xi5 * a3 * r2 + 1.5 * xi * a - 2.0 * xi3 * a3 -
+                 3.0 * xi * a3 / r2);
+  return c;
+}
+
+double beenakker_recip(double k2, double a, double xi) {
+  HBD_CHECK(k2 > 0.0);
+  const double a2 = a * a;
+  const double ixi2 = 1.0 / (xi * xi);
+  // (a − a³k²/3)(1 + k²/4ξ² + k⁴/8ξ⁴)·(6π/k²)·exp(−k²/4ξ²)
+  return (a - a * a2 * k2 / 3.0) *
+         (1.0 + 0.25 * k2 * ixi2 + 0.125 * k2 * k2 * ixi2 * ixi2) *
+         (6.0 * std::numbers::pi / k2) * std::exp(-0.25 * k2 * ixi2);
+}
+
+double beenakker_self(double a, double xi) {
+  const double xa = xi * a;
+  return 1.0 - 6.0 * kInvSqrtPi * xa + 40.0 / 3.0 * kInvSqrtPi * xa * xa * xa;
+}
+
+PairCoeffs oseen_real(double r, double a, double xi) {
+  HBD_CHECK(r > 0.0);
+  const double r2 = r * r;
+  const double xi3 = xi * xi * xi;
+  const double erfc_t = std::erfc(xi * r);
+  const double gauss = std::exp(-xi * xi * r2) * kInvSqrtPi;
+  // Beenakker's real-space sum with every a³ term dropped.
+  PairCoeffs c;
+  c.f = erfc_t * (0.75 * a / r) +
+        gauss * (3.0 * xi3 * a * r2 - 4.5 * xi * a);
+  c.g = erfc_t * (0.75 * a / r) +
+        gauss * (-3.0 * xi3 * a * r2 + 1.5 * xi * a);
+  return c;
+}
+
+double oseen_recip(double k2, double a, double xi) {
+  HBD_CHECK(k2 > 0.0);
+  const double ixi2 = 1.0 / (xi * xi);
+  return a * (1.0 + 0.25 * k2 * ixi2 + 0.125 * k2 * k2 * ixi2 * ixi2) *
+         (6.0 * std::numbers::pi / k2) * std::exp(-0.25 * k2 * ixi2);
+}
+
+double oseen_self(double a, double xi) {
+  return 1.0 - 6.0 * kInvSqrtPi * xi * a;
+}
+
+PairCoeffs oseen_pair(double r, double a) {
+  HBD_CHECK(r > 0.0);
+  const double v = 0.75 * a / r;
+  return {v, v};
+}
+
+PairCoeffs rpy_overlap_correction(double r, double a) {
+  if (r >= 2.0 * a) return {0.0, 0.0};
+  const PairCoeffs overlap = rpy_pair(r, a);  // overlap branch for r < 2a
+  const double ar = a / r;
+  const double ar3 = ar * ar * ar;
+  const PairCoeffs standard{0.75 * ar + 0.5 * ar3, 0.75 * ar - 1.5 * ar3};
+  return {overlap.f - standard.f, overlap.g - standard.g};
+}
+
+EwaldParams ewald_params_for_tolerance(double box, double a, double tol) {
+  HBD_CHECK(box > 0.0 && tol > 0.0 && tol < 1.0);
+  EwaldParams p;
+  // Balanced splitting: ξ = √π / L equalizes the asymptotic decay of the
+  // two half-sums for a cubic box.
+  p.xi = std::sqrt(std::numbers::pi) / box;
+  // Real-space: leading error ~ exp(−ξ²r²); solve exp(−ξ²rcut²) = tol.
+  const double s = std::sqrt(-std::log(tol));
+  p.rcut = (s + 1.0) / p.xi;  // +1: margin for the polynomial prefactors
+  // Reciprocal: error ~ exp(−k²/4ξ²) at k = 2π·kmax/L.
+  const double kcut = 2.0 * p.xi * (s + 1.0);
+  p.kmax = std::max(1, static_cast<int>(std::ceil(kcut * box /
+                                                  (2.0 * std::numbers::pi))));
+  (void)a;
+  return p;
+}
+
+void ewald_pair_tensor(const Vec3& rij_in, bool self_pair, double box,
+                       double a, const EwaldParams& p,
+                       std::array<double, 9>& out) {
+  out.fill(0.0);
+
+  // Wrap the displacement into the primary box (minimum image).
+  Vec3 rij = rij_in;
+  for (int d = 0; d < 3; ++d) rij[d] -= box * std::round(rij[d] / box);
+
+  // ---- Real-space sum over images |r + lL| ≤ rcut -------------------------
+  const int lmax = static_cast<int>(std::ceil(p.rcut / box + 0.5));
+  for (int lx = -lmax; lx <= lmax; ++lx) {
+    for (int ly = -lmax; ly <= lmax; ++ly) {
+      for (int lz = -lmax; lz <= lmax; ++lz) {
+        const Vec3 rl{rij.x + box * lx, rij.y + box * ly, rij.z + box * lz};
+        const double r = norm(rl);
+        if (r > p.rcut) continue;
+        if (self_pair && r == 0.0) continue;  // l = 0 skipped for i == j
+        std::array<double, 9> b;
+        pair_tensor(rl, beenakker_real(r, a, p.xi), b);
+        for (int t = 0; t < 9; ++t) out[t] += b[t];
+      }
+    }
+  }
+
+  // ---- Reciprocal sum over k = 2π h / L, h ≠ 0 ----------------------------
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box;
+  const double inv_v = 1.0 / (box * box * box);
+  for (int hx = -p.kmax; hx <= p.kmax; ++hx) {
+    for (int hy = -p.kmax; hy <= p.kmax; ++hy) {
+      for (int hz = -p.kmax; hz <= p.kmax; ++hz) {
+        if (hx == 0 && hy == 0 && hz == 0) continue;
+        const Vec3 k{two_pi_over_l * hx, two_pi_over_l * hy,
+                     two_pi_over_l * hz};
+        const double k2 = norm2(k);
+        const double m = beenakker_recip(k2, a, p.xi) * inv_v;
+        const double phase = std::cos(dot(k, rij));
+        const double c = m * phase;
+        // (I − k̂k̂ᵀ) c
+        const double ik2 = 1.0 / k2;
+        out[0] += c * (1.0 - k.x * k.x * ik2);
+        out[1] += c * (-k.x * k.y * ik2);
+        out[2] += c * (-k.x * k.z * ik2);
+        out[3] += c * (-k.y * k.x * ik2);
+        out[4] += c * (1.0 - k.y * k.y * ik2);
+        out[5] += c * (-k.y * k.z * ik2);
+        out[6] += c * (-k.z * k.x * ik2);
+        out[7] += c * (-k.z * k.y * ik2);
+        out[8] += c * (1.0 - k.z * k.z * ik2);
+      }
+    }
+  }
+
+  // ---- Self and overlap corrections --------------------------------------
+  if (self_pair) {
+    const double s0 = beenakker_self(a, p.xi);
+    out[0] += s0;
+    out[4] += s0;
+    out[8] += s0;
+  } else {
+    const double r = norm(rij);
+    if (r < 2.0 * a) {
+      std::array<double, 9> b;
+      pair_tensor(rij, rpy_overlap_correction(r, a), b);
+      for (int t = 0; t < 9; ++t) out[t] += b[t];
+    }
+  }
+}
+
+Matrix ewald_mobility_dense(std::span<const Vec3> pos, double box, double a,
+                            const EwaldParams& p) {
+  const std::size_t n = pos.size();
+  Matrix m(3 * n, 3 * n);
+#pragma omp parallel for schedule(dynamic, 4)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      std::array<double, 9> b;
+      ewald_pair_tensor(pos[i] - pos[j], i == j, box, a, p, b);
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+          m(3 * i + r, 3 * j + c) = b[3 * r + c];
+          if (i != j) m(3 * j + c, 3 * i + r) = b[3 * r + c];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+void ewald_mobility_apply(std::span<const Vec3> pos, double box, double a,
+                          const EwaldParams& p, std::span<const double> x,
+                          std::span<double> y) {
+  const std::size_t n = pos.size();
+  HBD_CHECK(x.size() == 3 * n && y.size() == 3 * n);
+#pragma omp parallel for schedule(dynamic, 4)
+  for (std::size_t i = 0; i < n; ++i) {
+    double s[3] = {0.0, 0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      std::array<double, 9> b;
+      ewald_pair_tensor(pos[i] - pos[j], i == j, box, a, p, b);
+      const double* xj = x.data() + 3 * j;
+      for (int r = 0; r < 3; ++r)
+        s[r] += b[3 * r] * xj[0] + b[3 * r + 1] * xj[1] + b[3 * r + 2] * xj[2];
+    }
+    y[3 * i] = s[0];
+    y[3 * i + 1] = s[1];
+    y[3 * i + 2] = s[2];
+  }
+}
+
+}  // namespace hbd

@@ -1,0 +1,89 @@
+// Beenakker's Ewald summation of the RPY tensor (paper Sec. II-B, ref. [22]).
+// The periodic mobility splits as  M = M_real + M_recip + M_self  with a
+// splitting parameter ξ (the paper's α):
+//
+//   M_real : pairwise tensors decaying like erfc(ξr)/exp(−ξ²r²) in real
+//            space (summed over images within a cutoff),
+//   M_recip: a lattice sum over wave vectors k ≠ 0 with Gaussian decay
+//            exp(−k²/4ξ²),
+//   M_self : a constant diagonal correction.
+//
+// All quantities are scaled by 6πηa (units of the single-particle mobility).
+// The total must be independent of ξ — the test suite checks this.
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "ewald/rpy.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Real-space pair coefficients (f, g) of Beenakker's M^(1)(r) so that the
+/// tensor is f·I + g·r̂r̂ᵀ.  `r` is a minimum-image (or image-shifted)
+/// distance, `a` the particle radius, `xi` the Ewald splitting parameter.
+PairCoeffs beenakker_real(double r, double a, double xi);
+
+/// Reciprocal-space scalar m_ξ(k) of M^(2)(k) = (I − k̂k̂ᵀ)·m_ξ(|k|)
+/// (paper Eq. 5).  `k2` is |k|².  The caller divides by the box volume.
+double beenakker_recip(double k2, double a, double xi);
+
+/// Self term M^(0) = (1 − 6ξa/√π + 40 ξ³a³/(3√π)) (coefficient of I).
+double beenakker_self(double a, double xi);
+
+// ---- Oseen / Stokeslet kernel ------------------------------------------------
+// The prior PME-for-Stokes codes the paper contrasts against (refs. [15–17])
+// summed the Oseen (Stokeslet) tensor rather than RPY.  The Oseen kernel is
+// the a³ → 0 limit of the RPY tensor (point forces, no finite-size
+// correction), so by linearity its Ewald split is Beenakker's with the a³
+// terms dropped.  Provided for baseline comparisons; the BD drivers use RPY.
+
+/// Real-space Ewald coefficients of the scaled Oseen tensor.
+PairCoeffs oseen_real(double r, double a, double xi);
+
+/// Reciprocal-space scalar of the Oseen Ewald sum (Hasimoto function).
+double oseen_recip(double k2, double a, double xi);
+
+/// Oseen self term (1 − 6ξa/√π).
+double oseen_self(double a, double xi);
+
+/// Scaled free-space Oseen pair tensor (3a/4r)(I + r̂r̂ᵀ).
+PairCoeffs oseen_pair(double r, double a);
+
+/// Overlap correction: for r < 2a the plain RPY/Beenakker split must be
+/// supplemented by Δ(r) = RPY_overlap(r) − RPY_standard(r), applied to the
+/// real-space part (ξ-independent, so the Ewald identity is preserved).
+PairCoeffs rpy_overlap_correction(double r, double a);
+
+/// Parameters of a direct (non-mesh) Ewald summation.
+struct EwaldParams {
+  double xi = 1.0;     ///< splitting parameter (paper's α), units 1/length
+  double rcut = 0.0;   ///< real-space cutoff; images with |r+lL| > rcut dropped
+  int kmax = 0;        ///< reciprocal sum over integer h with |h|∞ ≤ kmax
+};
+
+/// Chooses ξ, rcut and kmax so both half-sums are converged to ~`tol`
+/// relative accuracy for a cubic box of width `box`.
+EwaldParams ewald_params_for_tolerance(double box, double a, double tol);
+
+/// Accumulates the scaled periodic pair tensor M_ij (sum over real-space
+/// images and reciprocal lattice) for displacement rij (any representative;
+/// the result is lattice-periodic).  Includes the self + overlap terms when
+/// `self_pair` is true (i == j).
+void ewald_pair_tensor(const Vec3& rij, bool self_pair, double box, double a,
+                       const EwaldParams& p, std::array<double, 9>& out);
+
+/// Dense scaled periodic mobility matrix (3n×3n) via direct Ewald summation
+/// — the conventional-BD matrix (Algorithm 1, line 4) and the high-accuracy
+/// reference for measuring PME error e_p.
+Matrix ewald_mobility_dense(std::span<const Vec3> pos, double box, double a,
+                            const EwaldParams& p);
+
+/// y = M x without forming M (direct Ewald, O(n²)); reference operator for
+/// tests against PME.
+void ewald_mobility_apply(std::span<const Vec3> pos, double box, double a,
+                          const EwaldParams& p, std::span<const double> x,
+                          std::span<double> y);
+
+}  // namespace hbd

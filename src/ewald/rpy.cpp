@@ -1,0 +1,120 @@
+#include "ewald/rpy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+PairCoeffs rpy_pair(double r, double a) {
+  HBD_CHECK(r > 0.0 && a > 0.0);
+  PairCoeffs c;
+  if (r >= 2.0 * a) {
+    const double ar = a / r;
+    const double ar3 = ar * ar * ar;
+    // (3a/4r)(I + r̂r̂ᵀ) + (a³/2r³)(I − 3 r̂r̂ᵀ)
+    c.f = 0.75 * ar + 0.5 * ar3;
+    c.g = 0.75 * ar - 1.5 * ar3;
+  } else {
+    // Rotne–Prager overlap form: (1 − 9r/32a) I + (3r/32a) r̂r̂ᵀ.
+    const double ra = r / a;
+    c.f = 1.0 - 9.0 / 32.0 * ra;
+    c.g = 3.0 / 32.0 * ra;
+  }
+  return c;
+}
+
+void pair_tensor(const Vec3& rij, const PairCoeffs& c,
+                 std::array<double, 9>& block) {
+  const double r2 = norm2(rij);
+  const double inv_r2 = 1.0 / r2;
+  // g r̂r̂ᵀ = (g/r²) r rᵀ
+  const double gxx = c.g * rij.x * rij.x * inv_r2;
+  const double gyy = c.g * rij.y * rij.y * inv_r2;
+  const double gzz = c.g * rij.z * rij.z * inv_r2;
+  const double gxy = c.g * rij.x * rij.y * inv_r2;
+  const double gxz = c.g * rij.x * rij.z * inv_r2;
+  const double gyz = c.g * rij.y * rij.z * inv_r2;
+  block = {c.f + gxx, gxy,       gxz,        //
+           gxy,       c.f + gyy, gyz,        //
+           gxz,       gyz,       c.f + gzz};
+}
+
+PairCoeffs rpy_pair_poly(double r, double ai, double aj, double a_ref) {
+  HBD_CHECK(r > 0.0 && ai > 0.0 && aj > 0.0 && a_ref > 0.0);
+  PairCoeffs c;
+  const double sum = ai + aj;
+  const double diff = std::abs(ai - aj);
+  if (r >= sum) {
+    // Separated: (3a_ref/4r)[(1 + (ai²+aj²)/3r²) I + (1 − (ai²+aj²)/r²) r̂r̂ᵀ]
+    const double a2 = ai * ai + aj * aj;
+    const double pre = 0.75 * a_ref / r;
+    c.f = pre * (1.0 + a2 / (3.0 * r * r));
+    c.g = pre * (1.0 - a2 / (r * r));
+  } else if (r > diff) {
+    // Partially overlapping (Zuk et al.):
+    const double r3 = r * r * r;
+    const double d2 = diff * diff;
+    const double t = d2 + 3.0 * r * r;
+    const double pre = a_ref / (ai * aj);
+    c.f = pre * (16.0 * r3 * sum - t * t) / (32.0 * r3);
+    c.g = pre * 3.0 * (d2 - r * r) * (d2 - r * r) / (32.0 * r3);
+  } else {
+    // One sphere fully inside the other: mobility of the larger sphere.
+    c.f = a_ref / std::max(ai, aj);
+    c.g = 0.0;
+  }
+  return c;
+}
+
+Matrix rpy_mobility_dense_poly(std::span<const Vec3> pos,
+                               std::span<const double> radii, double a_ref) {
+  const std::size_t n = pos.size();
+  HBD_CHECK(radii.size() == n);
+  Matrix m(3 * n, 3 * n);
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double self = a_ref / radii[i];
+    m(3 * i, 3 * i) = self;
+    m(3 * i + 1, 3 * i + 1) = self;
+    m(3 * i + 2, 3 * i + 2) = self;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = pos[i] - pos[j];
+      std::array<double, 9> b;
+      pair_tensor(rij, rpy_pair_poly(norm(rij), radii[i], radii[j], a_ref),
+                  b);
+      for (int r = 0; r < 3; ++r) {
+        for (int col = 0; col < 3; ++col) {
+          m(3 * i + r, 3 * j + col) = b[3 * r + col];
+          m(3 * j + col, 3 * i + r) = b[3 * r + col];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Matrix rpy_mobility_dense(std::span<const Vec3> pos, double radius) {
+  const std::size_t n = pos.size();
+  Matrix m(3 * n, 3 * n);
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::size_t i = 0; i < n; ++i) {
+    m(3 * i, 3 * i) = 1.0;
+    m(3 * i + 1, 3 * i + 1) = 1.0;
+    m(3 * i + 2, 3 * i + 2) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = pos[i] - pos[j];
+      std::array<double, 9> b;
+      pair_tensor(rij, rpy_pair(norm(rij), radius), b);
+      for (int r = 0; r < 3; ++r) {
+        for (int col = 0; col < 3; ++col) {
+          m(3 * i + r, 3 * j + col) = b[3 * r + col];
+          m(3 * j + col, 3 * i + r) = b[3 * r + col];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace hbd

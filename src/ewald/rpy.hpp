@@ -1,0 +1,50 @@
+// Rotne–Prager–Yamakawa (RPY) mobility tensor with free boundary conditions
+// (paper Sec. II-A).  All tensors here are *scaled by 6πηa*, i.e. expressed
+// in units of the single-particle mobility μ0 = 1/(6πηa); the BD drivers
+// multiply by μ0 where physical units matter.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/vec3.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Scalar coefficients of a pair mobility tensor  f·I + g·r̂r̂ᵀ.
+struct PairCoeffs {
+  double f = 0.0;
+  double g = 0.0;
+};
+
+/// Scaled free-space RPY pair tensor coefficients for center distance r and
+/// radius a.  For r ≥ 2a this is the standard RPY expression; for r < 2a the
+/// Rotne–Prager overlap form is used, which keeps the mobility matrix
+/// positive definite for any configuration.
+PairCoeffs rpy_pair(double r, double a);
+
+/// Writes the 3×3 tensor f·I + g·r̂r̂ᵀ for displacement vector rij into
+/// `block` (row-major).
+void pair_tensor(const Vec3& rij, const PairCoeffs& c,
+                 std::array<double, 9>& block);
+
+/// Dense scaled mobility matrix (3n×3n) for particles at `pos` with free
+/// boundary conditions.  Diagonal blocks are the identity.
+Matrix rpy_mobility_dense(std::span<const Vec3> pos, double radius);
+
+/// Polydisperse RPY pair tensor for radii ai and aj (the Zuk et al.
+/// generalization, positive definite for every configuration), scaled by
+/// 6πη·a_ref so a radius-a particle has self mobility a_ref/a.  Three
+/// branches: separated (r ≥ ai+aj), partially overlapping, and fully
+/// immersed (r ≤ |ai−aj|).  The paper's suspensions are monodisperse but
+/// its model statement allows "spherical particles of possibly varying
+/// radii"; this covers that case for the dense free-space path.
+PairCoeffs rpy_pair_poly(double r, double ai, double aj, double a_ref);
+
+/// Dense scaled mobility matrix for per-particle radii; diagonal blocks are
+/// (a_ref/a_i)·I.  Free boundary conditions.
+Matrix rpy_mobility_dense_poly(std::span<const Vec3> pos,
+                               std::span<const double> radii, double a_ref);
+
+}  // namespace hbd

@@ -1,0 +1,90 @@
+// FFT substrate.  The paper computes the PME reciprocal-space sum with MKL's
+// in-place real 3-D FFTs; this environment has no FFT library, so the
+// library carries its own plan-based implementation:
+//
+//   * mixed-radix complex 1-D FFT (any length whose prime factors are ≤ 13),
+//   * real-to-complex / complex-to-real 1-D wrappers via the half-length
+//     complex trick (even lengths),
+//   * 3-D r2c/c2r transforms storing only the half spectrum
+//     (nx × ny × (nz/2+1)), matching the memory-halving layout the paper
+//     exploits for the influence function (Sec. IV-B.3).
+//
+// Conventions: the forward transform is  X[k] = Σ_j x[j] e^{-2πi jk/N}  and
+// the inverse is the unnormalized conjugate sum  x[j] = Σ_k X[k] e^{+2πi jk/N},
+// so forward∘inverse = N·identity.  PME needs exactly these unnormalized
+// sums (the 1/L³ volume factor is explicit in the Ewald formulas).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace hbd {
+
+using Complex = std::complex<double>;
+
+/// Plan for complex 1-D FFTs of a fixed length.  Immutable after
+/// construction and safe to share across threads; each call site provides
+/// its own workspace.
+class Fft1dPlan {
+ public:
+  explicit Fft1dPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Required workspace length (in Complex elements) for transform():
+  /// an n-element output buffer plus an n-element combine scratch.
+  std::size_t workspace_size() const { return 2 * n_; }
+
+  /// In-place forward transform (sign −1 in the exponent).
+  void forward(Complex* x, Complex* workspace) const;
+  /// In-place unnormalized inverse transform (sign +1).
+  void inverse(Complex* x, Complex* workspace) const;
+
+ private:
+  void transform(Complex* x, Complex* workspace, bool forward) const;
+  void recurse(const Complex* in, Complex* out, std::size_t n,
+               std::size_t stride, std::size_t wstride, Complex* scratch,
+               bool forward) const;
+  Complex twiddle(std::size_t index, bool forward) const {
+    const Complex w = twiddles_[index];
+    return forward ? w : std::conj(w);
+  }
+
+  std::size_t n_;
+  std::vector<std::size_t> factors_;       // prime factorization, ascending
+  aligned_vector<Complex> twiddles_;       // e^{-2πi t / n}, t = 0..n-1
+};
+
+/// Reference O(n²) DFT used by the test suite.
+void dft_naive(const Complex* in, Complex* out, std::size_t n, bool forward);
+
+/// 3-D transforms between a real nx×ny×nz array (row-major, z fastest) and
+/// the complex half spectrum nx×ny×(nz/2+1).  nz must be even.
+class Fft3d {
+ public:
+  Fft3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  /// Number of complex entries of the half spectrum.
+  std::size_t complex_size() const { return nx_ * ny_ * nzh_; }
+  std::size_t real_size() const { return nx_ * ny_ * nz_; }
+
+  /// Forward real-to-complex transform (unnormalized).
+  void forward(const double* in, Complex* out) const;
+  /// Inverse complex-to-real transform (unnormalized: forward∘inverse = N·id
+  /// with N = nx·ny·nz).  `in` is not modified.
+  void inverse(const Complex* in, double* out) const;
+
+ private:
+  std::size_t nx_, ny_, nz_, nzh_;
+  Fft1dPlan plan_x_, plan_y_, plan_zh_;  // zh: half-length complex plan
+  aligned_vector<Complex> wz_;           // e^{-2πi k / nz}, k = 0..nz/2
+};
+
+}  // namespace hbd

@@ -1,0 +1,150 @@
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+
+namespace hbd {
+
+namespace {
+constexpr std::size_t kMaxPrime = 13;
+
+std::vector<std::size_t> factorize(std::size_t n) {
+  std::vector<std::size_t> f;
+  for (std::size_t p = 2; p <= kMaxPrime && n > 1; ++p) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  HBD_CHECK_MSG(n == 1, "FFT length has a prime factor > " << kMaxPrime);
+  return f;
+}
+}  // namespace
+
+Fft1dPlan::Fft1dPlan(std::size_t n) : n_(n) {
+  HBD_CHECK(n >= 1);
+  factors_ = factorize(n);
+  twiddles_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang =
+        -2.0 * std::numbers::pi * static_cast<double>(t) / static_cast<double>(n);
+    twiddles_[t] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Fft1dPlan::forward(Complex* x, Complex* workspace) const {
+  transform(x, workspace, /*forward=*/true);
+}
+
+void Fft1dPlan::inverse(Complex* x, Complex* workspace) const {
+  transform(x, workspace, /*forward=*/false);
+}
+
+void Fft1dPlan::transform(Complex* x, Complex* workspace, bool forward) const {
+  if (n_ == 1) return;
+  // Out-of-place recursion: workspace holds the output buffer followed by
+  // the combine scratch; the input x is read-only until the final copy-back.
+  Complex* out = workspace;
+  Complex* scratch = workspace + n_;
+  recurse(x, out, n_, /*stride=*/1, /*wstride=*/1, scratch, forward);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = out[i];
+}
+
+// Cooley–Tukey decimation in time for size n = p·m (p the smallest prime
+// factor):  X[k1 + m·q1] = Σ_q W_p^{q·q1} · W_n^{q·k1} · A_q[k1], where A_q
+// is the length-m DFT of the stride-p subsequence starting at q.  `wstride`
+// maps this node's unit root onto the root-size twiddle table.  `scratch`
+// provides n elements of temporary space distinct from `out`; the recursion
+// alternates buffers so children write where the parent may scribble.
+void Fft1dPlan::recurse(const Complex* in, Complex* out, std::size_t n,
+                        std::size_t stride, std::size_t wstride,
+                        Complex* scratch, bool forward) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+
+  // Pick the radix: prefer radix 4 (fewer levels, fewer twiddle loads),
+  // else the smallest prime factor of n.
+  std::size_t p = 0;
+  if (n % 4 == 0) {
+    p = 4;
+  } else {
+    for (std::size_t f : factors_) {
+      if (n % f == 0) {
+        p = f;
+        break;
+      }
+    }
+  }
+  const std::size_t m = n / p;
+
+  // Children: A_q in out[q*m .. q*m+m), using `scratch` as their temp space.
+  for (std::size_t q = 0; q < p; ++q)
+    recurse(in + q * stride, out + q * m, m, stride * p, wstride * p,
+            scratch + q * m, forward);
+
+  if (p == 2) {
+    // Radix-2 butterfly specialization.
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const Complex a = out[k1];
+      const Complex b = twiddle(k1 * wstride, forward) * out[m + k1];
+      out[k1] = a + b;
+      out[m + k1] = a - b;
+    }
+    return;
+  }
+
+  if (p == 4) {
+    // Radix-4 butterfly: W₄ = −i (forward) / +i (inverse); the ±i products
+    // are component swaps, no multiplies.
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const Complex t0 = out[k1];
+      const Complex t1 = twiddle(k1 * wstride, forward) * out[m + k1];
+      const Complex t2 = twiddle(2 * k1 * wstride, forward) * out[2 * m + k1];
+      const Complex t3 = twiddle(3 * k1 * wstride, forward) * out[3 * m + k1];
+      const Complex e02 = t0 + t2, d02 = t0 - t2;
+      const Complex e13 = t1 + t3, d13 = t1 - t3;
+      // ±i·d13 with the sign tied to the transform direction.
+      const Complex id13 = forward ? Complex{d13.imag(), -d13.real()}
+                                   : Complex{-d13.imag(), d13.real()};
+      out[k1] = e02 + e13;
+      out[m + k1] = d02 + id13;
+      out[2 * m + k1] = e02 - e13;
+      out[3 * m + k1] = d02 - id13;
+    }
+    return;
+  }
+
+  // General radix: gather twisted sub-DFT values, combine with the p-point
+  // DFT, staging rows in `scratch`.
+  Complex t[kMaxPrime];
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t q = 0; q < p; ++q)
+      t[q] = twiddle((q * k1 * wstride) % n_, forward) * out[q * m + k1];
+    for (std::size_t q1 = 0; q1 < p; ++q1) {
+      Complex s = t[0];
+      for (std::size_t q = 1; q < p; ++q)
+        s += twiddle((q * q1 * m * wstride) % n_, forward) * t[q];
+      scratch[k1 + q1 * m] = s;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = scratch[i];
+}
+
+void dft_naive(const Complex* in, Complex* out, std::size_t n, bool forward) {
+  const double sign = forward ? -1.0 : 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(j * k % n) /
+                         static_cast<double>(n);
+      s += in[j] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = s;
+  }
+}
+
+}  // namespace hbd

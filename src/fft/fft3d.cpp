@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+
+namespace hbd {
+
+Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      nzh_(nz / 2 + 1),
+      plan_x_(nx),
+      plan_y_(ny),
+      plan_zh_(nz / 2) {
+  HBD_CHECK_MSG(nz % 2 == 0 && nz >= 2, "Fft3d requires even nz");
+  wz_.resize(nz / 2 + 1);
+  for (std::size_t k = 0; k <= nz / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(nz);
+    wz_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Fft3d::forward(const double* in, Complex* out) const {
+  const std::size_t h = nz_ / 2;
+
+  // 1. Real-to-complex along z (contiguous lines).
+#pragma omp parallel
+  {
+    aligned_vector<Complex> z(h), zf(h), ws(plan_zh_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t xy = 0; xy < nx_ * ny_; ++xy) {
+      const double* line = in + xy * nz_;
+      Complex* cline = out + xy * nzh_;
+      // Pack even/odd samples into a half-length complex sequence.
+      for (std::size_t j = 0; j < h; ++j)
+        z[j] = {line[2 * j], line[2 * j + 1]};
+      std::copy(z.begin(), z.end(), zf.begin());
+      plan_zh_.forward(zf.data(), ws.data());
+      // Untangle: X[k] = E[k] + w^k O[k].
+      for (std::size_t k = 0; k <= h; ++k) {
+        const Complex zk = zf[k % h];
+        const Complex zmk = std::conj(zf[(h - k) % h]);
+        const Complex e = 0.5 * (zk + zmk);
+        const Complex o = Complex{0.0, -0.5} * (zk - zmk);
+        cline[k] = e + wz_[k] * o;
+      }
+    }
+  }
+
+  // 2. Complex transform along y (stride nzh_ within an x-slab).
+#pragma omp parallel
+  {
+    aligned_vector<Complex> line(ny_), ws(plan_y_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t xz = 0; xz < nx_ * nzh_; ++xz) {
+      const std::size_t ix = xz / nzh_;
+      const std::size_t kz = xz % nzh_;
+      Complex* base = out + ix * ny_ * nzh_ + kz;
+      for (std::size_t iy = 0; iy < ny_; ++iy) line[iy] = base[iy * nzh_];
+      plan_y_.forward(line.data(), ws.data());
+      for (std::size_t iy = 0; iy < ny_; ++iy) base[iy * nzh_] = line[iy];
+    }
+  }
+
+  // 3. Complex transform along x (stride ny_*nzh_).
+#pragma omp parallel
+  {
+    aligned_vector<Complex> line(nx_), ws(plan_x_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t yz = 0; yz < ny_ * nzh_; ++yz) {
+      Complex* base = out + yz;
+      const std::size_t stride = ny_ * nzh_;
+      for (std::size_t ix = 0; ix < nx_; ++ix) line[ix] = base[ix * stride];
+      plan_x_.forward(line.data(), ws.data());
+      for (std::size_t ix = 0; ix < nx_; ++ix) base[ix * stride] = line[ix];
+    }
+  }
+}
+
+void Fft3d::inverse(const Complex* in, double* out) const {
+  const std::size_t h = nz_ / 2;
+  // Work on a copy so the caller's spectrum is preserved (the Krylov loop
+  // reuses mesh buffers; an in-place destructive inverse invites aliasing
+  // bugs for a minor memory win).
+  aligned_vector<Complex> tmp(in, in + complex_size());
+
+  // 1. Inverse along x.
+#pragma omp parallel
+  {
+    aligned_vector<Complex> line(nx_), ws(plan_x_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t yz = 0; yz < ny_ * nzh_; ++yz) {
+      Complex* base = tmp.data() + yz;
+      const std::size_t stride = ny_ * nzh_;
+      for (std::size_t ix = 0; ix < nx_; ++ix) line[ix] = base[ix * stride];
+      plan_x_.inverse(line.data(), ws.data());
+      for (std::size_t ix = 0; ix < nx_; ++ix) base[ix * stride] = line[ix];
+    }
+  }
+
+  // 2. Inverse along y.
+#pragma omp parallel
+  {
+    aligned_vector<Complex> line(ny_), ws(plan_y_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t xz = 0; xz < nx_ * nzh_; ++xz) {
+      const std::size_t ix = xz / nzh_;
+      const std::size_t kz = xz % nzh_;
+      Complex* base = tmp.data() + ix * ny_ * nzh_ + kz;
+      for (std::size_t iy = 0; iy < ny_; ++iy) line[iy] = base[iy * nzh_];
+      plan_y_.inverse(line.data(), ws.data());
+      for (std::size_t iy = 0; iy < ny_; ++iy) base[iy * nzh_] = line[iy];
+    }
+  }
+
+  // 3. Complex-to-real along z: retangle the half spectrum into a
+  // half-length complex sequence, inverse transform, unpack even/odd.
+#pragma omp parallel
+  {
+    aligned_vector<Complex> z(h), ws(plan_zh_.workspace_size());
+#pragma omp for schedule(static)
+    for (std::size_t xy = 0; xy < nx_ * ny_; ++xy) {
+      const Complex* cline = tmp.data() + xy * nzh_;
+      double* line = out + xy * nz_;
+      for (std::size_t k = 0; k < h; ++k) {
+        const Complex a = cline[k];
+        const Complex b = std::conj(cline[h - k]);
+        // Z[k] = (A+B) + i·conj(w^k)·(A−B), so that the unnormalized
+        // half-length inverse yields x[2j] + i x[2j+1].
+        z[k] = (a + b) + Complex{0.0, 1.0} * std::conj(wz_[k]) * (a - b);
+      }
+      plan_zh_.inverse(z.data(), ws.data());
+      for (std::size_t j = 0; j < h; ++j) {
+        line[2 * j] = z[j].real();
+        line[2 * j + 1] = z[j].imag();
+      }
+    }
+  }
+}
+
+}  // namespace hbd

@@ -1,0 +1,65 @@
+#include "hybrid/calibrate.hpp"
+
+#include <cmath>
+
+#include "common/aligned.hpp"
+#include "common/timer.hpp"
+#include "fft/fft.hpp"
+
+namespace hbd {
+
+HardwareParams calibrate_host() {
+  HardwareParams hw;
+  hw.name = "host (calibrated)";
+  hw.pcie_bw_gbs = 0.0;
+  hw.memory_gb = 0.0;  // unknown / irrelevant for timing
+
+  // ---- STREAM-like triad: a[i] = b[i] + s*c[i], 3 streams of 8 B ---------
+  {
+    const std::size_t n = 1 << 22;  // 32 MiB per stream: past LLC
+    aligned_vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+    // Warm up once, then time a few repetitions.
+    for (int rep = 0; rep < 1; ++rep)
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 1.1 * c[i];
+    Timer t;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep)
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 1.1 * c[i];
+    const double secs = t.seconds();
+    hw.stream_bw_gbs =
+        static_cast<double>(reps) * 3.0 * 8.0 * static_cast<double>(n) /
+        secs / 1e9;
+  }
+
+  // ---- FFT rate: time 3-D transform pairs at several mesh sizes ----------
+  // The measured per-K rates are stored as an interpolation table; real
+  // machines need not follow the saturating efficiency curve used for the
+  // reference architectures.
+  for (std::size_t k : {32u, 48u, 64u, 96u}) {
+    Fft3d fft(k, k, k);
+    aligned_vector<double> mesh(k * k * k, 0.5);
+    aligned_vector<Complex> spec(fft.complex_size());
+    fft.forward(mesh.data(), spec.data());  // warm-up / plan touch
+    Timer t;
+    const int reps = 2;
+    for (int rep = 0; rep < reps; ++rep) {
+      fft.forward(mesh.data(), spec.data());
+      fft.inverse(spec.data(), mesh.data());
+    }
+    const double secs = t.seconds() / (2.0 * reps);  // per single transform
+    const double k3 = std::pow(static_cast<double>(k), 3);
+    const double flops = 2.5 * k3 * std::log2(k3);
+    hw.fft_rate_points.emplace_back(static_cast<double>(k), flops / secs);
+  }
+  // Nominal peak for the non-FFT flop terms (the FFT table overrides the
+  // curve); derived from the largest measured FFT rate.
+  hw.peak_dp_gflops = hw.fft_rate_points.front().second / 1e9 * 4.0;
+  hw.fft_eff_max = 0.25;
+  hw.fft_eff_k0 = 24.0;
+  hw.ifft_penalty = 1.0;
+  return hw;
+}
+
+}  // namespace hbd

@@ -1,0 +1,15 @@
+// Calibration of the performance model against the machine actually running
+// the benchmarks, so the "model" curves of the Fig. 5 reproduction are
+// meaningful on any host: a STREAM-triad measurement fixes the bandwidth
+// and a timed 3-D FFT fixes the achievable FFT rate.
+#pragma once
+
+#include "hybrid/perf_model.hpp"
+
+namespace hbd {
+
+/// Measures this host and returns a HardwareParams populated with the
+/// observed triad bandwidth and FFT efficiency (quick: ~a second).
+HardwareParams calibrate_host();
+
+}  // namespace hbd

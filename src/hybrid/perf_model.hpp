@@ -1,0 +1,96 @@
+// Analytic performance model of the PME phases (paper Sec. IV-D, Eq. 10–11)
+// and hardware parameter sets (paper Table I).
+//
+// This environment has no Intel Xeon Phi (and a single CPU core), so the
+// cross-architecture comparisons of the paper (Figs. 6 and 9) are reproduced
+// through this model — the same model the paper validates against
+// measurement in Fig. 5.  Bandwidth-bound phases are modeled by memory
+// traffic / STREAM bandwidth; the FFTs by flop counts over an achievable
+// FFT rate with a size-dependent efficiency curve (KNC's MKL FFT was
+// notoriously inefficient at small sizes, particularly the inverse
+// transform — the paper reports exactly that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hbd {
+
+/// Architectural parameters (paper Table I plus modeling knobs).
+struct HardwareParams {
+  std::string name;
+  double peak_dp_gflops;   ///< double-precision peak
+  double stream_bw_gbs;    ///< sustainable memory bandwidth
+  double fft_eff_max;      ///< asymptotic fraction of peak reached by FFTs
+  double fft_eff_k0;       ///< mesh size where FFT efficiency is half of max
+  double ifft_penalty;     ///< multiplier (<1) on inverse-FFT throughput
+  double pcie_bw_gbs;      ///< offload transfer bandwidth (0: host device)
+  double memory_gb;        ///< device memory capacity
+  /// Optional measured (K, flop-rate) samples for one 3-D transform; when
+  /// non-empty they override the efficiency curve (log-log interpolation).
+  /// Used by the host calibration, where the single-transform rate need not
+  /// follow the saturating model of the reference architectures.
+  std::vector<std::pair<double, double>> fft_rate_points;
+};
+
+/// Dual-socket Intel Xeon X5680 (Westmere-EP): 12 cores @ 3.33 GHz,
+/// 160 DP GFlop/s, ~42 GB/s STREAM, 24 GB.
+HardwareParams westmere_ep();
+
+/// Intel Xeon Phi (KNC): 61 cores, 1074 DP GFlop/s, ~160 GB/s STREAM, 8 GB,
+/// PCIe-attached.
+HardwareParams xeon_phi_knc();
+
+/// Per-phase execution-time model of one reciprocal-space PME application.
+class PmePerfModel {
+ public:
+  explicit PmePerfModel(HardwareParams hw) : hw_(std::move(hw)) {}
+
+  const HardwareParams& hardware() const { return hw_; }
+
+  // --- Phase times in seconds (K = mesh, p = order, n = particles) --------
+  /// (24 K³ + 36 p³ n) bytes over STREAM bandwidth.
+  double t_spreading(std::size_t mesh, int order, std::size_t n) const;
+  /// 3 forward FFTs: 3·2.5·K³·log2(K³) flops at the achievable FFT rate.
+  double t_fft(std::size_t mesh) const;
+  /// 3 inverse FFTs (separate rate: the paper models P_FFT and P_IFFT
+  /// independently).
+  double t_ifft(std::size_t mesh) const;
+  /// (8·K³/2 + 48·K³) bytes over STREAM bandwidth (scalar influence plus
+  /// in-place update of the three half spectra).
+  double t_influence(std::size_t mesh) const;
+  /// 36 p³ n bytes over STREAM bandwidth.
+  double t_interpolation(int order, std::size_t n) const;
+
+  /// Eq. 10: total reciprocal-space time.
+  double t_recip(std::size_t mesh, int order, std::size_t n) const;
+
+  /// Real-space SpMV time: BCSR traffic (76 B per 3×3 block plus the
+  /// vectors) over bandwidth, with `neighbors` = average near-field
+  /// neighbors per particle.
+  double t_realspace(std::size_t n, double neighbors) const;
+
+  /// Average neighbor count for cutoff rmax in a box of width L.
+  static double mean_neighbors(std::size_t n, double rmax, double box);
+
+  /// PCIe round trip for offloading one force vector and fetching one
+  /// velocity vector (2·24n bytes).
+  double t_offload_transfer(std::size_t n) const;
+
+  /// Eq. 11: resident bytes of the reciprocal-space data.
+  static double bytes_recip(std::size_t mesh, int order, std::size_t n);
+
+  /// Dense-BD model for Fig. 7: memory of the 3n×3n matrix (+ factor), and
+  /// times of Ewald construction and Cholesky on this hardware.
+  static double bytes_dense(std::size_t n);
+  double t_cholesky(std::size_t n) const;
+
+ private:
+  double fft_rate(std::size_t mesh) const;
+
+  HardwareParams hw_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,71 @@
+// Hybrid CPU + accelerator scheduling (paper Sec. IV-E):
+//
+//   * single-vector PME (Algorithm 2, line 9): the real-space sum runs on
+//     the CPU while the reciprocal sum is offloaded; the Ewald splitting α
+//     is tuned so both take about the same time;
+//   * block PME inside the Krylov iteration (line 6): the reciprocal work of
+//     the λ_RPY right-hand sides is statically partitioned across the CPU
+//     and the accelerators (no batched 3-D FFT exists, so columns are
+//     processed one at a time and distributing whole columns is natural).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hybrid/perf_model.hpp"
+
+namespace hbd {
+
+/// One device participating in the hybrid computation.
+struct Device {
+  PmePerfModel model;
+  bool is_host = false;
+};
+
+/// A tuned hybrid operating point for one system size.
+struct HybridPlan {
+  double xi = 0.0;        ///< Ewald splitting chosen for load balance
+  double rmax = 0.0;      ///< resulting real-space cutoff
+  std::size_t mesh = 0;   ///< resulting PME mesh
+  double t_real_host = 0.0;
+  double t_recip_device = 0.0;  ///< reciprocal time on one accelerator (incl.
+                                ///< transfer)
+  double t_single = 0.0;  ///< modeled single-vector PME time (line 9)
+};
+
+/// Sweeps the splitting parameter so that one real-space evaluation on the
+/// host overlaps one reciprocal evaluation on the accelerator (paper's α
+/// tuning).  `ep_target` fixes the truncation-error budget that couples
+/// rmax(ξ) and K(ξ).
+HybridPlan tune_splitting(const Device& host, const Device& accelerator,
+                          std::size_t n, double box, int order,
+                          double ep_target);
+
+/// Static partition of `columns` reciprocal-space column tasks over the
+/// devices, proportional to speed; returns per-device column counts
+/// minimizing the makespan (paper's static partitioning for line 6).
+std::vector<std::size_t> partition_columns(
+    const std::vector<Device>& devices, std::size_t columns, std::size_t mesh,
+    int order, std::size_t n);
+
+/// Makespan of a given partition (seconds).
+double partition_makespan(const std::vector<Device>& devices,
+                          const std::vector<std::size_t>& counts,
+                          std::size_t mesh, int order, std::size_t n);
+
+/// Modeled per-step BD cost.  `krylov_iterations` block applies of width
+/// `lambda` per mobility update, amortized over the lambda steps, plus one
+/// single-vector apply per step.
+struct BdStepModel {
+  double cpu_only = 0.0;
+  double hybrid = 0.0;
+  double speedup() const { return hybrid > 0.0 ? cpu_only / hybrid : 0.0; }
+};
+
+BdStepModel model_bd_step(const Device& host,
+                          const std::vector<Device>& accelerators,
+                          std::size_t n, double box, int order,
+                          double ep_target, std::size_t lambda,
+                          int krylov_iterations);
+
+}  // namespace hbd

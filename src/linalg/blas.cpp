@@ -1,0 +1,164 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  HBD_CHECK(x.size() == y.size());
+  double s = 0.0;
+#pragma omp simd reduction(+ : s)
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  HBD_CHECK(x.size() == y.size());
+#pragma omp simd
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+#pragma omp simd
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= alpha;
+}
+
+void gemv(double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y) {
+  HBD_CHECK(x.size() == a.cols() && y.size() == a.rows());
+  const std::size_t m = a.rows(), n = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * n;
+    double s = 0.0;
+#pragma omp simd reduction(+ : s)
+    for (std::size_t j = 0; j < n; ++j) s += ai[j] * x[j];
+    y[i] = alpha * s + beta * y[i];
+  }
+}
+
+void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  HBD_CHECK(x.size() == a.rows() && y.size() == a.cols());
+  const std::size_t m = a.rows(), n = a.cols();
+  if (beta == 0.0)
+    std::fill(y.begin(), y.end(), 0.0);
+  else if (beta != 1.0)
+    scal(beta, y);
+  // Row-major Aᵀx: accumulate scaled rows into y.  Kept serial over rows to
+  // avoid write races on y; the SIMD inner loop carries the bandwidth.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * n;
+    const double xi = alpha * x[i];
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) y[j] += xi * ai[j];
+  }
+}
+
+void gemm(bool transa, bool transb, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix& c) {
+  const std::size_t m = transa ? a.cols() : a.rows();
+  const std::size_t k = transa ? a.rows() : a.cols();
+  const std::size_t kb = transb ? b.cols() : b.rows();
+  const std::size_t n = transb ? b.rows() : b.cols();
+  HBD_CHECK(k == kb);
+  HBD_CHECK(c.rows() == m && c.cols() == n);
+
+  if (beta == 0.0)
+    c.fill(0.0);
+  else if (beta != 1.0)
+    scal(beta, {c.data(), m * n});
+
+  constexpr std::size_t kBlock = 64;
+#pragma omp parallel for schedule(dynamic) collapse(1)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+        const std::size_t j1 = std::min(j0 + kBlock, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const double aip = alpha * (transa ? a(p, i) : a(i, p));
+            if (aip == 0.0) continue;
+            if (!transb) {
+              const double* bp = b.data() + p * b.cols();
+              double* ci = c.data() + i * n;
+#pragma omp simd
+              for (std::size_t j = j0; j < j1; ++j) ci[j] += aip * bp[j];
+            } else {
+              double* ci = c.data() + i * n;
+              for (std::size_t j = j0; j < j1; ++j) ci[j] += aip * b(j, p);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void trsm_lower_left(const Matrix& l, Matrix& b) {
+  const std::size_t n = l.rows();
+  HBD_CHECK(l.cols() == n && b.rows() == n);
+  const std::size_t nrhs = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.data() + i * n;
+    double* bi = b.data() + i * nrhs;
+    for (std::size_t p = 0; p < i; ++p) {
+      const double lip = li[p];
+      if (lip == 0.0) continue;
+      const double* bp = b.data() + p * nrhs;
+#pragma omp simd
+      for (std::size_t j = 0; j < nrhs; ++j) bi[j] -= lip * bp[j];
+    }
+    const double inv = 1.0 / li[i];
+#pragma omp simd
+    for (std::size_t j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
+  const std::size_t n = l.rows();
+  HBD_CHECK(l.cols() == n && b.rows() == n);
+  const std::size_t nrhs = b.cols();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* bi = b.data() + ii * nrhs;
+    for (std::size_t p = ii + 1; p < n; ++p) {
+      const double lpi = l(p, ii);  // (Lᵀ)(ii,p)
+      if (lpi == 0.0) continue;
+      const double* bp = b.data() + p * nrhs;
+#pragma omp simd
+      for (std::size_t j = 0; j < nrhs; ++j) bi[j] -= lpi * bp[j];
+    }
+    const double inv = 1.0 / l(ii, ii);
+#pragma omp simd
+    for (std::size_t j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+void trmm_lower_left(const Matrix& l, Matrix& b) {
+  const std::size_t n = l.rows();
+  HBD_CHECK(l.cols() == n && b.rows() == n);
+  const std::size_t nrhs = b.cols();
+  // Process rows bottom-up so each row only reads not-yet-overwritten rows.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* bi = b.data() + ii * nrhs;
+    const double* li = l.data() + ii * n;
+    // b_i := l_ii * b_i + sum_{p<i} l_ip * b_p
+    scal(li[ii], {bi, nrhs});
+    for (std::size_t p = 0; p < ii; ++p) {
+      const double lip = li[p];
+      if (lip == 0.0) continue;
+      const double* bp = b.data() + p * nrhs;
+#pragma omp simd
+      for (std::size_t j = 0; j < nrhs; ++j) bi[j] += lip * bp[j];
+    }
+  }
+}
+
+}  // namespace hbd

@@ -1,0 +1,46 @@
+// BLAS-like dense kernels.  The paper leans on MKL (DGEMM, DGEMV, Cholesky);
+// this environment has no BLAS, so the library carries its own blocked,
+// OpenMP-parallel replacements.  Only the operations the BD algorithms need
+// are provided.
+#pragma once
+
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+// ---- Vector kernels -------------------------------------------------------
+
+double dot(std::span<const double> x, std::span<const double> y);
+double nrm2(std::span<const double> x);
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+// ---- Matrix kernels -------------------------------------------------------
+
+/// y = alpha * A x + beta * y.
+void gemv(double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// y = alpha * Aᵀ x + beta * y.
+void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
+            double beta, std::span<double> y);
+
+/// C = alpha * op(A) op(B) + beta * C with op selected by transa/transb.
+/// Blocked and OpenMP-parallel over row panels of C.
+void gemm(bool transa, bool transb, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix& c);
+
+/// Solves L X = B in place (B overwritten by X), L lower triangular.
+void trsm_lower_left(const Matrix& l, Matrix& b);
+
+/// Solves Lᵀ X = B in place, L lower triangular (i.e. an upper solve).
+void trsm_lower_trans_left(const Matrix& l, Matrix& b);
+
+/// B := L B where L is lower triangular (in-place TRMM, left side).
+void trmm_lower_left(const Matrix& l, Matrix& b);
+
+}  // namespace hbd

@@ -1,0 +1,88 @@
+#include "linalg/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+namespace {
+
+/// Unblocked lower Cholesky of the nb×nb diagonal block starting at (k,k).
+void factor_diagonal_block(Matrix& a, std::size_t k, std::size_t nb) {
+  const std::size_t n = a.cols();
+  double* base = a.data();
+  for (std::size_t j = k; j < k + nb; ++j) {
+    double d = base[j * n + j];
+    for (std::size_t p = k; p < j; ++p) {
+      const double v = base[j * n + p];
+      d -= v * v;
+    }
+    HBD_CHECK_MSG(d > 0.0, "matrix not positive definite at pivot " << j);
+    const double sj = std::sqrt(d);
+    base[j * n + j] = sj;
+    const double inv = 1.0 / sj;
+    for (std::size_t i = j + 1; i < k + nb; ++i) {
+      double s = base[i * n + j];
+      for (std::size_t p = k; p < j; ++p)
+        s -= base[i * n + p] * base[j * n + p];
+      base[i * n + j] = s * inv;
+    }
+  }
+}
+
+}  // namespace
+
+void cholesky_factor(Matrix& a) {
+  const std::size_t n = a.rows();
+  HBD_CHECK(a.cols() == n);
+  constexpr std::size_t kBlock = 96;
+  double* base = a.data();
+
+  for (std::size_t k = 0; k < n; k += kBlock) {
+    const std::size_t nb = std::min(kBlock, n - k);
+    // 1. Factor the diagonal block A[k:k+nb, k:k+nb] = L11 L11ᵀ.
+    factor_diagonal_block(a, k, nb);
+    if (k + nb == n) break;
+
+    // 2. Panel solve: L21 = A21 L11⁻ᵀ (rows below the diagonal block).
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = k + nb; i < n; ++i) {
+      double* ai = base + i * n;
+      for (std::size_t j = k; j < k + nb; ++j) {
+        double s = ai[j];
+        const double* lj = base + j * n;
+        for (std::size_t p = k; p < j; ++p) s -= ai[p] * lj[p];
+        ai[j] = s / lj[j];
+      }
+    }
+
+    // 3. Trailing update: A22 -= L21 L21ᵀ (lower triangle only).
+#pragma omp parallel for schedule(dynamic, 16)
+    for (std::size_t i = k + nb; i < n; ++i) {
+      const double* li = base + i * n + k;
+      double* ai = base + i * n;
+      for (std::size_t j = k + nb; j <= i; ++j) {
+        const double* lj = base + j * n + k;
+        double s = 0.0;
+#pragma omp simd reduction(+ : s)
+        for (std::size_t p = 0; p < nb; ++p) s += li[p] * lj[p];
+        ai[j] -= s;
+      }
+    }
+  }
+
+  // Zero the strict upper triangle so the result is exactly S.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) base[i * n + j] = 0.0;
+}
+
+Matrix cholesky(const Matrix& a) {
+  Matrix s = a;
+  cholesky_factor(s);
+  return s;
+}
+
+}  // namespace hbd

@@ -1,0 +1,19 @@
+// Cholesky factorization — the conventional-BD route to Brownian
+// displacements: g = sqrt(2 kB T Δt) · S z with M = S Sᵀ (paper Sec. II-C).
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Computes the lower-triangular Cholesky factor of the symmetric positive
+/// definite matrix `a` in place: on return the lower triangle (including the
+/// diagonal) holds S with a = S Sᵀ; the strict upper triangle is zeroed.
+/// Blocked right-looking algorithm, OpenMP-parallel in the trailing update.
+/// Throws hbd::Error if a non-positive pivot is met (matrix not SPD).
+void cholesky_factor(Matrix& a);
+
+/// Convenience: returns the Cholesky factor of `a` without modifying it.
+Matrix cholesky(const Matrix& a);
+
+}  // namespace hbd

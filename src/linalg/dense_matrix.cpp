@@ -1,0 +1,29 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbd {
+
+double Matrix::asymmetry() const {
+  HBD_CHECK(rows_ == cols_);
+  double diff2 = 0.0, norm2 = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double a = (*this)(i, j);
+      const double d = a - (*this)(j, i);
+      diff2 += d * d;
+      norm2 += a * a;
+    }
+  }
+  return norm2 == 0.0 ? 0.0 : std::sqrt(diff2 / norm2);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+}  // namespace hbd

@@ -1,0 +1,62 @@
+// Row-major dense matrix storage.  Used by the conventional Ewald BD
+// baseline (3n×3n mobility matrices, Cholesky factors) and by the small
+// projected problems arising in the (block) Lanczos sampler.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace hbd {
+
+/// Dense row-major matrix of doubles with 64-byte aligned storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Resizes without preserving contents; new entries are zero.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Frobenius-norm of (A - Aᵀ) relative to ‖A‖; cheap symmetry diagnostic.
+  double asymmetry() const;
+
+  /// Returns the transpose as a new matrix.
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  aligned_vector<double> data_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,82 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+EigenSym eigen_sym(const Matrix& a_in, double tol, int max_sweeps) {
+  const std::size_t n = a_in.rows();
+  HBD_CHECK(a_in.cols() == n);
+  Matrix a = a_in;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(2.0 * s);
+  };
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i)
+    anorm += a.data()[i] * a.data()[i];
+  anorm = std::sqrt(anorm);
+  const double stop = tol * std::max(anorm, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= stop) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= stop / static_cast<double>(n)) continue;
+        const double app = a(p, p), aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of A (symmetric update).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return diag[i] < diag[j]; });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors.resize(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace hbd

@@ -1,0 +1,23 @@
+// Symmetric eigensolver used on the small projected matrices of the (block)
+// Lanczos Brownian sampler, where f(T) = T^{1/2} must be formed explicitly.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) Vᵀ.
+struct EigenSym {
+  std::vector<double> values;  ///< ascending eigenvalues
+  Matrix vectors;              ///< columns are the matching eigenvectors
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.  Quadratically
+/// convergent and very accurate; intended for the moderate sizes (≤ a few
+/// thousand) occurring in Krylov projections — not for 3n×3n mobility
+/// matrices.
+EigenSym eigen_sym(const Matrix& a, double tol = 1e-13, int max_sweeps = 60);
+
+}  // namespace hbd

@@ -1,0 +1,49 @@
+#include "linalg/matfun.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace hbd {
+
+Matrix matrix_function_sym(const Matrix& a,
+                           const std::function<double(double)>& f,
+                           double clip_below) {
+  const std::size_t n = a.rows();
+  const EigenSym eig = eigen_sym(a);
+  // B = V diag(f(w)); out = B Vᵀ.
+  Matrix b(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double fw = f(std::max(eig.values[j], clip_below));
+    for (std::size_t i = 0; i < n; ++i) b(i, j) = eig.vectors(i, j) * fw;
+  }
+  Matrix out(n, n);
+  gemm(/*transa=*/false, /*transb=*/true, 1.0, b, eig.vectors, 0.0, out);
+  return out;
+}
+
+Matrix sqrtm_spd(const Matrix& a) {
+  return matrix_function_sym(
+      a, [](double w) { return std::sqrt(w); }, 0.0);
+}
+
+void matrix_function_apply_sym(const Matrix& a,
+                               const std::function<double(double)>& f,
+                               std::span<const double> bvec,
+                               std::span<double> out, double clip_below) {
+  const std::size_t n = a.rows();
+  HBD_CHECK(bvec.size() == n && out.size() == n);
+  const EigenSym eig = eigen_sym(a);
+  std::vector<double> c(n, 0.0);
+  // c = Vᵀ b
+  gemv_t(1.0, eig.vectors, bvec, 0.0, c);
+  for (std::size_t j = 0; j < n; ++j)
+    c[j] *= f(std::max(eig.values[j], clip_below));
+  // out = V c
+  gemv(1.0, eig.vectors, c, 0.0, out);
+}
+
+}  // namespace hbd

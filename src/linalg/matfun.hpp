@@ -1,0 +1,29 @@
+// Matrix functions of symmetric positive (semi)definite matrices via the
+// spectral decomposition.  The Lanczos Brownian sampler needs T^{1/2} of its
+// projected tridiagonal/banded matrix.
+#pragma once
+
+#include <functional>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Returns f(A) = V f(diag(w)) Vᵀ for symmetric A.  Eigenvalues below
+/// `clip_below` are clipped up to it before applying f — the projected
+/// Lanczos matrices can have tiny negative eigenvalues from roundoff.
+Matrix matrix_function_sym(const Matrix& a,
+                           const std::function<double(double)>& f,
+                           double clip_below = 0.0);
+
+/// Principal square root of a symmetric positive semidefinite matrix.
+Matrix sqrtm_spd(const Matrix& a);
+
+/// f(A) b for symmetric A: applies the spectral decomposition to one vector
+/// without forming f(A).
+void matrix_function_apply_sym(const Matrix& a,
+                               const std::function<double(double)>& f,
+                               std::span<const double> b, std::span<double> out,
+                               double clip_below = 0.0);
+
+}  // namespace hbd

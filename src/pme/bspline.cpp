@@ -1,0 +1,77 @@
+#include "pme/bspline.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+double bspline_value(double x, int order) {
+  HBD_CHECK(order >= 2);
+  if (x <= 0.0 || x >= order) return 0.0;
+  // M_2 is the hat function; recur upward.
+  std::vector<double> m(order + 1, 0.0);
+  // m[j] holds M_k(x - j) conceptually; evaluate via the recurrence on a
+  // shifted grid.  Simpler: direct recursive definition.
+  // M_2(x) = 1 - |x - 1| on (0,2).
+  auto mk = [&](auto&& self, int k, double t) -> double {
+    if (t <= 0.0 || t >= k) return 0.0;
+    if (k == 2) return 1.0 - std::abs(t - 1.0);
+    return (t * self(self, k - 1, t) + (k - t) * self(self, k - 1, t - 1.0)) /
+           (k - 1);
+  };
+  return mk(mk, order, x);
+}
+
+void bspline_weights(double u, int order, double* w) {
+  HBD_CHECK(order >= 2 && order <= 32);
+  const int p = order;
+  const double t = u - std::floor(u);  // fractional part in [0,1)
+  // Build v_k[j] = M_k(t + k − 1 − j), j = 0..k−1, upward from
+  // v_1 = {M_1(t)} = {1} using
+  //   v_k[j] = [ (t + k − 1 − j)·v_{k−1}[j−1] + (1 − t + j)·v_{k−1}[j] ]/(k−1).
+  double prev[32], curr[32];
+  prev[0] = 1.0;
+  for (int k = 2; k <= p; ++k) {
+    const double inv = 1.0 / static_cast<double>(k - 1);
+    for (int j = 0; j < k; ++j) {
+      const double left = (j >= 1) ? prev[j - 1] : 0.0;
+      const double right = (j <= k - 2) ? prev[j] : 0.0;
+      curr[j] = ((t + static_cast<double>(k - 1 - j)) * left +
+                 (1.0 - t + static_cast<double>(j)) * right) *
+                inv;
+    }
+    for (int j = 0; j < k; ++j) prev[j] = curr[j];
+  }
+  for (int j = 0; j < p; ++j) w[j] = prev[j];
+}
+
+std::vector<double> bspline_bsq(std::size_t mesh, int order) {
+  HBD_CHECK_MSG(order % 2 == 0 && order >= 2,
+                "SPME b-factors require even spline order");
+  const int p = order;
+  // Node values M_p(1..p−1).
+  std::vector<double> node(p - 1);
+  {
+    std::vector<double> w(p);
+    bspline_weights(0.0, p, w.data());
+    // With u integer, w[j] = M_p(p − 1 − j); node value M_p(k) = w[p−1−k].
+    for (int k = 1; k <= p - 1; ++k) node[k - 1] = w[p - 1 - k];
+  }
+  std::vector<double> bsq(mesh);
+  for (std::size_t m = 0; m < mesh; ++m) {
+    std::complex<double> denom = 0.0;
+    for (int k = 0; k <= p - 2; ++k) {
+      const double ang = 2.0 * std::numbers::pi * static_cast<double>(m) *
+                         static_cast<double>(k) / static_cast<double>(mesh);
+      denom += node[k] * std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    const double d2 = std::norm(denom);
+    HBD_CHECK_MSG(d2 > 1e-20, "vanishing SPME b-factor denominator");
+    bsq[m] = 1.0 / d2;  // |e^{iφ}|² = 1 in the numerator
+  }
+  return bsq;
+}
+
+}  // namespace hbd

@@ -1,0 +1,33 @@
+// Cardinal B-splines for smooth PME (SPME) interpolation (paper Sec. III-A,
+// ref. [7]).  W_p is the cardinal B-spline of order p: a piecewise
+// polynomial of degree p−1 supported on (0, p).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hbd {
+
+/// W_p(x) for scalar x (reference implementation; the kernels use
+/// bspline_weights instead).
+double bspline_value(double x, int order);
+
+/// First mesh index of the support of a particle at scaled coordinate u:
+/// the particle spreads onto base, base+1, …, base+p−1 (before wrapping).
+inline long bspline_base(double u, int order) {
+  return static_cast<long>(std::floor(u)) - order + 1;
+}
+
+/// All p interpolation weights for scaled coordinate u:
+/// w[j] = W_p(u − (base + j)).  Uses the stable B-spline recurrence; the
+/// weights are nonnegative and sum to 1 (partition of unity).
+void bspline_weights(double u, int order, double* w);
+
+/// SPME |b(m)|² Euler-exponential factors for a mesh of size K: the forward
+/// and inverse interpolation corrections combine into this modulus squared
+/// (see Essmann et al.).  Requires even order so the denominator never
+/// vanishes.
+std::vector<double> bspline_bsq(std::size_t mesh, int order);
+
+}  // namespace hbd

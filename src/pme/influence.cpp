@@ -1,0 +1,95 @@
+#include "pme/influence.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "ewald/beenakker.hpp"
+#include "pme/bspline.hpp"
+
+namespace hbd {
+
+InfluenceFunction::InfluenceFunction(std::size_t mesh, double box,
+                                     double radius, double xi, int order,
+                                     bool bspline_correction)
+    : mesh_(mesh), nzh_(mesh / 2 + 1), box_(box) {
+  HBD_CHECK(mesh % 2 == 0);
+  const std::vector<double> bsq =
+      bspline_correction ? bspline_bsq(mesh, order)
+                         : std::vector<double>(mesh, 1.0);
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box;
+  const double inv_v = 1.0 / (box * box * box);
+  scalar_.resize(mesh_ * mesh_ * nzh_);
+
+  const long k = static_cast<long>(mesh_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const long h1 = (static_cast<long>(k1) <= k / 2)
+                        ? static_cast<long>(k1)
+                        : static_cast<long>(k1) - k;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const long h2 = (static_cast<long>(k2) <= k / 2)
+                          ? static_cast<long>(k2)
+                          : static_cast<long>(k2) - k;
+      for (std::size_t k3 = 0; k3 < nzh_; ++k3) {
+        const long h3 = static_cast<long>(k3);  // half spectrum: 0..K/2
+        double v = 0.0;
+        // The Nyquist planes (|h| = K/2) are zeroed: a real mesh cannot
+        // distinguish ±K/2, which would flip the sign of the projector's
+        // cross terms and break the operator's symmetry; their Gaussian
+        // weight is at truncation level anyway.
+        const bool nyquist = std::labs(h1) == k / 2 ||
+                             std::labs(h2) == k / 2 || h3 == k / 2;
+        if (!nyquist && (h1 != 0 || h2 != 0 || h3 != 0)) {
+          const double kx = two_pi_over_l * static_cast<double>(h1);
+          const double ky = two_pi_over_l * static_cast<double>(h2);
+          const double kz = two_pi_over_l * static_cast<double>(h3);
+          const double k2n = kx * kx + ky * ky + kz * kz;
+          v = beenakker_recip(k2n, radius, xi) * inv_v * bsq[k1] * bsq[k2] *
+              bsq[k3];
+        }
+        scalar_[(k1 * mesh_ + k2) * nzh_ + k3] = v;
+      }
+    }
+  }
+}
+
+void InfluenceFunction::apply(Complex* cx, Complex* cy, Complex* cz) const {
+  const long k = static_cast<long>(mesh_);
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box_;
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const long h1 = (static_cast<long>(k1) <= k / 2)
+                        ? static_cast<long>(k1)
+                        : static_cast<long>(k1) - k;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const long h2 = (static_cast<long>(k2) <= k / 2)
+                          ? static_cast<long>(k2)
+                          : static_cast<long>(k2) - k;
+      const std::size_t row = (k1 * mesh_ + k2) * nzh_;
+      for (std::size_t k3 = 0; k3 < nzh_; ++k3) {
+        const double s = scalar_[row + k3];
+        if (s == 0.0) {
+          cx[row + k3] = 0.0;
+          cy[row + k3] = 0.0;
+          cz[row + k3] = 0.0;
+          continue;
+        }
+        const double kx = two_pi_over_l * static_cast<double>(h1);
+        const double ky = two_pi_over_l * static_cast<double>(h2);
+        const double kz = two_pi_over_l * static_cast<double>(k3);
+        const double inv_k2 = 1.0 / (kx * kx + ky * ky + kz * kz);
+        const Complex vx = cx[row + k3];
+        const Complex vy = cy[row + k3];
+        const Complex vz = cz[row + k3];
+        // (I − k̂k̂ᵀ) v = v − k̂ (k̂·v)
+        const Complex kdotv = (kx * vx + ky * vy + kz * vz) * inv_k2;
+        cx[row + k3] = s * (vx - kx * kdotv);
+        cy[row + k3] = s * (vy - ky * kdotv);
+        cz[row + k3] = s * (vz - kz * kdotv);
+      }
+    }
+  }
+}
+
+}  // namespace hbd

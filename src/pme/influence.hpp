@@ -1,0 +1,46 @@
+// The PME influence function for the RPY tensor (paper Sec. III-A, Eq. 5–6).
+// At each mesh wave vector k the operator is the 3×3 symmetric tensor
+// (I − k̂k̂ᵀ)·m_ξ(|k|)·|b₁b₂b₃|²/V.  Following the paper's memory
+// optimization (Sec. IV-B.4), only the scalar part is stored — one double
+// per half-spectrum point — and the projector is rebuilt from the integer
+// lattice indices during application.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "fft/fft.hpp"
+
+namespace hbd {
+
+class InfluenceFunction {
+ public:
+  /// mesh = K, box = L, radius = a, xi = Ewald splitting (paper's α),
+  /// order = B-spline order p (for the SPME |b|² factors).  With
+  /// `bspline_correction` false the |b|² factors are omitted — the original
+  /// (Lagrangian) PME needs no such correction (paper Sec. III-A).
+  InfluenceFunction(std::size_t mesh, double box, double radius, double xi,
+                    int order, bool bspline_correction = true);
+
+  std::size_t mesh() const { return mesh_; }
+
+  /// In-place D_θ = Σ_φ I_θφ C_φ on the three half spectra (paper Eq. 6).
+  /// Memory-bandwidth bound: one scalar read and six complex read/writes
+  /// per mesh point.
+  void apply(Complex* cx, Complex* cy, Complex* cz) const;
+
+  /// Stored bytes (the paper's 8·K³/2 figure).
+  std::size_t bytes() const { return scalar_.size() * sizeof(double); }
+
+  /// Scalar factor at half-spectrum index (k1,k2,k3); test accessor.
+  double scalar_at(std::size_t k1, std::size_t k2, std::size_t k3) const {
+    return scalar_[(k1 * mesh_ + k2) * nzh_ + k3];
+  }
+
+ private:
+  std::size_t mesh_, nzh_;
+  double box_;
+  aligned_vector<double> scalar_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,233 @@
+#include "pme/interp_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "pme/bspline.hpp"
+#include "pme/lagrange.hpp"
+
+namespace hbd {
+
+namespace {
+constexpr int kMaxOrder = 12;
+
+double wrap(double x, double box) {
+  x = std::fmod(x, box);
+  return x < 0.0 ? x + box : x;
+}
+}  // namespace
+
+InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
+                           std::size_t mesh, int order, bool precompute,
+                           InterpKind kind)
+    : n_(pos.size()),
+      mesh_(mesh),
+      order_(order),
+      precompute_(precompute),
+      kind_(kind),
+      scale_(static_cast<double>(mesh) / box),
+      pos_(pos.begin(), pos.end()) {
+  HBD_CHECK(order >= 2 && order <= kMaxOrder);
+  HBD_CHECK_MSG(mesh >= static_cast<std::size_t>(order),
+                "PME mesh smaller than the spline order");
+  // Wrap positions into the primary box once.
+  for (Vec3& r : pos_)
+    for (int d = 0; d < 3; ++d) r[d] = wrap(r[d], box);
+
+  const std::size_t p3 = static_cast<std::size_t>(order) * order * order;
+  if (precompute_) {
+    cols_.resize(n_ * p3);
+    vals_.resize(n_ * p3);
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n_; ++i)
+      compute_row(i, cols_.data() + i * p3, vals_.data() + i * p3);
+  }
+
+  // ---- Independent-set schedule -------------------------------------------
+  // Largest even number of blocks per dimension with block side ≥ p.
+  std::size_t nb = mesh / static_cast<std::size_t>(order);
+  if (nb % 2 == 1) --nb;
+  if (nb < 2) {
+    nsets_ = 1;
+    blocks_per_dim_ = 1;
+    set_block_ids_.assign(1, {0});
+    block_start_ = {0, static_cast<std::uint32_t>(n_)};
+    block_particles_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      block_particles_[i] = static_cast<std::uint32_t>(i);
+    return;
+  }
+  nsets_ = 8;
+  blocks_per_dim_ = nb;
+
+  const std::size_t nblocks = nb * nb * nb;
+  std::vector<std::uint32_t> block_of(n_);
+  std::vector<std::uint32_t> count(nblocks + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t b[3];
+    for (int d = 0; d < 3; ++d) {
+      const double u = pos_[i][d] * scale_;
+      long base = base_index(u) % static_cast<long>(mesh_);
+      if (base < 0) base += static_cast<long>(mesh_);
+      b[d] = static_cast<std::size_t>(base) * nb / mesh_;
+    }
+    const std::size_t id = (b[0] * nb + b[1]) * nb + b[2];
+    block_of[i] = static_cast<std::uint32_t>(id);
+    ++count[id + 1];
+  }
+  for (std::size_t c = 0; c < nblocks; ++c) count[c + 1] += count[c];
+  block_start_ = count;
+  block_particles_.resize(n_);
+  std::vector<std::uint32_t> cursor(block_start_.begin(),
+                                    block_start_.end() - 1);
+  for (std::size_t i = 0; i < n_; ++i)
+    block_particles_[cursor[block_of[i]]++] = static_cast<std::uint32_t>(i);
+
+  set_block_ids_.assign(8, {});
+  for (std::size_t bx = 0; bx < nb; ++bx)
+    for (std::size_t by = 0; by < nb; ++by)
+      for (std::size_t bz = 0; bz < nb; ++bz) {
+        const std::size_t id = (bx * nb + by) * nb + bz;
+        if (block_start_[id + 1] == block_start_[id]) continue;  // empty
+        const int set = static_cast<int>(((bx & 1) << 2) | ((by & 1) << 1) |
+                                         (bz & 1));
+        set_block_ids_[set].push_back(static_cast<std::uint32_t>(id));
+      }
+}
+
+long InterpMatrix::base_index(double u) const {
+  return kind_ == InterpKind::bspline ? bspline_base(u, order_)
+                                      : lagrange_base(u, order_);
+}
+
+void InterpMatrix::compute_row(std::size_t i, std::uint32_t* cols,
+                               double* vals) const {
+  const int p = order_;
+  double wx[kMaxOrder], wy[kMaxOrder], wz[kMaxOrder];
+  std::uint32_t kx[kMaxOrder], ky[kMaxOrder], kz[kMaxOrder];
+  const double ux = pos_[i].x * scale_;
+  const double uy = pos_[i].y * scale_;
+  const double uz = pos_[i].z * scale_;
+  if (kind_ == InterpKind::bspline) {
+    bspline_weights(ux, p, wx);
+    bspline_weights(uy, p, wy);
+    bspline_weights(uz, p, wz);
+  } else {
+    lagrange_weights(ux, p, wx);
+    lagrange_weights(uy, p, wy);
+    lagrange_weights(uz, p, wz);
+  }
+  const long k = static_cast<long>(mesh_);
+  long bx = base_index(ux) % k, by = base_index(uy) % k,
+       bz = base_index(uz) % k;
+  if (bx < 0) bx += k;
+  if (by < 0) by += k;
+  if (bz < 0) bz += k;
+  for (int j = 0; j < p; ++j) {
+    kx[j] = static_cast<std::uint32_t>((bx + j) % k);
+    ky[j] = static_cast<std::uint32_t>((by + j) % k);
+    kz[j] = static_cast<std::uint32_t>((bz + j) % k);
+  }
+  std::size_t t = 0;
+  for (int jx = 0; jx < p; ++jx) {
+    for (int jy = 0; jy < p; ++jy) {
+      const double wxy = wx[jx] * wy[jy];
+      const std::uint32_t rowbase =
+          (kx[jx] * static_cast<std::uint32_t>(mesh_) + ky[jy]) *
+          static_cast<std::uint32_t>(mesh_);
+      for (int jz = 0; jz < p; ++jz, ++t) {
+        cols[t] = rowbase + kz[jz];
+        vals[t] = wxy * wz[jz];
+      }
+    }
+  }
+}
+
+void InterpMatrix::spread(std::span<const double> f, double* fx, double* fy,
+                          double* fz) const {
+  HBD_CHECK(f.size() == 3 * n_);
+  const std::size_t m3 = mesh_ * mesh_ * mesh_;
+  const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
+
+  // Zero the target meshes (the spread touches only supported points).
+#pragma omp parallel for schedule(static)
+  for (std::size_t t = 0; t < m3; ++t) {
+    fx[t] = 0.0;
+    fy[t] = 0.0;
+    fz[t] = 0.0;
+  }
+
+  // Eight stages; blocks within a stage are write-disjoint.
+  for (const auto& blocks : set_block_ids_) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      const std::uint32_t id = blocks[bi];
+      std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      for (std::uint32_t u = block_start_[id]; u < block_start_[id + 1];
+           ++u) {
+        const std::size_t i = block_particles_[u];
+        const std::uint32_t* cols;
+        const double* vals;
+        if (precompute_) {
+          cols = cols_.data() + i * p3;
+          vals = vals_.data() + i * p3;
+        } else {
+          compute_row(i, cbuf, vbuf);
+          cols = cbuf;
+          vals = vbuf;
+        }
+        const double f0 = f[3 * i], f1 = f[3 * i + 1], f2 = f[3 * i + 2];
+        for (std::size_t t = 0; t < p3; ++t) {
+          const std::uint32_t c = cols[t];
+          const double w = vals[t];
+          fx[c] += w * f0;
+          fy[c] += w * f1;
+          fz[c] += w * f2;
+        }
+      }
+    }
+  }
+}
+
+void InterpMatrix::interpolate(const double* ux, const double* uy,
+                               const double* uz, std::span<double> u) const {
+  HBD_CHECK(u.size() == 3 * n_);
+  const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+    double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+    const std::uint32_t* cols;
+    const double* vals;
+    if (precompute_) {
+      cols = cols_.data() + i * p3;
+      vals = vals_.data() + i * p3;
+    } else {
+      compute_row(i, cbuf, vbuf);
+      cols = cbuf;
+      vals = vbuf;
+    }
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (std::size_t t = 0; t < p3; ++t) {
+      const std::uint32_t c = cols[t];
+      const double w = vals[t];
+      s0 += w * ux[c];
+      s1 += w * uy[c];
+      s2 += w * uz[c];
+    }
+    u[3 * i] = s0;
+    u[3 * i + 1] = s1;
+    u[3 * i + 2] = s2;
+  }
+}
+
+std::size_t InterpMatrix::bytes() const {
+  return cols_.size() * sizeof(std::uint32_t) + vals_.size() * sizeof(double) +
+         pos_.size() * sizeof(Vec3) +
+         block_particles_.size() * sizeof(std::uint32_t) +
+         block_start_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace hbd

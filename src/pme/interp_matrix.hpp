@@ -1,0 +1,93 @@
+// The PME interpolation matrix P (paper Sec. IV-A/B).  P is n × K³ with
+// exactly p³ nonzeros per row: row i holds the separable B-spline weights of
+// particle i on the mesh points of its support.  Spreading is F = Pᵀf and
+// interpolation is u = P U.
+//
+// Two modes reproduce the paper's Fig. 4 comparison:
+//   * precomputed — the p³ values and flattened column indices are stored
+//     per particle (CSR with implicit row pointers, as all rows have p³
+//     nonzeros);
+//   * on-the-fly  — only positions are kept and weights/columns are
+//     recomputed during every spread/interpolate.
+//
+// Spreading is parallelized by independent sets: the mesh is cut into cubic
+// blocks of side ≥ p; blocks whose coordinates have equal parities form one
+// of 8 sets, and supports anchored in distinct blocks of one set cannot
+// overlap, so their particles spread concurrently without write conflicts
+// (paper Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/vec3.hpp"
+
+namespace hbd {
+
+/// Interpolation scheme: smooth PME (cardinal B-splines, the paper's
+/// choice) or the original PME's Lagrangian interpolation (paper ref. [6],
+/// provided for the accuracy comparison of Sec. III-A).
+enum class InterpKind { bspline, lagrange };
+
+class InterpMatrix {
+ public:
+  /// Builds P for particles at `pos` in a cubic box of width `box`, mesh
+  /// dimension `mesh` (K) and interpolation order `order` (p).  When
+  /// `precompute` is false the weight values are not stored (on-the-fly
+  /// mode).
+  InterpMatrix(std::span<const Vec3> pos, double box, std::size_t mesh,
+               int order, bool precompute = true,
+               InterpKind kind = InterpKind::bspline);
+
+  std::size_t particles() const { return n_; }
+  std::size_t mesh() const { return mesh_; }
+  int order() const { return order_; }
+  bool precomputed() const { return precompute_; }
+
+  /// F_θ += spreading of f (interleaved 3n forces) onto the three K³ mesh
+  /// arrays.  The meshes are zeroed first (paper Sec. IV-B.2).
+  void spread(std::span<const double> f, double* fx, double* fy,
+              double* fz) const;
+
+  /// u_θ(i) = interpolation of the mesh arrays at the particle locations;
+  /// writes the interleaved 3n result.
+  void interpolate(const double* ux, const double* uy, const double* uz,
+                   std::span<double> u) const;
+
+  /// Approximate resident bytes of the operator (Fig. 7 memory accounting).
+  std::size_t bytes() const;
+
+  /// Number of independent sets in use (8, or 1 in the serial fallback).
+  int num_independent_sets() const { return nsets_; }
+
+ private:
+  void compute_row(std::size_t i, std::uint32_t* cols, double* vals) const;
+
+  long base_index(double u) const;
+
+  std::size_t n_;
+  std::size_t mesh_;
+  int order_;
+  bool precompute_;
+  InterpKind kind_;
+  double scale_;  // K / L: position → scaled fractional coordinate
+
+  std::vector<Vec3> pos_;  // kept for on-the-fly mode (and rebuilds)
+
+  // Precomputed rows (empty in on-the-fly mode): p³ entries per particle.
+  aligned_vector<std::uint32_t> cols_;
+  aligned_vector<double> vals_;
+
+  // Independent-set schedule: for each of the 8 parity classes, the blocks
+  // it owns; each block lists its particles.  nsets_ == 1 means the serial
+  // fallback (mesh too small for ≥2 blocks of side p per dimension).
+  int nsets_ = 1;
+  std::size_t blocks_per_dim_ = 1;
+  std::vector<std::vector<std::uint32_t>> set_block_ids_;  // per set
+  std::vector<std::uint32_t> block_start_;  // CSR over flattened block id
+  std::vector<std::uint32_t> block_particles_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,22 @@
+#include "pme/lagrange.hpp"
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+void lagrange_weights(double u, int order, double* w) {
+  HBD_CHECK(order >= 2 && order <= 16);
+  const int p = order;
+  const double t = u - static_cast<double>(lagrange_base(u, p));
+  for (int j = 0; j < p; ++j) {
+    double prod = 1.0;
+    for (int m = 0; m < p; ++m) {
+      if (m == j) continue;
+      prod *= (t - static_cast<double>(m)) /
+              static_cast<double>(j - m);
+    }
+    w[j] = prod;
+  }
+}
+
+}  // namespace hbd

@@ -1,0 +1,27 @@
+// Lagrangian interpolation for the *original* PME method (Darden et al.,
+// paper ref. [6]).  The paper states that smooth PME (B-splines) "is more
+// accurate than the original PME approach with Lagrangian interpolation,
+// while negligibly increasing computational cost" — this module provides the
+// Lagrangian variant so that claim can be reproduced (see bench_ablation).
+//
+// Order-p Lagrangian assignment interpolates over the p mesh points
+// centered on the particle; the weights are the Lagrange basis polynomials
+// (they sum to 1 and reproduce polynomials up to degree p−1 exactly, but
+// are not smooth across cell boundaries — the source of the extra error).
+#pragma once
+
+#include <cmath>
+
+namespace hbd {
+
+/// First mesh index of the centered p-point Lagrange stencil for scaled
+/// coordinate u.
+inline long lagrange_base(double u, int order) {
+  return static_cast<long>(std::floor(u)) - order / 2 + 1;
+}
+
+/// All p Lagrange weights for scaled coordinate u:
+/// w[j] = Π_{m≠j} (t − m)/(j − m) with t = u − base.
+void lagrange_weights(double u, int order, double* w);
+
+}  // namespace hbd

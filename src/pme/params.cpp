@@ -1,0 +1,48 @@
+#include "pme/params.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+std::size_t nice_fft_size(std::size_t target) {
+  for (std::size_t k = std::max<std::size_t>(target, 4);; ++k) {
+    if (k % 2 != 0) continue;
+    std::size_t m = k;
+    for (std::size_t f : {2u, 3u, 5u})
+      while (m % f == 0) m /= f;
+    if (m == 1) return k;
+  }
+}
+
+PmeParams choose_pme_params(double box, double radius, double ep_target,
+                            double rmax_in_radii, int order) {
+  HBD_CHECK(ep_target > 0.0 && ep_target < 1.0);
+  PmeParams p;
+  p.order = order;
+  p.rmax = std::min(rmax_in_radii * radius, 0.5 * box);
+
+  // Real-space truncation: leading decay exp(−ξ²r²); converge to ~ep/10.
+  const double s = std::sqrt(std::log(10.0 / ep_target));
+  p.xi = s / p.rmax;
+
+  // Reciprocal truncation at the mesh Nyquist k_c = πK/L: decay
+  // exp(−k²/4ξ²); require k_c ≥ 2ξs (plus 30% margin for the polynomial
+  // prefactor and B-spline interpolation error).
+  const double kc = 2.0 * p.xi * s * 1.3;
+  const std::size_t kmin =
+      static_cast<std::size_t>(std::ceil(kc * box / std::numbers::pi));
+  p.mesh = nice_fft_size(std::max<std::size_t>(kmin, order));
+  return p;
+}
+
+double box_for_volume_fraction(std::size_t n, double radius, double phi) {
+  HBD_CHECK(phi > 0.0 && phi < 1.0);
+  const double vol = static_cast<double>(n) * 4.0 / 3.0 * std::numbers::pi *
+                     radius * radius * radius / phi;
+  return std::cbrt(vol);
+}
+
+}  // namespace hbd

@@ -1,0 +1,32 @@
+// PME parameter selection.  The paper (Sec. V-C, Table III) chooses, per
+// particle count, the mesh K, spline order p, cutoff r_max and splitting α
+// that minimize execution time subject to a PME relative-error target
+// (e_p ≤ 5·10⁻³ there).  The full procedure is "beyond the scope" of the
+// paper; this module implements a principled equivalent: pick ξ from the
+// real-space cutoff so the real half-sum is converged to the target, then
+// pick the smallest smooth mesh whose Nyquist frequency converges the
+// reciprocal half-sum.
+#pragma once
+
+#include <cstddef>
+
+#include "pme/pme_operator.hpp"
+
+namespace hbd {
+
+/// Smallest integer ≥ `target` that is even and has only factors {2,3,5}
+/// (fast FFT sizes).
+std::size_t nice_fft_size(std::size_t target);
+
+/// Chooses PME parameters for n particles of radius `radius` in a cubic box
+/// of width `box`, targeting PME relative error ≈ `ep_target`.
+/// `rmax_in_radii` fixes the real-space cutoff (in particle radii); the
+/// splitting ξ and mesh K follow from the error target.
+PmeParams choose_pme_params(double box, double radius, double ep_target,
+                            double rmax_in_radii = 5.0, int order = 6);
+
+/// Box width for n particles of radius a at volume fraction phi:
+/// phi = n·(4/3)πa³ / L³.
+double box_for_volume_fraction(std::size_t n, double radius, double phi);
+
+}  // namespace hbd

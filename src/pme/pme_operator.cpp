@@ -1,0 +1,102 @@
+#include "pme/pme_operator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "pme/realspace.hpp"
+
+namespace hbd {
+
+PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
+                         const PmeParams& params)
+    : n_(pos.size()),
+      box_(box),
+      radius_(radius),
+      params_(params),
+      real_(build_realspace_operator(pos, box, radius, params.xi,
+                                     params.rmax)),
+      interp_(pos, box, params.mesh, params.order, params.precompute_interp,
+              params.interp),
+      influence_(params.mesh, box, radius, params.xi, params.order,
+                 params.interp == InterpKind::bspline),
+      fft_(params.mesh, params.mesh, params.mesh) {
+  const std::size_t m3 = params.mesh * params.mesh * params.mesh;
+  for (auto& m : mesh_) m.resize(m3);
+  for (auto& s : spec_) s.resize(fft_.complex_size());
+}
+
+void PmeOperator::apply_real(std::span<const double> f,
+                             std::span<double> u) const {
+  real_.multiply(f, u);
+}
+
+void PmeOperator::apply_real_block(const Matrix& f, Matrix& u) const {
+  real_.multiply_block(f, u);
+}
+
+void PmeOperator::apply_recip(std::span<const double> f,
+                              std::span<double> u) {
+  HBD_CHECK(f.size() == 3 * n_ && u.size() == 3 * n_);
+  {
+    ScopedPhase t(&timers_, "spreading");
+    interp_.spread(f, mesh_[0].data(), mesh_[1].data(), mesh_[2].data());
+  }
+  {
+    ScopedPhase t(&timers_, "fft");
+    for (int c = 0; c < 3; ++c)
+      fft_.forward(mesh_[c].data(), spec_[c].data());
+  }
+  {
+    ScopedPhase t(&timers_, "influence");
+    influence_.apply(spec_[0].data(), spec_[1].data(), spec_[2].data());
+  }
+  {
+    ScopedPhase t(&timers_, "ifft");
+    for (int c = 0; c < 3; ++c)
+      fft_.inverse(spec_[c].data(), mesh_[c].data());
+  }
+  {
+    ScopedPhase t(&timers_, "interpolation");
+    interp_.interpolate(mesh_[0].data(), mesh_[1].data(), mesh_[2].data(), u);
+  }
+}
+
+void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
+  HBD_CHECK(f.size() == 3 * n_ && u.size() == 3 * n_);
+  // Reciprocal part into u, then accumulate the sparse real part.
+  apply_recip(f, u);
+  aligned_vector<double> tmp(3 * n_);
+  {
+    ScopedPhase t(&timers_, "realspace");
+    real_.multiply(f, {tmp.data(), tmp.size()});
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < 3 * n_; ++i) u[i] += tmp[i];
+}
+
+void PmeOperator::apply_block(const Matrix& f, Matrix& u) {
+  HBD_CHECK(f.rows() == 3 * n_ && u.rows() == 3 * n_ &&
+            f.cols() == u.cols());
+  const std::size_t s = f.cols();
+  // Real-space: one multi-vector BCSR product.
+  {
+    ScopedPhase t(&timers_, "realspace");
+    real_.multiply_block(f, u);
+  }
+  // Reciprocal: column by column through the mesh pipeline.
+  aligned_vector<double> fcol(3 * n_), ucol(3 * n_);
+  for (std::size_t c = 0; c < s; ++c) {
+    for (std::size_t i = 0; i < 3 * n_; ++i) fcol[i] = f(i, c);
+    apply_recip({fcol.data(), fcol.size()}, {ucol.data(), ucol.size()});
+    for (std::size_t i = 0; i < 3 * n_; ++i) u(i, c) += ucol[i];
+  }
+}
+
+std::size_t PmeOperator::bytes() const {
+  const std::size_t m3 = params_.mesh * params_.mesh * params_.mesh;
+  return 3 * m3 * sizeof(double) + 3 * fft_.complex_size() * sizeof(Complex) +
+         interp_.bytes() + influence_.bytes() +
+         real_.nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t));
+}
+
+}  // namespace hbd

@@ -1,0 +1,89 @@
+// The matrix-free mobility operator u = M̃ f (paper Sec. III–IV):
+//
+//   M̃ = M_real (sparse BCSR, includes the self term on the diagonal)
+//      + M_recip (PME: spread → 3×FFT → influence → 3×IFFT → interpolate)
+//
+// in units of the single-particle mobility μ0 = 1/(6πηa).  One operator is
+// constructed per mobility update (every λ_RPY steps, Algorithm 2 line 4)
+// and applied many times: once per Krylov iteration per right-hand side and
+// once per time step for the deterministic velocity.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+#include "fft/fft.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "pme/influence.hpp"
+#include "pme/interp_matrix.hpp"
+#include "sparse/bcsr3.hpp"
+
+namespace hbd {
+
+/// Numerical parameters of a PME mobility operator.
+struct PmeParams {
+  std::size_t mesh = 32;  ///< FFT mesh dimension K (even, smooth factors)
+  int order = 6;          ///< interpolation order p (even)
+  double rmax = 4.0;      ///< real-space cutoff (≤ box/2)
+  double xi = 0.5;        ///< Ewald splitting parameter (paper's α)
+  bool precompute_interp = true;  ///< store P vs recompute on the fly
+  /// SPME B-splines (default) or original-PME Lagrangian interpolation.
+  InterpKind interp = InterpKind::bspline;
+};
+
+class PmeOperator {
+ public:
+  PmeOperator(std::span<const Vec3> pos, double box, double radius,
+              const PmeParams& params);
+
+  std::size_t particles() const { return n_; }
+  const PmeParams& params() const { return params_; }
+  double box() const { return box_; }
+  double radius() const { return radius_; }
+
+  /// u = M̃ f for one interleaved 3n vector.
+  void apply(std::span<const double> f, std::span<double> u);
+
+  /// U = M̃ F for a block of vectors (row-major 3n×s).  The real-space part
+  /// runs as one BCSR multi-vector product; the reciprocal part processes
+  /// the columns one at a time (no block 3-D FFT, paper Sec. IV-E).
+  void apply_block(const Matrix& f, Matrix& u);
+
+  /// Real-space part only: u = (M_real + M_self) f.
+  void apply_real(std::span<const double> f, std::span<double> u) const;
+  void apply_real_block(const Matrix& f, Matrix& u) const;
+
+  /// Reciprocal-space part only: u = M_recip f.
+  void apply_recip(std::span<const double> f, std::span<double> u);
+
+  /// Phase timings (spreading / fft / influence / ifft / interpolation)
+  /// accumulated over all apply calls — the Fig. 5 breakdown.
+  const PhaseTimers& timers() const { return timers_; }
+  void clear_timers() { timers_.clear(); }
+
+  /// Resident bytes of the operator (meshes + P + influence + M_real).
+  std::size_t bytes() const;
+
+  const Bcsr3Matrix& realspace_matrix() const { return real_; }
+  const InterpMatrix& interp_matrix() const { return interp_; }
+
+ private:
+  std::size_t n_;
+  double box_, radius_;
+  PmeParams params_;
+
+  Bcsr3Matrix real_;
+  InterpMatrix interp_;
+  InfluenceFunction influence_;
+  Fft3d fft_;
+
+  // Mesh work buffers (F_θ / U_θ and their spectra).
+  aligned_vector<double> mesh_[3];
+  aligned_vector<Complex> spec_[3];
+
+  PhaseTimers timers_;
+};
+
+}  // namespace hbd

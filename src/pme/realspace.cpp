@@ -1,0 +1,50 @@
+#include "pme/realspace.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/cell_list.hpp"
+#include "common/error.hpp"
+#include "ewald/beenakker.hpp"
+
+namespace hbd {
+
+Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,
+                                     double radius, double xi, double rmax) {
+  const std::size_t n = pos.size();
+  HBD_CHECK_MSG(rmax <= 0.5 * box,
+                "real-space cutoff must not exceed half the box width");
+
+  std::vector<std::vector<std::uint32_t>> cols(n);
+  std::vector<std::vector<std::array<double, 9>>> blocks(n);
+
+  // Diagonal: the Ewald self term.
+  const double self = beenakker_self(radius, xi);
+  for (std::size_t i = 0; i < n; ++i) {
+    cols[i].push_back(static_cast<std::uint32_t>(i));
+    blocks[i].push_back(
+        {self, 0.0, 0.0, 0.0, self, 0.0, 0.0, 0.0, self});
+  }
+
+  // Off-diagonal: near-field Beenakker tensors.  The parallel neighbor sweep
+  // visits each pair from both sides, so each thread fills only row i.
+  CellList cl(pos, box, rmax);
+  cl.for_each_neighbor_of_all([&](std::size_t i, std::size_t j,
+                                  const Vec3& rij, double r2) {
+    const double r = std::sqrt(r2);
+    PairCoeffs c = beenakker_real(r, radius, xi);
+    if (r < 2.0 * radius) {
+      const PairCoeffs corr = rpy_overlap_correction(r, radius);
+      c.f += corr.f;
+      c.g += corr.g;
+    }
+    std::array<double, 9> b;
+    pair_tensor(rij, c, b);
+    cols[i].push_back(static_cast<std::uint32_t>(j));
+    blocks[i].push_back(b);
+  });
+
+  return Bcsr3Matrix::from_blocks(n, cols, blocks);
+}
+
+}  // namespace hbd

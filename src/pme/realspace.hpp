@@ -1,0 +1,21 @@
+// Assembly of the sparse real-space Ewald operator M^real (paper Sec. IV-C):
+// Beenakker real-space tensors between particle pairs within the cutoff
+// r_max, found in linear time with Verlet cell lists and stored in BCSR
+// format with 3×3 blocks.  Diagonal blocks carry the Ewald self term, so
+// M̃ = M_real_sparse + M_recip(PME).  Overlapping pairs (r < 2a) include the
+// ξ-independent Rotne–Prager overlap correction.
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "sparse/bcsr3.hpp"
+
+namespace hbd {
+
+/// Builds the sparse real-space operator for particles at `pos` in a cubic
+/// periodic box of width `box`.  Requires rmax ≤ box/2 (minimum image).
+Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,
+                                     double radius, double xi, double rmax);
+
+}  // namespace hbd

@@ -1,0 +1,61 @@
+#include "pme/validate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ewald/beenakker.hpp"
+#include "linalg/blas.hpp"
+#include "pme/params.hpp"
+
+namespace hbd {
+
+PmeParams reference_pme_params(double box, double radius, double ref_tol) {
+  PmeParams ref = choose_pme_params(box, radius, ref_tol,
+                                    /*rmax_in_radii=*/8.0, /*order=*/10);
+  return ref;
+}
+
+namespace {
+
+double relative_error(std::span<const double> got,
+                      std::span<const double> expected) {
+  std::vector<double> diff(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    diff[i] = got[i] - expected[i];
+  return nrm2(diff) / nrm2(expected);
+}
+
+}  // namespace
+
+double measure_pme_error(std::span<const Vec3> pos, double box, double radius,
+                         const PmeParams& params, std::uint64_t seed) {
+  const std::size_t n = pos.size();
+  std::vector<double> f(3 * n), u(3 * n), u_ref(3 * n);
+  Xoshiro256 rng(seed);
+  fill_gaussian(rng, f);
+
+  PmeOperator pme(pos, box, radius, params);
+  pme.apply(f, u);
+  PmeOperator ref(pos, box, radius, reference_pme_params(box, radius));
+  ref.apply(f, u_ref);
+  return relative_error(u, u_ref);
+}
+
+double measure_pme_error_direct(std::span<const Vec3> pos, double box,
+                                double radius, const PmeParams& params,
+                                double direct_tol, std::uint64_t seed) {
+  const std::size_t n = pos.size();
+  std::vector<double> f(3 * n), u(3 * n), u_ref(3 * n);
+  Xoshiro256 rng(seed);
+  fill_gaussian(rng, f);
+
+  PmeOperator pme(pos, box, radius, params);
+  pme.apply(f, u);
+  const EwaldParams ep = ewald_params_for_tolerance(box, radius, direct_tol);
+  ewald_mobility_apply(pos, box, radius, ep, f, u_ref);
+  return relative_error(u, u_ref);
+}
+
+}  // namespace hbd

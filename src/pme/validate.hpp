@@ -1,0 +1,33 @@
+// Measurement of the PME relative error e_p (paper Sec. V-B):
+//   e_p = ‖u_pme − u_exact‖₂ / ‖u_exact‖₂
+// where u_exact is "a result computed with very high accuracy, possibly by a
+// different method".  For small systems the direct Ewald sum serves as the
+// exact reference; for large systems a much-higher-resolution PME operator
+// does (its truncation error is driven orders of magnitude below the
+// operator under test).
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "pme/pme_operator.hpp"
+
+namespace hbd {
+
+/// Reference parameters with truncation error ~`ref_tol` for the same box.
+PmeParams reference_pme_params(double box, double radius,
+                               double ref_tol = 1e-9);
+
+/// e_p of `params` measured against a high-resolution PME reference on a
+/// random force vector.
+double measure_pme_error(std::span<const Vec3> pos, double box, double radius,
+                         const PmeParams& params, std::uint64_t seed = 7);
+
+/// e_p measured against the direct (non-mesh) Ewald sum — O(n²·lattice),
+/// only sensible for small n; used to validate the PME-vs-PME measurement.
+double measure_pme_error_direct(std::span<const Vec3> pos, double box,
+                                double radius, const PmeParams& params,
+                                double direct_tol = 1e-12,
+                                std::uint64_t seed = 7);
+
+}  // namespace hbd

@@ -1,0 +1,105 @@
+#include "sparse/bcsr3.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+Bcsr3Matrix Bcsr3Matrix::from_blocks(
+    std::size_t nblock,
+    const std::vector<std::vector<std::uint32_t>>& block_cols,
+    const std::vector<std::vector<std::array<double, 9>>>& blocks) {
+  HBD_CHECK(block_cols.size() == nblock && blocks.size() == nblock);
+  Bcsr3Matrix m;
+  m.nblock_ = nblock;
+  m.row_ptr_.assign(nblock + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nblock; ++i) {
+    HBD_CHECK(block_cols[i].size() == blocks[i].size());
+    total += block_cols[i].size();
+    m.row_ptr_[i + 1] = total;
+  }
+  m.col_idx_.resize(total);
+  m.values_.resize(9 * total);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < nblock; ++i) {
+    // Sort the row's blocks by column for cache-friendly access.
+    std::vector<std::size_t> order(block_cols[i].size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return block_cols[i][a] < block_cols[i][b];
+    });
+    std::size_t t = m.row_ptr_[i];
+    for (std::size_t k : order) {
+      HBD_CHECK(block_cols[i][k] < nblock);
+      m.col_idx_[t] = block_cols[i][k];
+      std::copy(blocks[i][k].begin(), blocks[i][k].end(),
+                m.values_.begin() + 9 * t);
+      ++t;
+    }
+  }
+  return m;
+}
+
+void Bcsr3Matrix::multiply(std::span<const double> x,
+                           std::span<double> y) const {
+  HBD_CHECK(x.size() == rows() && y.size() == rows());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t i = 0; i < nblock_; ++i) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
+      const double* b = values_.data() + 9 * t;
+      const double* xj = x.data() + 3 * col_idx_[t];
+      s0 += b[0] * xj[0] + b[1] * xj[1] + b[2] * xj[2];
+      s1 += b[3] * xj[0] + b[4] * xj[1] + b[5] * xj[2];
+      s2 += b[6] * xj[0] + b[7] * xj[1] + b[8] * xj[2];
+    }
+    y[3 * i] = s0;
+    y[3 * i + 1] = s1;
+    y[3 * i + 2] = s2;
+  }
+}
+
+void Bcsr3Matrix::multiply_block(const Matrix& x, Matrix& y) const {
+  HBD_CHECK(x.rows() == rows() && y.rows() == rows() && x.cols() == y.cols());
+  const std::size_t s = x.cols();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t i = 0; i < nblock_; ++i) {
+    double* y0 = y.data() + (3 * i) * s;
+    double* y1 = y0 + s;
+    double* y2 = y1 + s;
+    std::fill(y0, y0 + 3 * s, 0.0);
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
+      const double* b = values_.data() + 9 * t;
+      const double* xj = x.data() + (3 * col_idx_[t]) * s;
+      const double* xj1 = xj + s;
+      const double* xj2 = xj1 + s;
+#pragma omp simd
+      for (std::size_t r = 0; r < s; ++r) {
+        const double v0 = xj[r], v1 = xj1[r], v2 = xj2[r];
+        y0[r] += b[0] * v0 + b[1] * v1 + b[2] * v2;
+        y1[r] += b[3] * v0 + b[4] * v1 + b[5] * v2;
+        y2[r] += b[6] * v0 + b[7] * v1 + b[8] * v2;
+      }
+    }
+  }
+}
+
+Matrix Bcsr3Matrix::to_dense() const {
+  Matrix d(rows(), rows());
+  for (std::size_t i = 0; i < nblock_; ++i) {
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
+      const double* b = values_.data() + 9 * t;
+      const std::size_t j = col_idx_[t];
+      for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c) d(3 * i + r, 3 * j + c) = b[3 * r + c];
+    }
+  }
+  return d;
+}
+
+}  // namespace hbd

@@ -1,0 +1,57 @@
+// Block CSR with 3×3 blocks — the storage format for the real-space Ewald
+// operator M^real (paper Sec. IV-C).  The RPY tensor couples the x/y/z
+// components of each particle pair, so blocks are dense 3×3; products are
+// provided for one vector and for a block of vectors (multiple right-hand
+// sides, paper ref. [24]).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Sparse matrix of 3×3 blocks over an n×n block grid (3n×3n scalar size).
+class Bcsr3Matrix {
+ public:
+  Bcsr3Matrix() = default;
+
+  /// Assembles from per-row block lists.  `block_cols[i]` are the block
+  /// column indices of block row i (need not be sorted) and
+  /// `blocks[i][k]` the 9 row-major entries of that block.
+  static Bcsr3Matrix from_blocks(
+      std::size_t nblock,
+      const std::vector<std::vector<std::uint32_t>>& block_cols,
+      const std::vector<std::vector<std::array<double, 9>>>& blocks);
+
+  std::size_t block_rows() const { return nblock_; }
+  std::size_t rows() const { return 3 * nblock_; }
+  std::size_t nnz_blocks() const { return col_idx_.size(); }
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// y = A x for a single interleaved vector (x0 y0 z0 x1 y1 z1 …).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Y = A X for a block of vectors: X and Y are row-major 3n×s matrices
+  /// (each scalar row holds its s right-hand-side values contiguously), the
+  /// layout that makes the multi-vector kernel stream along SIMD lanes.
+  void multiply_block(const Matrix& x, Matrix& y) const;
+
+  /// Dense 3n×3n copy for testing.
+  Matrix to_dense() const;
+
+ private:
+  std::size_t nblock_ = 0;
+  std::vector<std::size_t> row_ptr_;     // per block row
+  aligned_vector<std::uint32_t> col_idx_;  // block column indices
+  aligned_vector<double> values_;          // 9 doubles per block, row-major
+};
+
+}  // namespace hbd

@@ -1,0 +1,84 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hbd {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::span<const std::size_t> row_idx,
+                                   std::span<const std::size_t> col_idx,
+                                   std::span<const double> values) {
+  HBD_CHECK(row_idx.size() == col_idx.size() &&
+            row_idx.size() == values.size());
+  const std::size_t nnz_in = values.size();
+
+  // Sort triplets by (row, col) via an index permutation.
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+    return col_idx[a] < col_idx[b];
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(nnz_in);
+  m.values_.reserve(nnz_in);
+
+  for (std::size_t t : order) {
+    const std::size_t r = row_idx[t];
+    const std::size_t c = col_idx[t];
+    HBD_CHECK(r < rows && c < cols);
+    if (!m.values_.empty() && m.row_ptr_[r + 1] > m.row_ptr_[r] &&
+        m.col_idx_.back() == c &&
+        // last entry belongs to this row iff no later row has entries yet
+        m.values_.size() == m.row_ptr_[r + 1]) {
+      m.values_.back() += values[t];  // merge duplicate
+      continue;
+    }
+    m.col_idx_.push_back(static_cast<std::uint32_t>(c));
+    m.values_.push_back(values[t]);
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  // Make row_ptr cumulative (fill gaps for empty rows).
+  for (std::size_t r = 1; r <= rows; ++r)
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  HBD_CHECK(x.size() == cols_ && y.size() == rows_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t)
+      s += values_[t] * x[col_idx_[t]];
+    y[i] = s;
+  }
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  HBD_CHECK(x.size() == rows_ && y.size() == cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t)
+      y[col_idx_[t]] += values_[t] * xi;
+  }
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t)
+      d(i, col_idx_[t]) += values_[t];
+  return d;
+}
+
+}  // namespace hbd

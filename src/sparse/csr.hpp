@@ -1,0 +1,52 @@
+// General CSR sparse matrix.  Used for reference paths and tests; the two
+// performance-critical sparse operators (the PME interpolation matrix P and
+// the real-space Ewald operator) have dedicated formats in this module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace hbd {
+
+/// Compressed Sparse Row matrix of doubles.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets (duplicates are summed).
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::span<const std::size_t> row_idx,
+                                 std::span<const std::size_t> col_idx,
+                                 std::span<const double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// y = A x (OpenMP over rows).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = Aᵀ x (serial accumulation; used only in tests / reference paths).
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Dense copy for testing.
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  aligned_vector<std::uint32_t> col_idx_;
+  aligned_vector<double> values_;
+};
+
+}  // namespace hbd

@@ -1,0 +1,148 @@
+// Unit tests for the common module: Vec3 arithmetic, RNG statistics and
+// stream independence, range splitting, aligned storage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/aligned.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+
+namespace hbd {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ((a + b).x, -3.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 1.5);
+  EXPECT_DOUBLE_EQ((2.0 * a).z, 6.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), -4.0 + 1.0 + 6.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 14.0);
+  EXPECT_NEAR(norm(a), std::sqrt(14.0), 1e-15);
+}
+
+TEST(Vec3, CrossProduct) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  // a × a = 0
+  const Vec3 a{1.5, -2.0, 0.25};
+  EXPECT_DOUBLE_EQ(norm2(cross(a, a)), 0.0);
+}
+
+TEST(Vec3, Normalized) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  const Vec3 u = normalized(a);
+  EXPECT_NEAR(norm(u), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Rng, Determinism) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(123);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum3 += g * g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.06);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Xoshiro256 master(99);
+  Xoshiro256 s1 = master.split();
+  Xoshiro256 s2 = master.split();
+  // Two split streams should not collide over a short horizon.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(s1.next_u64());
+    seen.insert(s2.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Rng, FillGaussianMatchesSequential) {
+  Xoshiro256 a(5), b(5);
+  std::vector<double> buf(64);
+  fill_gaussian(a, buf);
+  for (double v : buf) EXPECT_DOUBLE_EQ(v, b.next_gaussian());
+}
+
+TEST(Parallel, SplitRangeCoversAll) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    for (int chunks : {1, 2, 3, 8}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int c = 0; c < chunks; ++c) {
+        auto [b, e] = split_range(n, chunks, c);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(e - b, n / chunks + 1);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Aligned, VectorIsAligned) {
+  aligned_vector<double> v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u);
+  aligned_vector<float> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kAlignment, 0u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimers, Accumulates) {
+  PhaseTimers pt;
+  pt.add("fft", 1.0);
+  pt.add("fft", 2.0);
+  pt.add("spread", 0.5);
+  EXPECT_DOUBLE_EQ(pt.total("fft"), 3.0);
+  EXPECT_EQ(pt.count("fft"), 2);
+  EXPECT_DOUBLE_EQ(pt.total("missing"), 0.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total("fft"), 0.0);
+}
+
+}  // namespace
+}  // namespace hbd

@@ -1,0 +1,208 @@
+// Tests for the FFT substrate: 1-D mixed radix against the naive DFT,
+// round trips, Parseval, and the 3-D r2c/c2r transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+namespace hbd {
+namespace {
+
+std::vector<Complex> random_complex(std::size_t n, std::uint64_t seed) {
+  std::vector<Complex> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& c : v)
+    c = {2.0 * rng.next_double() - 1.0, 2.0 * rng.next_double() - 1.0};
+  return v;
+}
+
+class Fft1dSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fft1dSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_complex(n, 17 + n);
+  std::vector<Complex> expected(n);
+  dft_naive(x.data(), expected.data(), n, /*forward=*/true);
+
+  Fft1dPlan plan(n);
+  std::vector<Complex> y = x, ws(plan.workspace_size());
+  plan.forward(y.data(), ws.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), expected[i].real(), 1e-10 * n) << "n=" << n;
+    EXPECT_NEAR(y[i].imag(), expected[i].imag(), 1e-10 * n) << "n=" << n;
+  }
+}
+
+TEST_P(Fft1dSizes, RoundTripIsNTimesIdentity) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_complex(n, 31 + n);
+  Fft1dPlan plan(n);
+  std::vector<Complex> y = x, ws(plan.workspace_size());
+  plan.forward(y.data(), ws.data());
+  plan.inverse(y.data(), ws.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), n * x[i].real(), 1e-10 * n);
+    EXPECT_NEAR(y[i].imag(), n * x[i].imag(), 1e-10 * n);
+  }
+}
+
+TEST_P(Fft1dSizes, Parseval) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_complex(n, 57 + n);
+  Fft1dPlan plan(n);
+  std::vector<Complex> y = x, ws(plan.workspace_size());
+  plan.forward(y.data(), ws.data());
+  double ex = 0.0, ey = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ex += std::norm(x[i]);
+    ey += std::norm(y[i]);
+  }
+  EXPECT_NEAR(ey, n * ex, 1e-9 * n * ex);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRadices, Fft1dSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12,
+                                           13, 16, 24, 30, 32, 35, 48, 60, 64,
+                                           72, 88, 100, 128, 144, 169, 176,
+                                           200, 256));
+
+TEST(Fft1d, RejectsLargePrimeFactors) {
+  EXPECT_THROW(Fft1dPlan(17), Error);
+  EXPECT_THROW(Fft1dPlan(2 * 19), Error);
+}
+
+TEST(Fft1d, ImpulseGivesFlatSpectrum) {
+  const std::size_t n = 48;
+  std::vector<Complex> x(n, 0.0);
+  x[0] = 1.0;
+  Fft1dPlan plan(n);
+  std::vector<Complex> ws(plan.workspace_size());
+  plan.forward(x.data(), ws.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), 1.0, 1e-12);
+    EXPECT_NEAR(x[i].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, PureToneLandsInOneBin) {
+  const std::size_t n = 64, bin = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * M_PI * bin * j / static_cast<double>(n);
+    x[j] = {std::cos(ang), std::sin(ang)};
+  }
+  Fft1dPlan plan(n);
+  std::vector<Complex> ws(plan.workspace_size());
+  plan.forward(x.data(), ws.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = (k == bin) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expect, 1e-9);
+  }
+}
+
+// ---- 3-D transforms --------------------------------------------------------
+
+struct Dims {
+  std::size_t nx, ny, nz;
+};
+
+class Fft3dDims : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(Fft3dDims, MatchesNaive3dDft) {
+  const auto [nx, ny, nz] = GetParam();
+  Fft3d fft(nx, ny, nz);
+  std::vector<double> x(nx * ny * nz);
+  Xoshiro256 rng(nx * 100 + ny * 10 + nz);
+  fill_uniform(rng, x);
+
+  std::vector<Complex> spec(fft.complex_size());
+  fft.forward(x.data(), spec.data());
+
+  // Naive 3-D DFT at a sample of wave vectors in the half spectrum.
+  const std::size_t nzh = nz / 2 + 1;
+  for (std::size_t kx : {std::size_t{0}, nx / 2, nx - 1}) {
+    for (std::size_t ky : {std::size_t{0}, ny / 3, ny - 1}) {
+      for (std::size_t kz = 0; kz < nzh; kz += 2) {
+        Complex s = 0.0;
+        for (std::size_t jx = 0; jx < nx; ++jx)
+          for (std::size_t jy = 0; jy < ny; ++jy)
+            for (std::size_t jz = 0; jz < nz; ++jz) {
+              const double ang =
+                  -2.0 * M_PI *
+                  (static_cast<double>(jx * kx) / nx +
+                   static_cast<double>(jy * ky) / ny +
+                   static_cast<double>(jz * kz) / nz);
+              s += x[(jx * ny + jy) * nz + jz] *
+                   Complex{std::cos(ang), std::sin(ang)};
+            }
+        const Complex got = spec[(kx * ny + ky) * nzh + kz];
+        EXPECT_NEAR(got.real(), s.real(), 1e-9 * nx * ny * nz);
+        EXPECT_NEAR(got.imag(), s.imag(), 1e-9 * nx * ny * nz);
+      }
+    }
+  }
+}
+
+TEST_P(Fft3dDims, RoundTripIsNTimesIdentity) {
+  const auto [nx, ny, nz] = GetParam();
+  Fft3d fft(nx, ny, nz);
+  std::vector<double> x(nx * ny * nz), back(nx * ny * nz);
+  Xoshiro256 rng(7777);
+  fill_gaussian(rng, x);
+  std::vector<Complex> spec(fft.complex_size());
+  fft.forward(x.data(), spec.data());
+  fft.inverse(spec.data(), back.data());
+  const double scale = static_cast<double>(nx * ny * nz);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(back[i], scale * x[i], 1e-9 * scale);
+}
+
+TEST_P(Fft3dDims, InversePreservesInputSpectrum) {
+  const auto [nx, ny, nz] = GetParam();
+  Fft3d fft(nx, ny, nz);
+  std::vector<double> x(nx * ny * nz), out(nx * ny * nz);
+  Xoshiro256 rng(31);
+  fill_gaussian(rng, x);
+  std::vector<Complex> spec(fft.complex_size());
+  fft.forward(x.data(), spec.data());
+  const std::vector<Complex> spec_copy = spec;
+  fft.inverse(spec.data(), out.data());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    ASSERT_EQ(spec[i], spec_copy[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrids, Fft3dDims,
+                         ::testing::Values(Dims{4, 4, 4}, Dims{8, 8, 8},
+                                           Dims{6, 10, 8}, Dims{12, 4, 6},
+                                           Dims{16, 16, 16}, Dims{5, 9, 12}));
+
+TEST(Fft3d, RejectsOddNz) { EXPECT_THROW(Fft3d(4, 4, 5), Error); }
+
+TEST(Fft3d, RealInputHermitianSymmetry) {
+  // For real input, X[-k] = conj(X[k]); check via the full box: the kz=0
+  // plane must satisfy X[nx-kx, ny-ky, 0] = conj(X[kx, ky, 0]).
+  const std::size_t n = 8;
+  Fft3d fft(n, n, n);
+  std::vector<double> x(n * n * n);
+  Xoshiro256 rng(91);
+  fill_gaussian(rng, x);
+  std::vector<Complex> spec(fft.complex_size());
+  fft.forward(x.data(), spec.data());
+  const std::size_t nzh = n / 2 + 1;
+  for (std::size_t kx = 1; kx < n; ++kx) {
+    for (std::size_t ky = 1; ky < n; ++ky) {
+      const Complex a = spec[(kx * n + ky) * nzh + 0];
+      const Complex b = spec[((n - kx) * n + (n - ky)) * nzh + 0];
+      EXPECT_NEAR(a.real(), b.real(), 1e-10);
+      EXPECT_NEAR(a.imag(), -b.imag(), 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hbd

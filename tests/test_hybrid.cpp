@@ -1,0 +1,147 @@
+// Tests for the performance model and the hybrid scheduler: monotonicity,
+// conservation of partitioned work, and the qualitative behaviours the
+// paper reports (KNC loses at small meshes and wins at large; the hybrid
+// plan balances real vs reciprocal time).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hybrid/perf_model.hpp"
+#include "hybrid/scheduler.hpp"
+#include "pme/params.hpp"
+
+namespace hbd {
+namespace {
+
+TEST(PerfModel, PhaseTimesPositiveAndMonotoneInMesh) {
+  PmePerfModel m(westmere_ep());
+  double prev = 0.0;
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    const double t = m.t_recip(k, 6, 10000);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfModel, SpreadInterpScaleWithParticles) {
+  PmePerfModel m(westmere_ep());
+  EXPECT_NEAR(m.t_interpolation(6, 200000) / m.t_interpolation(6, 100000),
+              2.0, 1e-12);
+  EXPECT_GT(m.t_spreading(64, 6, 200000), m.t_spreading(64, 6, 100000));
+}
+
+TEST(PerfModel, FftDominatesForLargeMeshFewParticles) {
+  PmePerfModel m(westmere_ep());
+  const std::size_t k = 256, n = 5000;
+  const double fft = m.t_fft(k) + m.t_ifft(k);
+  EXPECT_GT(fft, m.t_spreading(k, 6, n));
+  EXPECT_GT(fft, m.t_interpolation(6, n));
+}
+
+TEST(PerfModel, SpreadingOvertakesFftForManyParticles) {
+  // Paper Fig. 5a: spreading/interpolation grow with n and eventually
+  // rival the FFTs.
+  PmePerfModel m(westmere_ep());
+  const std::size_t k = 256;
+  const double fft = m.t_fft(k) + m.t_ifft(k);
+  EXPECT_LT(m.t_spreading(k, 6, 10000) + m.t_interpolation(6, 10000), fft);
+  EXPECT_GT(m.t_spreading(k, 6, 500000) + m.t_interpolation(6, 500000), fft);
+}
+
+TEST(PerfModel, KncSlowerAtSmallMeshFasterAtLarge) {
+  // Paper Fig. 6.
+  PmePerfModel cpu(westmere_ep()), knc(xeon_phi_knc());
+  EXPECT_GT(cpu.t_recip(32, 6, 1000), 0.0);
+  EXPECT_LT(cpu.t_recip(48, 6, 1000), knc.t_recip(48, 6, 1000));
+  const double speedup_large =
+      cpu.t_recip(256, 6, 200000) / knc.t_recip(256, 6, 200000);
+  EXPECT_GT(speedup_large, 1.2);
+  EXPECT_LT(speedup_large, 2.5);
+}
+
+TEST(PerfModel, MeanNeighborsMatchesDensity) {
+  // 1000 particles in a 10³ box, rmax 2: 4/3π·8·1 = 33.5 neighbors.
+  EXPECT_NEAR(PmePerfModel::mean_neighbors(1000, 2.0, 10.0), 33.51, 0.01);
+}
+
+TEST(PerfModel, MemoryModelMatchesEq11) {
+  const double b = PmePerfModel::bytes_recip(64, 6, 10000);
+  const double k3 = 64.0 * 64.0 * 64.0;
+  EXPECT_NEAR(b, 24.0 * k3 + 12.0 * 216 * 10000 + 4.0 * k3, 1.0);
+}
+
+TEST(PerfModel, DenseMemoryQuadratic) {
+  EXPECT_NEAR(PmePerfModel::bytes_dense(10000) /
+                  PmePerfModel::bytes_dense(5000),
+              4.0, 1e-12);
+  // At n = 10000 the dense representation exceeds 14 GB (paper: the 32 GB
+  // limit of their system).
+  EXPECT_GT(PmePerfModel::bytes_dense(10000), 1.4e10);
+}
+
+TEST(Scheduler, TuneSplittingBalances) {
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  const double box = 80.0;
+  const HybridPlan plan = tune_splitting(host, acc, 100000, box, 6, 5e-3);
+  EXPECT_GT(plan.xi, 0.0);
+  EXPECT_GT(plan.mesh, 0u);
+  EXPECT_LE(plan.rmax, 0.5 * box);
+  // Balanced within the mesh-size quantization: neither side idles > 4x.
+  const double ratio = plan.t_real_host / plan.t_recip_device;
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 4.0);
+  // The overlapped time can't beat either half alone.
+  EXPECT_GE(plan.t_single,
+            std::min(plan.t_real_host, plan.t_recip_device) - 1e-15);
+}
+
+TEST(Scheduler, PartitionConservesColumns) {
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  std::vector<Device> devices{acc, acc, host};
+  for (std::size_t cols : {1u, 7u, 16u, 61u}) {
+    const auto counts = partition_columns(devices, cols, 128, 6, 50000);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), cols);
+  }
+}
+
+TEST(Scheduler, PartitionBeatsSingleDevice) {
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  std::vector<Device> both{acc, host};
+  const std::size_t cols = 16, mesh = 176, n = 100000;
+  const auto counts = partition_columns(both, cols, mesh, 6, n);
+  const double makespan = partition_makespan(both, counts, mesh, 6, n);
+  const double host_alone =
+      host.model.t_recip(mesh, 6, n) * static_cast<double>(cols);
+  EXPECT_LT(makespan, host_alone);
+}
+
+TEST(Scheduler, HybridSpeedupGrowsWithSystemSize) {
+  // Paper Fig. 9: marginal gain for small systems, >3.5x for the largest.
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  std::vector<Device> accs{acc, acc};
+
+  double prev = 0.0;
+  for (std::size_t n : {1000u, 10000u, 100000u, 500000u}) {
+    const double box = box_for_volume_fraction(n, 1.0, 0.2);
+    const BdStepModel step = model_bd_step(host, accs, n, box, 6, 5e-3,
+                                           /*lambda=*/16,
+                                           /*krylov_iterations=*/22);
+    EXPECT_GT(step.speedup(), 0.9) << "n=" << n;
+    if (n >= 10000) {
+      EXPECT_GE(step.speedup(), prev * 0.9) << "n=" << n;
+    }
+    prev = step.speedup();
+  }
+  // Largest configuration: the paper reports over 3.5x with 2 KNC.
+  const double box = box_for_volume_fraction(500000, 1.0, 0.2);
+  const BdStepModel step =
+      model_bd_step(host, accs, 500000, box, 6, 5e-3, 16, 22);
+  EXPECT_GT(step.speedup(), 2.0);
+}
+
+}  // namespace
+}  // namespace hbd

@@ -1,0 +1,252 @@
+// Unit tests for the dense linear algebra substrate: BLAS-like kernels,
+// blocked Cholesky, Jacobi eigensolver and matrix functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matfun.hpp"
+
+namespace hbd {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < rows * cols; ++i)
+    m.data()[i] = 2.0 * rng.next_double() - 1.0;
+  return m;
+}
+
+/// SPD matrix A = B Bᵀ + n·I.
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  const Matrix b = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  gemm(false, true, 1.0, b, b, 0.0, a);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+TEST(Blas, DotAxpyNrm2) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), std::sqrt(14.0));
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  scal(0.5, y);
+  EXPECT_DOUBLE_EQ(y[1], 4.5);
+}
+
+TEST(Blas, GemvAgainstManual) {
+  const Matrix a = random_matrix(17, 9, 3);
+  std::vector<double> x(9), y(17, 1.0), expected(17);
+  Xoshiro256 rng(4);
+  fill_uniform(rng, x);
+  for (std::size_t i = 0; i < 17; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 9; ++j) s += a(i, j) * x[j];
+    expected[i] = 2.0 * s + 3.0 * 1.0;
+  }
+  gemv(2.0, a, x, 3.0, y);
+  for (std::size_t i = 0; i < 17; ++i) EXPECT_NEAR(y[i], expected[i], 1e-13);
+}
+
+TEST(Blas, GemvTransposeAgainstManual) {
+  const Matrix a = random_matrix(6, 11, 5);
+  std::vector<double> x(6), y(11, 0.0);
+  Xoshiro256 rng(6);
+  fill_uniform(rng, x);
+  gemv_t(1.0, a, x, 0.0, y);
+  for (std::size_t j = 0; j < 11; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) s += a(i, j) * x[i];
+    EXPECT_NEAR(y[j], s, 1e-13);
+  }
+}
+
+TEST(Blas, GemmMatchesNaive) {
+  const std::size_t m = 33, k = 21, n = 47;
+  const Matrix a = random_matrix(m, k, 11);
+  const Matrix b = random_matrix(k, n, 12);
+  Matrix c(m, n);
+  gemm(false, false, 1.5, a, b, 0.0, c);
+  for (std::size_t i = 0; i < m; i += 7) {
+    for (std::size_t j = 0; j < n; j += 5) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(p, j);
+      EXPECT_NEAR(c(i, j), 1.5 * s, 1e-12);
+    }
+  }
+}
+
+TEST(Blas, GemmTransposedVariants) {
+  const std::size_t m = 14, k = 9, n = 10;
+  const Matrix a = random_matrix(m, k, 21);
+  const Matrix at = a.transposed();
+  const Matrix b = random_matrix(k, n, 22);
+  const Matrix bt = b.transposed();
+  Matrix c0(m, n), c1(m, n), c2(m, n), c3(m, n);
+  gemm(false, false, 1.0, a, b, 0.0, c0);
+  gemm(true, false, 1.0, at, b, 0.0, c1);
+  gemm(false, true, 1.0, a, bt, 0.0, c2);
+  gemm(true, true, 1.0, at, bt, 0.0, c3);
+  EXPECT_LT(max_abs_diff(c0, c1), 1e-12);
+  EXPECT_LT(max_abs_diff(c0, c2), 1e-12);
+  EXPECT_LT(max_abs_diff(c0, c3), 1e-12);
+}
+
+TEST(Blas, GemmBetaAccumulates) {
+  const Matrix a = random_matrix(8, 8, 31);
+  const Matrix b = random_matrix(8, 8, 32);
+  Matrix c = random_matrix(8, 8, 33);
+  const Matrix c_orig = c;
+  gemm(false, false, 2.0, a, b, 0.5, c);
+  Matrix ab(8, 8);
+  gemm(false, false, 1.0, a, b, 0.0, ab);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(c.data()[i], 2.0 * ab.data()[i] + 0.5 * c_orig.data()[i],
+                1e-12);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  for (std::size_t n : {1u, 5u, 40u, 97u, 200u}) {
+    const Matrix a = random_spd(n, 100 + n);
+    const Matrix s = cholesky(a);
+    // Upper triangle must be exactly zero.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) EXPECT_EQ(s(i, j), 0.0);
+    Matrix rec(n, n);
+    gemm(false, true, 1.0, s, s, 0.0, rec);
+    EXPECT_LT(max_abs_diff(a, rec), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), Error);
+}
+
+TEST(Trsm, LowerSolve) {
+  const std::size_t n = 23, rhs = 4;
+  Matrix a = random_spd(n, 55);
+  const Matrix l = cholesky(a);
+  const Matrix x_true = random_matrix(n, rhs, 56);
+  Matrix b(n, rhs);
+  gemm(false, false, 1.0, l, x_true, 0.0, b);
+  trsm_lower_left(l, b);
+  EXPECT_LT(max_abs_diff(b, x_true), 1e-10);
+}
+
+TEST(Trsm, LowerTransposeSolve) {
+  const std::size_t n = 19, rhs = 3;
+  Matrix a = random_spd(n, 65);
+  const Matrix l = cholesky(a);
+  const Matrix x_true = random_matrix(n, rhs, 66);
+  Matrix b(n, rhs);
+  gemm(true, false, 1.0, l, x_true, 0.0, b);  // B = Lᵀ X
+  trsm_lower_trans_left(l, b);
+  EXPECT_LT(max_abs_diff(b, x_true), 1e-10);
+}
+
+TEST(Trmm, LowerMultiply) {
+  const std::size_t n = 15, rhs = 5;
+  Matrix a = random_spd(n, 75);
+  const Matrix l = cholesky(a);
+  Matrix x = random_matrix(n, rhs, 76);
+  Matrix expected(n, rhs);
+  gemm(false, false, 1.0, l, x, 0.0, expected);
+  trmm_lower_left(l, x);
+  EXPECT_LT(max_abs_diff(x, expected), 1e-12);
+}
+
+TEST(EigenSym, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const EigenSym e = eigen_sym(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-12);
+}
+
+TEST(EigenSym, ReconstructsAndOrthogonal) {
+  const std::size_t n = 30;
+  Matrix a = random_matrix(n, n, 81);
+  // Symmetrize.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      a(i, j) = a(j, i) = 0.5 * (a(i, j) + a(j, i));
+  const EigenSym e = eigen_sym(a);
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+  // VᵀV = I.
+  Matrix vtv(n, n);
+  gemm(true, false, 1.0, e.vectors, e.vectors, 0.0, vtv);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+  // V diag(w) Vᵀ = A.
+  Matrix vd = e.vectors;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) vd(i, j) *= e.values[j];
+  Matrix rec(n, n);
+  gemm(false, true, 1.0, vd, e.vectors, 0.0, rec);
+  EXPECT_LT(max_abs_diff(a, rec), 1e-10);
+}
+
+TEST(Matfun, SqrtmSquaresBack) {
+  const std::size_t n = 25;
+  const Matrix a = random_spd(n, 91);
+  const Matrix s = sqrtm_spd(a);
+  EXPECT_LT(s.asymmetry(), 1e-12);
+  Matrix s2(n, n);
+  gemm(false, false, 1.0, s, s, 0.0, s2);
+  EXPECT_LT(max_abs_diff(a, s2), 1e-9);
+}
+
+TEST(Matfun, ApplyMatchesExplicit) {
+  const std::size_t n = 18;
+  const Matrix a = random_spd(n, 95);
+  const Matrix s = sqrtm_spd(a);
+  std::vector<double> x(n), y_explicit(n, 0.0), y_apply(n, 0.0);
+  Xoshiro256 rng(96);
+  fill_gaussian(rng, x);
+  gemv(1.0, s, x, 0.0, y_explicit);
+  matrix_function_apply_sym(
+      a, [](double w) { return std::sqrt(w); }, x, y_apply);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y_apply[i], y_explicit[i], 1e-9);
+}
+
+TEST(Matrix, Asymmetry) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+  a(1, 0) = 0.0;
+  EXPECT_GT(a.asymmetry(), 0.1);
+}
+
+}  // namespace
+}  // namespace hbd

@@ -1,0 +1,148 @@
+// Tests for the sparse-matrix substrate: CSR assembly/products and the
+// 3×3-block BCSR format with single- and multi-vector products.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "sparse/bcsr3.hpp"
+#include "sparse/csr.hpp"
+
+namespace hbd {
+namespace {
+
+TEST(Csr, FromTripletsAndDense) {
+  const std::vector<std::size_t> rows{0, 0, 2, 1, 2};
+  const std::vector<std::size_t> cols{1, 3, 0, 2, 0};
+  const std::vector<double> vals{1.0, 2.0, 3.0, 4.0, 5.0};
+  const CsrMatrix m = CsrMatrix::from_triplets(3, 4, rows, cols, vals);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 4u);  // duplicate (2,0) merged
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(d(2, 0), 8.0);  // 3 + 5
+  EXPECT_DOUBLE_EQ(d(2, 1), 0.0);
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  const std::vector<std::size_t> rows{3};
+  const std::vector<std::size_t> cols{1};
+  const std::vector<double> vals{7.0};
+  const CsrMatrix m = CsrMatrix::from_triplets(5, 2, rows, cols, vals);
+  std::vector<double> x{1.0, 2.0}, y(5);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[3], 14.0);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[4], 0.0);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  const std::size_t rows = 37, cols = 23, nnz = 200;
+  Xoshiro256 rng(5);
+  std::vector<std::size_t> ri(nnz), ci(nnz);
+  std::vector<double> v(nnz);
+  for (std::size_t t = 0; t < nnz; ++t) {
+    ri[t] = rng.next_u64() % rows;
+    ci[t] = rng.next_u64() % cols;
+    v[t] = rng.next_gaussian();
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(rows, cols, ri, ci, v);
+  const Matrix d = m.to_dense();
+  std::vector<double> x(cols), y_sparse(rows), y_dense(rows, 0.0);
+  fill_gaussian(rng, x);
+  m.multiply(x, y_sparse);
+  gemv(1.0, d, x, 0.0, y_dense);
+  for (std::size_t i = 0; i < rows; ++i)
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(Csr, TransposeMultiplyMatchesDense) {
+  const std::size_t rows = 9, cols = 14, nnz = 40;
+  Xoshiro256 rng(6);
+  std::vector<std::size_t> ri(nnz), ci(nnz);
+  std::vector<double> v(nnz);
+  for (std::size_t t = 0; t < nnz; ++t) {
+    ri[t] = rng.next_u64() % rows;
+    ci[t] = rng.next_u64() % cols;
+    v[t] = rng.next_gaussian();
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(rows, cols, ri, ci, v);
+  const Matrix d = m.to_dense();
+  std::vector<double> x(rows), y_sparse(cols), y_dense(cols, 0.0);
+  fill_gaussian(rng, x);
+  m.multiply_transpose(x, y_sparse);
+  gemv_t(1.0, d, x, 0.0, y_dense);
+  for (std::size_t j = 0; j < cols; ++j)
+    EXPECT_NEAR(y_sparse[j], y_dense[j], 1e-12);
+}
+
+Bcsr3Matrix random_bcsr(std::size_t nblock, double density,
+                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint32_t>> cols(nblock);
+  std::vector<std::vector<std::array<double, 9>>> blocks(nblock);
+  for (std::size_t i = 0; i < nblock; ++i) {
+    for (std::size_t j = 0; j < nblock; ++j) {
+      if (i != j && rng.next_double() > density) continue;
+      std::array<double, 9> b;
+      for (double& e : b) e = rng.next_gaussian();
+      cols[i].push_back(static_cast<std::uint32_t>(j));
+      blocks[i].push_back(b);
+    }
+  }
+  return Bcsr3Matrix::from_blocks(nblock, cols, blocks);
+}
+
+TEST(Bcsr3, MultiplyMatchesDense) {
+  const std::size_t nb = 17;
+  const Bcsr3Matrix m = random_bcsr(nb, 0.3, 7);
+  const Matrix d = m.to_dense();
+  std::vector<double> x(3 * nb), y_sparse(3 * nb), y_dense(3 * nb, 0.0);
+  Xoshiro256 rng(8);
+  fill_gaussian(rng, x);
+  m.multiply(x, y_sparse);
+  gemv(1.0, d, x, 0.0, y_dense);
+  for (std::size_t i = 0; i < 3 * nb; ++i)
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(Bcsr3, BlockMultiplyMatchesRepeatedSingle) {
+  const std::size_t nb = 11, s = 7;
+  const Bcsr3Matrix m = random_bcsr(nb, 0.4, 9);
+  Matrix x(3 * nb, s), y(3 * nb, s);
+  Xoshiro256 rng(10);
+  fill_gaussian(rng, {x.data(), x.rows() * x.cols()});
+  m.multiply_block(x, y);
+  std::vector<double> xc(3 * nb), yc(3 * nb);
+  for (std::size_t c = 0; c < s; ++c) {
+    for (std::size_t i = 0; i < 3 * nb; ++i) xc[i] = x(i, c);
+    m.multiply(xc, yc);
+    for (std::size_t i = 0; i < 3 * nb; ++i)
+      ASSERT_NEAR(y(i, c), yc[i], 1e-12);
+  }
+}
+
+TEST(Bcsr3, ColumnsSortedWithinRows) {
+  const Bcsr3Matrix m = random_bcsr(13, 0.5, 11);
+  const auto rp = m.row_ptr();
+  const auto ci = m.col_idx();
+  for (std::size_t i = 0; i < m.block_rows(); ++i)
+    for (std::size_t t = rp[i] + 1; t < rp[i + 1]; ++t)
+      EXPECT_LT(ci[t - 1], ci[t]);
+}
+
+TEST(Bcsr3, EmptyMatrix) {
+  const Bcsr3Matrix m = Bcsr3Matrix::from_blocks(4, {{}, {}, {}, {}},
+                                                 {{}, {}, {}, {}});
+  std::vector<double> x(12, 1.0), y(12, 99.0);
+  m.multiply(x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace hbd
