@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5.cpp" "bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hbd_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pme/CMakeFiles/hbd_pme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hbd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/hbd_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/hbd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hbd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowded_suspension.dir/crowded_suspension.cpp.o"
+  "CMakeFiles/crowded_suspension.dir/crowded_suspension.cpp.o.d"
+  "crowded_suspension"
+  "crowded_suspension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowded_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydrobd_run.dir/hydrobd_run.cpp.o"
+  "CMakeFiles/hydrobd_run.dir/hydrobd_run.cpp.o.d"
+  "hydrobd_run"
+  "hydrobd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydrobd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_common.dir/cell_list.cpp.o"
+  "CMakeFiles/hbd_common.dir/cell_list.cpp.o.d"
+  "CMakeFiles/hbd_common.dir/rng.cpp.o"
+  "CMakeFiles/hbd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hbd_common.dir/vec3.cpp.o"
+  "CMakeFiles/hbd_common.dir/vec3.cpp.o.d"
+  "libhbd_common.a"
+  "libhbd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brownian.cpp" "src/core/CMakeFiles/hbd_core.dir/brownian.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/brownian.cpp.o.d"
+  "/root/repo/src/core/chebyshev.cpp" "src/core/CMakeFiles/hbd_core.dir/chebyshev.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/hbd_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/diffusion.cpp" "src/core/CMakeFiles/hbd_core.dir/diffusion.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/diffusion.cpp.o.d"
+  "/root/repo/src/core/forces.cpp" "src/core/CMakeFiles/hbd_core.dir/forces.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/forces.cpp.o.d"
+  "/root/repo/src/core/krylov.cpp" "src/core/CMakeFiles/hbd_core.dir/krylov.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/krylov.cpp.o.d"
+  "/root/repo/src/core/mobility.cpp" "src/core/CMakeFiles/hbd_core.dir/mobility.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/mobility.cpp.o.d"
+  "/root/repo/src/core/rdf.cpp" "src/core/CMakeFiles/hbd_core.dir/rdf.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/rdf.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/hbd_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/hbd_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/hbd_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/hbd_core.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hbd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/hbd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/pme/CMakeFiles/hbd_pme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hbd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/hbd_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

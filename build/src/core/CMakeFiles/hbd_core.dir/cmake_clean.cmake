@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_core.dir/brownian.cpp.o"
+  "CMakeFiles/hbd_core.dir/brownian.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/chebyshev.cpp.o"
+  "CMakeFiles/hbd_core.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/hbd_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/diffusion.cpp.o"
+  "CMakeFiles/hbd_core.dir/diffusion.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/forces.cpp.o"
+  "CMakeFiles/hbd_core.dir/forces.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/krylov.cpp.o"
+  "CMakeFiles/hbd_core.dir/krylov.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/mobility.cpp.o"
+  "CMakeFiles/hbd_core.dir/mobility.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/rdf.cpp.o"
+  "CMakeFiles/hbd_core.dir/rdf.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/simulation.cpp.o"
+  "CMakeFiles/hbd_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/system.cpp.o"
+  "CMakeFiles/hbd_core.dir/system.cpp.o.d"
+  "CMakeFiles/hbd_core.dir/trajectory.cpp.o"
+  "CMakeFiles/hbd_core.dir/trajectory.cpp.o.d"
+  "libhbd_core.a"
+  "libhbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

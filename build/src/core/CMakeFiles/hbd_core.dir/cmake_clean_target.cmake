@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbd_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_ewald.dir/beenakker.cpp.o"
+  "CMakeFiles/hbd_ewald.dir/beenakker.cpp.o.d"
+  "CMakeFiles/hbd_ewald.dir/rpy.cpp.o"
+  "CMakeFiles/hbd_ewald.dir/rpy.cpp.o.d"
+  "libhbd_ewald.a"
+  "libhbd_ewald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/hbd_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/hbd_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/hbd_fft.dir/fft3d.cpp.o.d"
+  "libhbd_fft.a"
+  "libhbd_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

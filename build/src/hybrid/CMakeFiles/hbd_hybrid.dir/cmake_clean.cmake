@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_hybrid.dir/calibrate.cpp.o"
+  "CMakeFiles/hbd_hybrid.dir/calibrate.cpp.o.d"
+  "CMakeFiles/hbd_hybrid.dir/perf_model.cpp.o"
+  "CMakeFiles/hbd_hybrid.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hbd_hybrid.dir/scheduler.cpp.o"
+  "CMakeFiles/hbd_hybrid.dir/scheduler.cpp.o.d"
+  "libhbd_hybrid.a"
+  "libhbd_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

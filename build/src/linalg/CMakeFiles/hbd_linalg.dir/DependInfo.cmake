@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/hbd_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/hbd_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/hbd_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/hbd_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/hbd_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/hbd_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/linalg/CMakeFiles/hbd_linalg.dir/eigen_sym.cpp.o" "gcc" "src/linalg/CMakeFiles/hbd_linalg.dir/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/matfun.cpp" "src/linalg/CMakeFiles/hbd_linalg.dir/matfun.cpp.o" "gcc" "src/linalg/CMakeFiles/hbd_linalg.dir/matfun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_linalg.dir/blas.cpp.o"
+  "CMakeFiles/hbd_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/hbd_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/hbd_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hbd_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/hbd_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/hbd_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/hbd_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/hbd_linalg.dir/matfun.cpp.o"
+  "CMakeFiles/hbd_linalg.dir/matfun.cpp.o.d"
+  "libhbd_linalg.a"
+  "libhbd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

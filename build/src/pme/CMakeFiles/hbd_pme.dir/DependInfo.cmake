@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pme/bspline.cpp" "src/pme/CMakeFiles/hbd_pme.dir/bspline.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/bspline.cpp.o.d"
+  "/root/repo/src/pme/influence.cpp" "src/pme/CMakeFiles/hbd_pme.dir/influence.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/influence.cpp.o.d"
+  "/root/repo/src/pme/interp_matrix.cpp" "src/pme/CMakeFiles/hbd_pme.dir/interp_matrix.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/interp_matrix.cpp.o.d"
+  "/root/repo/src/pme/lagrange.cpp" "src/pme/CMakeFiles/hbd_pme.dir/lagrange.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/lagrange.cpp.o.d"
+  "/root/repo/src/pme/params.cpp" "src/pme/CMakeFiles/hbd_pme.dir/params.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/params.cpp.o.d"
+  "/root/repo/src/pme/pme_operator.cpp" "src/pme/CMakeFiles/hbd_pme.dir/pme_operator.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/pme_operator.cpp.o.d"
+  "/root/repo/src/pme/realspace.cpp" "src/pme/CMakeFiles/hbd_pme.dir/realspace.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/realspace.cpp.o.d"
+  "/root/repo/src/pme/validate.cpp" "src/pme/CMakeFiles/hbd_pme.dir/validate.cpp.o" "gcc" "src/pme/CMakeFiles/hbd_pme.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hbd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hbd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/hbd_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/hbd_ewald.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_pme.dir/bspline.cpp.o"
+  "CMakeFiles/hbd_pme.dir/bspline.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/influence.cpp.o"
+  "CMakeFiles/hbd_pme.dir/influence.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/interp_matrix.cpp.o"
+  "CMakeFiles/hbd_pme.dir/interp_matrix.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/lagrange.cpp.o"
+  "CMakeFiles/hbd_pme.dir/lagrange.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/params.cpp.o"
+  "CMakeFiles/hbd_pme.dir/params.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/pme_operator.cpp.o"
+  "CMakeFiles/hbd_pme.dir/pme_operator.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/realspace.cpp.o"
+  "CMakeFiles/hbd_pme.dir/realspace.cpp.o.d"
+  "CMakeFiles/hbd_pme.dir/validate.cpp.o"
+  "CMakeFiles/hbd_pme.dir/validate.cpp.o.d"
+  "libhbd_pme.a"
+  "libhbd_pme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_pme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bcsr3.cpp" "src/sparse/CMakeFiles/hbd_sparse.dir/bcsr3.cpp.o" "gcc" "src/sparse/CMakeFiles/hbd_sparse.dir/bcsr3.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/hbd_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/hbd_sparse.dir/csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hbd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbd_sparse.dir/bcsr3.cpp.o"
+  "CMakeFiles/hbd_sparse.dir/bcsr3.cpp.o.d"
+  "CMakeFiles/hbd_sparse.dir/csr.cpp.o"
+  "CMakeFiles/hbd_sparse.dir/csr.cpp.o.d"
+  "libhbd_sparse.a"
+  "libhbd_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbd_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
