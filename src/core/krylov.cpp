@@ -104,21 +104,23 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
 
   Matrix x_prev(n, s);
   bool have_prev = false;
-  Matrix w(n, s), tmp(s, s);
+  Matrix w(n, s);
+  // Reusable scratch for the projection updates and the iterate — sized
+  // once so the iteration loop does no n×s heap allocation (the batched
+  // apply_block below is likewise allocation-free).
+  Matrix corr(n, s), x(n, s), proj(s, s), gj(s, s);
 
   for (int m = 1; m <= config.max_iterations; ++m) {
     // W = M V_m − V_{m−1} B_mᵀ − V_m A_m, then QR → V_{m+1} B_{m+1}.
     op.apply_block(v[m - 1], w);
     if (m >= 2) {
       // W -= V_{m-2 index} B ᵀ  (the block produced by the previous QR)
-      Matrix corr(n, s);
       gemm(false, true, 1.0, v[m - 2], b_blocks[m - 2], 0.0, corr);
       axpy(-1.0, {corr.data(), n * s}, {w.data(), n * s});
     }
     Matrix a(s, s);
     gemm(true, false, 1.0, v[m - 1], w, 0.0, a);
     {
-      Matrix corr(n, s);
       gemm(false, false, 1.0, v[m - 1], a, 0.0, corr);
       axpy(-1.0, {corr.data(), n * s}, {w.data(), n * s});
     }
@@ -126,9 +128,7 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
 
     if (config.full_reorthogonalization) {
       for (const Matrix& vb : v) {
-        Matrix proj(s, s);
         gemm(true, false, 1.0, vb, w, 0.0, proj);
-        Matrix corr(n, s);
         gemm(false, false, 1.0, vb, proj, 0.0, corr);
         axpy(-1.0, {corr.data(), n * s}, {w.data(), n * s});
       }
@@ -160,9 +160,8 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
         for (std::size_t c = 0; c < s; ++c) e1(r, c) = tsqrt(r, c);
       gemm(false, false, 1.0, e1, r1, 0.0, g);
     }
-    Matrix x(n, s);
+    x.fill(0.0);
     for (int j = 0; j < m; ++j) {
-      Matrix gj(s, s);
       for (std::size_t r = 0; r < s; ++r)
         for (std::size_t c = 0; c < s; ++c) gj(r, c) = g(j * s + r, c);
       gemm(false, false, 1.0, v[j], gj, 1.0, x);

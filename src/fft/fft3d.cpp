@@ -24,122 +24,163 @@ Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz)
   }
 }
 
-void Fft3d::forward(const double* in, Complex* out) const {
-  const std::size_t h = nz_ / 2;
+// The batched passes keep the batch dimension fastest in memory and work
+// one xy block / line tile at a time: the contiguous interleaved chunk is
+// staged into a small per-thread buffer (component-major), every line is
+// transformed from contiguous storage, and the result is scattered back.
+// All global memory is touched in full cache lines, and for batch == 1 each
+// pass degenerates to exactly the single-mesh pass.
 
-  // 1. Real-to-complex along z (contiguous lines).
+// Real-to-complex along z (one contiguous nz×batch block per xy point).
+void Fft3d::pass_z_forward(const double* in, Complex* out,
+                           std::size_t batch) const {
+  const std::size_t h = nz_ / 2;
 #pragma omp parallel
   {
-    aligned_vector<Complex> z(h), zf(h), ws(plan_zh_.workspace_size());
+    aligned_vector<Complex> zall(h * batch), zf(h),
+        ws(plan_zh_.workspace_size());
 #pragma omp for schedule(static)
     for (std::size_t xy = 0; xy < nx_ * ny_; ++xy) {
-      const double* line = in + xy * nz_;
-      Complex* cline = out + xy * nzh_;
-      // Pack even/odd samples into a half-length complex sequence.
+      const double* blk = in + xy * nz_ * batch;
+      Complex* cblk = out + xy * nzh_ * batch;
+      // Pack even/odd samples of every component into half-length complex
+      // sequences (component-major in the local tile; the global read is
+      // one sequential sweep of the block).
       for (std::size_t j = 0; j < h; ++j)
-        z[j] = {line[2 * j], line[2 * j + 1]};
-      std::copy(z.begin(), z.end(), zf.begin());
-      plan_zh_.forward(zf.data(), ws.data());
-      // Untangle: X[k] = E[k] + w^k O[k].
-      for (std::size_t k = 0; k <= h; ++k) {
-        const Complex zk = zf[k % h];
-        const Complex zmk = std::conj(zf[(h - k) % h]);
-        const Complex e = 0.5 * (zk + zmk);
-        const Complex o = Complex{0.0, -0.5} * (zk - zmk);
-        cline[k] = e + wz_[k] * o;
+        for (std::size_t q = 0; q < batch; ++q)
+          zall[q * h + j] = {blk[2 * j * batch + q],
+                             blk[(2 * j + 1) * batch + q]};
+      for (std::size_t q = 0; q < batch; ++q) {
+        std::copy(zall.begin() + q * h, zall.begin() + (q + 1) * h,
+                  zf.begin());
+        plan_zh_.forward(zf.data(), ws.data());
+        // Untangle: X[k] = E[k] + w^k O[k].
+        for (std::size_t k = 0; k <= h; ++k) {
+          const Complex zk = zf[k % h];
+          const Complex zmk = std::conj(zf[(h - k) % h]);
+          const Complex e = 0.5 * (zk + zmk);
+          const Complex o = Complex{0.0, -0.5} * (zk - zmk);
+          cblk[k * batch + q] = e + wz_[k] * o;
+        }
       }
-    }
-  }
-
-  // 2. Complex transform along y (stride nzh_ within an x-slab).
-#pragma omp parallel
-  {
-    aligned_vector<Complex> line(ny_), ws(plan_y_.workspace_size());
-#pragma omp for schedule(static)
-    for (std::size_t xz = 0; xz < nx_ * nzh_; ++xz) {
-      const std::size_t ix = xz / nzh_;
-      const std::size_t kz = xz % nzh_;
-      Complex* base = out + ix * ny_ * nzh_ + kz;
-      for (std::size_t iy = 0; iy < ny_; ++iy) line[iy] = base[iy * nzh_];
-      plan_y_.forward(line.data(), ws.data());
-      for (std::size_t iy = 0; iy < ny_; ++iy) base[iy * nzh_] = line[iy];
-    }
-  }
-
-  // 3. Complex transform along x (stride ny_*nzh_).
-#pragma omp parallel
-  {
-    aligned_vector<Complex> line(nx_), ws(plan_x_.workspace_size());
-#pragma omp for schedule(static)
-    for (std::size_t yz = 0; yz < ny_ * nzh_; ++yz) {
-      Complex* base = out + yz;
-      const std::size_t stride = ny_ * nzh_;
-      for (std::size_t ix = 0; ix < nx_; ++ix) line[ix] = base[ix * stride];
-      plan_x_.forward(line.data(), ws.data());
-      for (std::size_t ix = 0; ix < nx_; ++ix) base[ix * stride] = line[ix];
     }
   }
 }
 
-void Fft3d::inverse(const Complex* in, double* out) const {
+// Complex-to-real along z: retangle the half spectrum into a half-length
+// complex sequence, inverse transform, unpack even/odd.
+void Fft3d::pass_z_inverse(const Complex* in, double* out,
+                           std::size_t batch) const {
   const std::size_t h = nz_ / 2;
-  // Work on a copy so the caller's spectrum is preserved (the Krylov loop
-  // reuses mesh buffers; an in-place destructive inverse invites aliasing
-  // bugs for a minor memory win).
-  aligned_vector<Complex> tmp(in, in + complex_size());
-
-  // 1. Inverse along x.
 #pragma omp parallel
   {
-    aligned_vector<Complex> line(nx_), ws(plan_x_.workspace_size());
+    aligned_vector<Complex> zall(h * batch), ws(plan_zh_.workspace_size());
 #pragma omp for schedule(static)
-    for (std::size_t yz = 0; yz < ny_ * nzh_; ++yz) {
-      Complex* base = tmp.data() + yz;
-      const std::size_t stride = ny_ * nzh_;
-      for (std::size_t ix = 0; ix < nx_; ++ix) line[ix] = base[ix * stride];
-      plan_x_.inverse(line.data(), ws.data());
-      for (std::size_t ix = 0; ix < nx_; ++ix) base[ix * stride] = line[ix];
+    for (std::size_t xy = 0; xy < nx_ * ny_; ++xy) {
+      const Complex* cblk = in + xy * nzh_ * batch;
+      double* blk = out + xy * nz_ * batch;
+      for (std::size_t q = 0; q < batch; ++q) {
+        Complex* z = zall.data() + q * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          const Complex a = cblk[k * batch + q];
+          const Complex b = std::conj(cblk[(h - k) * batch + q]);
+          // Z[k] = (A+B) + i·conj(w^k)·(A−B), so that the unnormalized
+          // half-length inverse yields x[2j] + i x[2j+1].
+          z[k] = (a + b) + Complex{0.0, 1.0} * std::conj(wz_[k]) * (a - b);
+        }
+        plan_zh_.inverse(z, ws.data());
+      }
+      for (std::size_t j = 0; j < h; ++j)
+        for (std::size_t q = 0; q < batch; ++q) {
+          blk[2 * j * batch + q] = zall[q * h + j].real();
+          blk[(2 * j + 1) * batch + q] = zall[q * h + j].imag();
+        }
     }
   }
+}
 
-  // 2. Inverse along y.
+// Complex transform along y.  One (ix, kz) tile holds the batch chunks of a
+// whole y line: gather reads `batch` contiguous complexes per y index.
+void Fft3d::pass_y(Complex* data, std::size_t batch, bool forward) const {
 #pragma omp parallel
   {
-    aligned_vector<Complex> line(ny_), ws(plan_y_.workspace_size());
+    aligned_vector<Complex> tile(ny_ * batch), ws(plan_y_.workspace_size());
 #pragma omp for schedule(static)
     for (std::size_t xz = 0; xz < nx_ * nzh_; ++xz) {
       const std::size_t ix = xz / nzh_;
       const std::size_t kz = xz % nzh_;
-      Complex* base = tmp.data() + ix * ny_ * nzh_ + kz;
-      for (std::size_t iy = 0; iy < ny_; ++iy) line[iy] = base[iy * nzh_];
-      plan_y_.inverse(line.data(), ws.data());
-      for (std::size_t iy = 0; iy < ny_; ++iy) base[iy * nzh_] = line[iy];
+      Complex* base = data + (ix * ny_ * nzh_ + kz) * batch;
+      const std::size_t stride = nzh_ * batch;
+      for (std::size_t iy = 0; iy < ny_; ++iy)
+        for (std::size_t q = 0; q < batch; ++q)
+          tile[q * ny_ + iy] = base[iy * stride + q];
+      for (std::size_t q = 0; q < batch; ++q) {
+        if (forward)
+          plan_y_.forward(tile.data() + q * ny_, ws.data());
+        else
+          plan_y_.inverse(tile.data() + q * ny_, ws.data());
+      }
+      for (std::size_t iy = 0; iy < ny_; ++iy)
+        for (std::size_t q = 0; q < batch; ++q)
+          base[iy * stride + q] = tile[q * ny_ + iy];
     }
   }
+}
 
-  // 3. Complex-to-real along z: retangle the half spectrum into a
-  // half-length complex sequence, inverse transform, unpack even/odd.
+// Complex transform along x (stride ny·nzh·batch between x planes).
+void Fft3d::pass_x(Complex* data, std::size_t batch, bool forward) const {
 #pragma omp parallel
   {
-    aligned_vector<Complex> z(h), ws(plan_zh_.workspace_size());
+    aligned_vector<Complex> tile(nx_ * batch), ws(plan_x_.workspace_size());
 #pragma omp for schedule(static)
-    for (std::size_t xy = 0; xy < nx_ * ny_; ++xy) {
-      const Complex* cline = tmp.data() + xy * nzh_;
-      double* line = out + xy * nz_;
-      for (std::size_t k = 0; k < h; ++k) {
-        const Complex a = cline[k];
-        const Complex b = std::conj(cline[h - k]);
-        // Z[k] = (A+B) + i·conj(w^k)·(A−B), so that the unnormalized
-        // half-length inverse yields x[2j] + i x[2j+1].
-        z[k] = (a + b) + Complex{0.0, 1.0} * std::conj(wz_[k]) * (a - b);
+    for (std::size_t yz = 0; yz < ny_ * nzh_; ++yz) {
+      Complex* base = data + yz * batch;
+      const std::size_t stride = ny_ * nzh_ * batch;
+      for (std::size_t ix = 0; ix < nx_; ++ix)
+        for (std::size_t q = 0; q < batch; ++q)
+          tile[q * nx_ + ix] = base[ix * stride + q];
+      for (std::size_t q = 0; q < batch; ++q) {
+        if (forward)
+          plan_x_.forward(tile.data() + q * nx_, ws.data());
+        else
+          plan_x_.inverse(tile.data() + q * nx_, ws.data());
       }
-      plan_zh_.inverse(z.data(), ws.data());
-      for (std::size_t j = 0; j < h; ++j) {
-        line[2 * j] = z[j].real();
-        line[2 * j + 1] = z[j].imag();
-      }
+      for (std::size_t ix = 0; ix < nx_; ++ix)
+        for (std::size_t q = 0; q < batch; ++q)
+          base[ix * stride + q] = tile[q * nx_ + ix];
     }
   }
+}
+
+void Fft3d::forward(const double* in, Complex* out) const {
+  pass_z_forward(in, out, 1);
+  pass_y(out, 1, /*forward=*/true);
+  pass_x(out, 1, /*forward=*/true);
+}
+
+void Fft3d::inverse(const Complex* in, double* out) const {
+  // Work on a copy so the caller's spectrum is preserved (the Krylov loop
+  // reuses mesh buffers; an in-place destructive inverse invites aliasing
+  // bugs for a minor memory win).
+  aligned_vector<Complex> tmp(in, in + complex_size());
+  pass_x(tmp.data(), 1, /*forward=*/false);
+  pass_y(tmp.data(), 1, /*forward=*/false);
+  pass_z_inverse(tmp.data(), out, 1);
+}
+
+void Fft3d::forward_batch(const double* in, Complex* out,
+                          std::size_t batch) const {
+  HBD_CHECK(batch >= 1);
+  pass_z_forward(in, out, batch);
+  pass_y(out, batch, /*forward=*/true);
+  pass_x(out, batch, /*forward=*/true);
+}
+
+void Fft3d::inverse_batch(Complex* in, double* out, std::size_t batch) const {
+  HBD_CHECK(batch >= 1);
+  pass_x(in, batch, /*forward=*/false);
+  pass_y(in, batch, /*forward=*/false);
+  pass_z_inverse(in, out, batch);
 }
 
 }  // namespace hbd

@@ -95,6 +95,45 @@ double PmePerfModel::t_recip(std::size_t mesh, int order,
          t_ifft(mesh) + t_interpolation(order, n);
 }
 
+double PmePerfModel::t_spreading_block(std::size_t mesh, int order,
+                                       std::size_t n, std::size_t s) const {
+  const double k3 = std::pow(static_cast<double>(mesh), 3);
+  const double p3 = std::pow(static_cast<double>(order), 3);
+  const double sd = static_cast<double>(s);
+  const double bytes =
+      24.0 * sd * k3 + (12.0 + 24.0 * sd) * p3 * static_cast<double>(n);
+  return bytes / (hw_.stream_bw_gbs * 1e9);
+}
+
+double PmePerfModel::t_fft_block(std::size_t mesh, std::size_t s) const {
+  return static_cast<double>(s) * t_fft(mesh);
+}
+
+double PmePerfModel::t_ifft_block(std::size_t mesh, std::size_t s) const {
+  return static_cast<double>(s) * t_ifft(mesh);
+}
+
+double PmePerfModel::t_influence_block(std::size_t mesh, std::size_t s) const {
+  const double k3 = std::pow(static_cast<double>(mesh), 3);
+  const double bytes = 8.0 * k3 / 2.0 + 48.0 * static_cast<double>(s) * k3;
+  return bytes / (hw_.stream_bw_gbs * 1e9);
+}
+
+double PmePerfModel::t_interpolation_block(int order, std::size_t n,
+                                           std::size_t s) const {
+  const double p3 = std::pow(static_cast<double>(order), 3);
+  const double bytes =
+      (12.0 + 24.0 * static_cast<double>(s)) * p3 * static_cast<double>(n);
+  return bytes / (hw_.stream_bw_gbs * 1e9);
+}
+
+double PmePerfModel::t_recip_block(std::size_t mesh, int order, std::size_t n,
+                                   std::size_t s) const {
+  return t_spreading_block(mesh, order, n, s) + t_fft_block(mesh, s) +
+         t_influence_block(mesh, s) + t_ifft_block(mesh, s) +
+         t_interpolation_block(order, n, s);
+}
+
 double PmePerfModel::mean_neighbors(std::size_t n, double rmax, double box) {
   const double density = static_cast<double>(n) / (box * box * box);
   return 4.0 / 3.0 * std::numbers::pi * rmax * rmax * rmax * density;

@@ -67,6 +67,27 @@ class PmePerfModel {
   /// Eq. 10: total reciprocal-space time.
   double t_recip(std::size_t mesh, int order, std::size_t n) const;
 
+  // --- Batched multi-RHS terms (Sec. IV-D extended) -----------------------
+  // One batched block apply of width s replaces s single sweeps; the terms
+  // below reflect that the interpolation weights P (12 p³ n bytes) and the
+  // scalar influence table (8·K³/2 bytes) are read once per block instead
+  // of s times, while the mesh/spectrum streams still scale with s.
+  /// (24 s K³ + (12 + 24 s) p³ n) bytes over STREAM bandwidth.
+  double t_spreading_block(std::size_t mesh, int order, std::size_t n,
+                           std::size_t s) const;
+  /// 3s forward FFTs (flops scale linearly with the batch).
+  double t_fft_block(std::size_t mesh, std::size_t s) const;
+  double t_ifft_block(std::size_t mesh, std::size_t s) const;
+  /// (8·K³/2 + 48 s K³) bytes over STREAM bandwidth: the scalar table is
+  /// loaded once for all s column spectra.
+  double t_influence_block(std::size_t mesh, std::size_t s) const;
+  /// (12 + 24 s) p³ n bytes over STREAM bandwidth.
+  double t_interpolation_block(int order, std::size_t n, std::size_t s) const;
+  /// Total batched reciprocal-space time for a width-s block; reduces to
+  /// t_recip at s = 1.
+  double t_recip_block(std::size_t mesh, int order, std::size_t n,
+                       std::size_t s) const;
+
   /// Real-space SpMV time: BCSR traffic (76 B per 3×3 block plus the
   /// vectors) over bandwidth, with `neighbors` = average near-field
   /// neighbors per particle.

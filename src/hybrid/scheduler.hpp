@@ -5,8 +5,10 @@
 //     is tuned so both take about the same time;
 //   * block PME inside the Krylov iteration (line 6): the reciprocal work of
 //     the λ_RPY right-hand sides is statically partitioned across the CPU
-//     and the accelerators (no batched 3-D FFT exists, so columns are
-//     processed one at a time and distributing whole columns is natural).
+//     and the accelerators.  Each device runs its share of the columns as
+//     one batched sub-block through the batched reciprocal pipeline, so the
+//     partitioning is over sub-block widths (partition_columns_batched);
+//     the legacy per-column partitioning is kept for comparison.
 #pragma once
 
 #include <cstddef>
@@ -52,6 +54,20 @@ std::vector<std::size_t> partition_columns(
 double partition_makespan(const std::vector<Device>& devices,
                           const std::vector<std::size_t>& counts,
                           std::size_t mesh, int order, std::size_t n);
+
+/// Batch-aware static partition: each device processes its share of the
+/// block as one batched sub-block (t_recip_block), so the marginal cost of
+/// an extra column falls with the columns already owned (the P and
+/// influence reads are amortized).  Greedy assignment by earliest finish.
+std::vector<std::size_t> partition_columns_batched(
+    const std::vector<Device>& devices, std::size_t columns, std::size_t mesh,
+    int order, std::size_t n);
+
+/// Makespan of a batch-aware partition (seconds): per device,
+/// t_recip_block over its sub-block width plus per-column transfers.
+double partition_makespan_batched(const std::vector<Device>& devices,
+                                  const std::vector<std::size_t>& counts,
+                                  std::size_t mesh, int order, std::size_t n);
 
 /// Modeled per-step BD cost.  `krylov_iterations` block applies of width
 /// `lambda` per mobility update, amortized over the lambda steps, plus one

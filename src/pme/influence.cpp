@@ -92,4 +92,53 @@ void InfluenceFunction::apply(Complex* cx, Complex* cy, Complex* cz) const {
   }
 }
 
+void InfluenceFunction::apply_batch(Complex* spec, std::size_t ncols) const {
+  const long k = static_cast<long>(mesh_);
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box_;
+  const std::size_t b = 3 * ncols;
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const long h1 = (static_cast<long>(k1) <= k / 2)
+                        ? static_cast<long>(k1)
+                        : static_cast<long>(k1) - k;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const long h2 = (static_cast<long>(k2) <= k / 2)
+                          ? static_cast<long>(k2)
+                          : static_cast<long>(k2) - k;
+      const std::size_t row = (k1 * mesh_ + k2) * nzh_;
+      for (std::size_t k3 = 0; k3 < nzh_; ++k3) {
+        const double s = scalar_[row + k3];
+        Complex* p = spec + (row + k3) * b;
+        if (s == 0.0) {
+          for (std::size_t q = 0; q < b; ++q) p[q] = 0.0;
+          continue;
+        }
+        const double kx = two_pi_over_l * static_cast<double>(h1);
+        const double ky = two_pi_over_l * static_cast<double>(h2);
+        const double kz = two_pi_over_l * static_cast<double>(k3);
+        const double inv_k2 = 1.0 / (kx * kx + ky * ky + kz * kz);
+        // Explicit real/imaginary arithmetic on the interleaved 3s-vector:
+        // all coefficients are real, so the projector acts on re and im
+        // parts independently and the loop vectorizes across columns.
+        double* pd = reinterpret_cast<double*>(p);
+#pragma omp simd
+        for (std::size_t j = 0; j < ncols; ++j) {
+          const double vxr = pd[6 * j], vxi = pd[6 * j + 1];
+          const double vyr = pd[6 * j + 2], vyi = pd[6 * j + 3];
+          const double vzr = pd[6 * j + 4], vzi = pd[6 * j + 5];
+          // (I − k̂k̂ᵀ) v = v − k̂ (k̂·v)
+          const double kdr = (kx * vxr + ky * vyr + kz * vzr) * inv_k2;
+          const double kdi = (kx * vxi + ky * vyi + kz * vzi) * inv_k2;
+          pd[6 * j] = s * (vxr - kx * kdr);
+          pd[6 * j + 1] = s * (vxi - kx * kdi);
+          pd[6 * j + 2] = s * (vyr - ky * kdr);
+          pd[6 * j + 3] = s * (vyi - ky * kdi);
+          pd[6 * j + 4] = s * (vzr - kz * kdr);
+          pd[6 * j + 5] = s * (vzi - kz * kdi);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace hbd

@@ -29,6 +29,13 @@ class InfluenceFunction {
   /// per mesh point.
   void apply(Complex* cx, Complex* cy, Complex* cz) const;
 
+  /// Batched in-place application on `ncols` column spectra stored
+  /// interleaved: components (x,y,z) of column j at half-spectrum point t
+  /// live at `spec[t*3*ncols + 3j + {0,1,2}]`.  The scalar m_α(k) and the
+  /// projector are loaded/rebuilt once per mesh point and applied across all
+  /// columns, turning an ncols-fold memory-bound sweep into one.
+  void apply_batch(Complex* spec, std::size_t ncols) const;
+
   /// Stored bytes (the paper's 8·K³/2 figure).
   std::size_t bytes() const { return scalar_.size() * sizeof(double); }
 

@@ -223,6 +223,103 @@ void InterpMatrix::interpolate(const double* ux, const double* uy,
   }
 }
 
+void InterpMatrix::spread_block(const Matrix& f, double* mesh_batch) const {
+  HBD_CHECK(f.rows() == 3 * n_);
+  const std::size_t s = f.cols();
+  const std::size_t b = 3 * s;
+  const std::size_t m3 = mesh_ * mesh_ * mesh_;
+  const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
+  const double* fd = f.data();
+
+#pragma omp parallel
+  {
+    // Per-thread staging of the particle's 3s force components so the inner
+    // spread loop is one weight load plus a contiguous b-vector FMA.
+    aligned_vector<double> fv(b);
+#pragma omp for schedule(static)
+    for (std::size_t t = 0; t < m3 * b; ++t) mesh_batch[t] = 0.0;
+
+    // Eight stages; blocks within a stage are write-disjoint.
+    for (const auto& blocks : set_block_ids_) {
+#pragma omp for schedule(dynamic, 1)
+      for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        const std::uint32_t id = blocks[bi];
+        std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+        double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+        for (std::uint32_t u = block_start_[id]; u < block_start_[id + 1];
+             ++u) {
+          const std::size_t i = block_particles_[u];
+          const std::uint32_t* cols;
+          const double* vals;
+          if (precompute_) {
+            cols = cols_.data() + i * p3;
+            vals = vals_.data() + i * p3;
+          } else {
+            compute_row(i, cbuf, vbuf);
+            cols = cbuf;
+            vals = vbuf;
+          }
+          for (int c = 0; c < 3; ++c) {
+            const double* frow = fd + (3 * i + c) * s;
+            for (std::size_t j = 0; j < s; ++j) fv[3 * j + c] = frow[j];
+          }
+          for (std::size_t t = 0; t < p3; ++t) {
+            double* dst = mesh_batch + static_cast<std::size_t>(cols[t]) * b;
+            const double w = vals[t];
+#pragma omp simd
+            for (std::size_t q = 0; q < b; ++q) dst[q] += w * fv[q];
+          }
+        }
+      }
+    }
+  }
+}
+
+void InterpMatrix::interpolate_block(const double* mesh_batch, Matrix& u,
+                                     bool accumulate) const {
+  HBD_CHECK(u.rows() == 3 * n_);
+  const std::size_t s = u.cols();
+  const std::size_t b = 3 * s;
+  const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
+  double* ud = u.data();
+
+#pragma omp parallel
+  {
+    aligned_vector<double> sv(b);
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      const std::uint32_t* cols;
+      const double* vals;
+      if (precompute_) {
+        cols = cols_.data() + i * p3;
+        vals = vals_.data() + i * p3;
+      } else {
+        compute_row(i, cbuf, vbuf);
+        cols = cbuf;
+        vals = vbuf;
+      }
+      std::fill(sv.begin(), sv.end(), 0.0);
+      for (std::size_t t = 0; t < p3; ++t) {
+        const double* src =
+            mesh_batch + static_cast<std::size_t>(cols[t]) * b;
+        const double w = vals[t];
+#pragma omp simd
+        for (std::size_t q = 0; q < b; ++q) sv[q] += w * src[q];
+      }
+      for (int c = 0; c < 3; ++c) {
+        double* urow = ud + (3 * i + c) * s;
+        if (accumulate) {
+          for (std::size_t j = 0; j < s; ++j) urow[j] += sv[3 * j + c];
+        } else {
+          for (std::size_t j = 0; j < s; ++j) urow[j] = sv[3 * j + c];
+        }
+      }
+    }
+  }
+}
+
 std::size_t InterpMatrix::bytes() const {
   return cols_.size() * sizeof(std::uint32_t) + vals_.size() * sizeof(double) +
          pos_.size() * sizeof(Vec3) +

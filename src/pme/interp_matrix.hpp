@@ -23,6 +23,7 @@
 
 #include "common/aligned.hpp"
 #include "common/vec3.hpp"
+#include "linalg/dense_matrix.hpp"
 
 namespace hbd {
 
@@ -55,6 +56,24 @@ class InterpMatrix {
   /// writes the interleaved 3n result.
   void interpolate(const double* ux, const double* uy, const double* uz,
                    std::span<double> u) const;
+
+  /// Batched spreading of a 3n×s force block onto 3s interleaved meshes:
+  /// mesh point t of component c of column j lives at
+  /// `mesh_batch[t*3s + 3j + c]`.  The per-particle weights are computed (or
+  /// loaded) once and all 3s components are accumulated in the inner loop —
+  /// one pass through P instead of s, and each touched mesh point is a
+  /// contiguous 3s-vector instead of 3 scattered scalars.  Uses the same
+  /// 8-independent-set schedule as spread(), so the batched path is
+  /// race-free and bit-identical to the column-by-column one.
+  void spread_block(const Matrix& f, double* mesh_batch) const;
+
+  /// Batched interpolation from 3s interleaved meshes (layout as in
+  /// spread_block) into the 3n×s velocity block.  With `accumulate` the
+  /// result is added to `u` (the block mobility apply accumulates the
+  /// reciprocal part on top of the real-space part); otherwise `u` is
+  /// overwritten.
+  void interpolate_block(const double* mesh_batch, Matrix& u,
+                         bool accumulate) const;
 
   /// Approximate resident bytes of the operator (Fig. 7 memory accounting).
   std::size_t bytes() const;

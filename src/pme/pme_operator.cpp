@@ -23,6 +23,14 @@ PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
   const std::size_t m3 = params.mesh * params.mesh * params.mesh;
   for (auto& m : mesh_) m.resize(m3);
   for (auto& s : spec_) s.resize(fft_.complex_size());
+  scratch_.resize(3 * n_);
+}
+
+void PmeOperator::ensure_batch_capacity(std::size_t s) {
+  const std::size_t m3 = params_.mesh * params_.mesh * params_.mesh;
+  if (batch_mesh_.size() < 3 * s * m3) batch_mesh_.resize(3 * s * m3);
+  if (batch_spec_.size() < 3 * s * fft_.complex_size())
+    batch_spec_.resize(3 * s * fft_.complex_size());
 }
 
 void PmeOperator::apply_real(std::span<const double> f,
@@ -65,36 +73,62 @@ void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
   HBD_CHECK(f.size() == 3 * n_ && u.size() == 3 * n_);
   // Reciprocal part into u, then accumulate the sparse real part.
   apply_recip(f, u);
-  aligned_vector<double> tmp(3 * n_);
   {
     ScopedPhase t(&timers_, "realspace");
-    real_.multiply(f, {tmp.data(), tmp.size()});
+    real_.multiply(f, {scratch_.data(), scratch_.size()});
   }
 #pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < 3 * n_; ++i) u[i] += tmp[i];
+  for (std::size_t i = 0; i < 3 * n_; ++i) u[i] += scratch_[i];
+}
+
+void PmeOperator::recip_block(const Matrix& f, Matrix& u, bool accumulate) {
+  const std::size_t s = f.cols();
+  ensure_batch_capacity(s);
+  {
+    ScopedPhase t(&timers_, "spreading");
+    interp_.spread_block(f, batch_mesh_.data());
+  }
+  {
+    ScopedPhase t(&timers_, "fft");
+    fft_.forward_batch(batch_mesh_.data(), batch_spec_.data(), 3 * s);
+  }
+  {
+    ScopedPhase t(&timers_, "influence");
+    influence_.apply_batch(batch_spec_.data(), s);
+  }
+  {
+    ScopedPhase t(&timers_, "ifft");
+    fft_.inverse_batch(batch_spec_.data(), batch_mesh_.data(), 3 * s);
+  }
+  {
+    ScopedPhase t(&timers_, "interpolation");
+    interp_.interpolate_block(batch_mesh_.data(), u, accumulate);
+  }
+}
+
+void PmeOperator::apply_recip_block(const Matrix& f, Matrix& u) {
+  HBD_CHECK(f.rows() == 3 * n_ && u.rows() == 3 * n_ &&
+            f.cols() == u.cols());
+  recip_block(f, u, /*accumulate=*/false);
 }
 
 void PmeOperator::apply_block(const Matrix& f, Matrix& u) {
   HBD_CHECK(f.rows() == 3 * n_ && u.rows() == 3 * n_ &&
             f.cols() == u.cols());
-  const std::size_t s = f.cols();
   // Real-space: one multi-vector BCSR product.
   {
     ScopedPhase t(&timers_, "realspace");
     real_.multiply_block(f, u);
   }
-  // Reciprocal: column by column through the mesh pipeline.
-  aligned_vector<double> fcol(3 * n_), ucol(3 * n_);
-  for (std::size_t c = 0; c < s; ++c) {
-    for (std::size_t i = 0; i < 3 * n_; ++i) fcol[i] = f(i, c);
-    apply_recip({fcol.data(), fcol.size()}, {ucol.data(), ucol.size()});
-    for (std::size_t i = 0; i < 3 * n_; ++i) u(i, c) += ucol[i];
-  }
+  // Reciprocal: all s columns in one batched pass per phase.
+  recip_block(f, u, /*accumulate=*/true);
 }
 
 std::size_t PmeOperator::bytes() const {
   const std::size_t m3 = params_.mesh * params_.mesh * params_.mesh;
   return 3 * m3 * sizeof(double) + 3 * fft_.complex_size() * sizeof(Complex) +
+         batch_mesh_.size() * sizeof(double) +
+         batch_spec_.size() * sizeof(Complex) + scratch_.size() * sizeof(double) +
          interp_.bytes() + influence_.bytes() +
          real_.nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t));
 }

@@ -47,8 +47,11 @@ class PmeOperator {
   void apply(std::span<const double> f, std::span<double> u);
 
   /// U = M̃ F for a block of vectors (row-major 3n×s).  The real-space part
-  /// runs as one BCSR multi-vector product; the reciprocal part processes
-  /// the columns one at a time (no block 3-D FFT, paper Sec. IV-E).
+  /// runs as one BCSR multi-vector product; the reciprocal part runs the
+  /// batched pipeline — all 3s mesh components are spread, transformed,
+  /// scaled, and interpolated in one pass per phase, so the interpolation
+  /// weights P and the influence function are read once per block apply
+  /// instead of s times.
   void apply_block(const Matrix& f, Matrix& u);
 
   /// Real-space part only: u = (M_real + M_self) f.
@@ -57,6 +60,10 @@ class PmeOperator {
 
   /// Reciprocal-space part only: u = M_recip f.
   void apply_recip(std::span<const double> f, std::span<double> u);
+
+  /// Reciprocal-space part only for a block of vectors: U = M_recip F
+  /// through the batched pipeline (overwrites U).
+  void apply_recip_block(const Matrix& f, Matrix& u);
 
   /// Phase timings (spreading / fft / influence / ifft / interpolation)
   /// accumulated over all apply calls — the Fig. 5 breakdown.
@@ -70,6 +77,13 @@ class PmeOperator {
   const InterpMatrix& interp_matrix() const { return interp_; }
 
  private:
+  /// Runs the batched reciprocal pipeline; with `accumulate` the result is
+  /// added onto u (apply_block stacks it on the real-space part).
+  void recip_block(const Matrix& f, Matrix& u, bool accumulate);
+
+  /// Grows the persistent batch buffers to hold 3s meshes/spectra.
+  void ensure_batch_capacity(std::size_t s);
+
   std::size_t n_;
   double box_, radius_;
   PmeParams params_;
@@ -82,6 +96,15 @@ class PmeOperator {
   // Mesh work buffers (F_θ / U_θ and their spectra).
   aligned_vector<double> mesh_[3];
   aligned_vector<Complex> spec_[3];
+
+  // Batched-pipeline buffers (3s interleaved meshes/spectra), lazily grown
+  // to the widest block seen and reused across applies — no per-call
+  // allocation on the Krylov hot path.
+  aligned_vector<double> batch_mesh_;
+  aligned_vector<Complex> batch_spec_;
+
+  // Scratch for the real-space accumulation in apply(), sized once.
+  aligned_vector<double> scratch_;
 
   PhaseTimers timers_;
 };

@@ -96,6 +96,60 @@ TEST(Scheduler, TuneSplittingBalances) {
             std::min(plan.t_real_host, plan.t_recip_device) - 1e-15);
 }
 
+TEST(PerfModel, BatchedTermsReduceToSingleVectorAtWidthOne) {
+  PmePerfModel m(westmere_ep());
+  const std::size_t mesh = 64, n = 10000;
+  EXPECT_NEAR(m.t_recip_block(mesh, 6, n, 1), m.t_recip(mesh, 6, n),
+              1e-15 + 1e-12 * m.t_recip(mesh, 6, n));
+  EXPECT_NEAR(m.t_influence_block(mesh, 1), m.t_influence(mesh),
+              1e-15 + 1e-12 * m.t_influence(mesh));
+  EXPECT_NEAR(m.t_spreading_block(mesh, 6, n, 1), m.t_spreading(mesh, 6, n),
+              1e-15 + 1e-12 * m.t_spreading(mesh, 6, n));
+}
+
+TEST(PerfModel, BatchingAmortizesWeightAndInfluenceReads) {
+  // A width-s batched apply must be modeled strictly cheaper than s
+  // single-vector sweeps: P and the scalar influence table are read once.
+  PmePerfModel m(westmere_ep());
+  const std::size_t mesh = 64, n = 10000;
+  for (std::size_t s : {2u, 4u, 8u, 16u}) {
+    const double sd = static_cast<double>(s);
+    EXPECT_LT(m.t_recip_block(mesh, 6, n, s), sd * m.t_recip(mesh, 6, n));
+    EXPECT_LT(m.t_influence_block(mesh, s), sd * m.t_influence(mesh));
+    EXPECT_LT(m.t_spreading_block(mesh, 6, n, s),
+              sd * m.t_spreading(mesh, 6, n));
+    EXPECT_LT(m.t_interpolation_block(6, n, s),
+              sd * m.t_interpolation(6, n));
+  }
+  // FFT flops stay linear in the batch width.
+  EXPECT_NEAR(m.t_fft_block(mesh, 8), 8.0 * m.t_fft(mesh),
+              1e-12 * m.t_fft(mesh));
+}
+
+TEST(Scheduler, BatchedPartitionConservesColumns) {
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  std::vector<Device> devices{acc, acc, host};
+  for (std::size_t cols : {1u, 7u, 16u, 61u}) {
+    const auto counts =
+        partition_columns_batched(devices, cols, 128, 6, 50000);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), cols);
+  }
+}
+
+TEST(Scheduler, BatchedPartitionNoWorseThanLegacyPerColumn) {
+  Device host{PmePerfModel(westmere_ep()), true};
+  Device acc{PmePerfModel(xeon_phi_knc()), false};
+  std::vector<Device> both{acc, host};
+  const std::size_t cols = 16, mesh = 176, n = 100000;
+  const auto legacy = partition_columns(both, cols, mesh, 6, n);
+  const auto batched = partition_columns_batched(both, cols, mesh, 6, n);
+  const double t_legacy = partition_makespan(both, legacy, mesh, 6, n);
+  const double t_batched =
+      partition_makespan_batched(both, batched, mesh, 6, n);
+  EXPECT_LE(t_batched, t_legacy * (1.0 + 1e-12));
+}
+
 TEST(Scheduler, PartitionConservesColumns) {
   Device host{PmePerfModel(westmere_ep()), true};
   Device acc{PmePerfModel(xeon_phi_knc()), false};

@@ -410,6 +410,120 @@ TEST(Pme, BlockApplyMatchesColumnwise) {
   }
 }
 
+// ---- Batched block reciprocal pipeline --------------------------------------
+
+struct BatchedCase {
+  std::size_t s;
+  InterpKind kind;
+};
+
+class PmeBatched : public ::testing::TestWithParam<BatchedCase> {};
+
+TEST_P(PmeBatched, BlockApplyMatchesColumnwiseReference) {
+  // The batched pipeline (spread_block → forward_batch → apply_batch →
+  // inverse_batch → interpolate_block) must agree with the unbatched
+  // column-by-column apply_real + apply_recip to ≤1e-12 relative error.
+  const auto cfg = GetParam();
+  const std::size_t n = 30, s = cfg.s;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.15);
+  const auto pos = random_positions(n, box, 171);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  pp.interp = cfg.kind;
+  PmeOperator pme(pos, box, a, pp);
+
+  Matrix f(3 * n, s), u(3 * n, s);
+  Xoshiro256 rng(172);
+  fill_gaussian(rng, {f.data(), 3 * n * s});
+  pme.apply_block(f, u);
+
+  std::vector<double> fc(3 * n), uk(3 * n), ur(3 * n);
+  double err2 = 0.0, ref2 = 0.0;
+  for (std::size_t c = 0; c < s; ++c) {
+    for (std::size_t i = 0; i < 3 * n; ++i) fc[i] = f(i, c);
+    pme.apply_recip(fc, uk);
+    pme.apply_real(fc, ur);
+    for (std::size_t i = 0; i < 3 * n; ++i) {
+      const double ref = uk[i] + ur[i];
+      const double d = u(i, c) - ref;
+      err2 += d * d;
+      ref2 += ref * ref;
+    }
+  }
+  EXPECT_LT(std::sqrt(err2), 1e-12 * std::sqrt(ref2));
+}
+
+TEST_P(PmeBatched, RecipBlockMatchesRecipColumns) {
+  const auto cfg = GetParam();
+  const std::size_t n = 25, s = cfg.s;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 181);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  pp.interp = cfg.kind;
+  PmeOperator pme(pos, box, a, pp);
+
+  Matrix f(3 * n, s), u(3 * n, s);
+  Xoshiro256 rng(182);
+  fill_gaussian(rng, {f.data(), 3 * n * s});
+  pme.apply_recip_block(f, u);
+
+  std::vector<double> fc(3 * n), uc(3 * n);
+  double err2 = 0.0, ref2 = 0.0;
+  for (std::size_t c = 0; c < s; ++c) {
+    for (std::size_t i = 0; i < 3 * n; ++i) fc[i] = f(i, c);
+    pme.apply_recip(fc, uc);
+    for (std::size_t i = 0; i < 3 * n; ++i) {
+      const double d = u(i, c) - uc[i];
+      err2 += d * d;
+      ref2 += uc[i] * uc[i];
+    }
+  }
+  EXPECT_LT(std::sqrt(err2), 1e-12 * std::sqrt(ref2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndKinds, PmeBatched,
+    ::testing::Values(BatchedCase{1, InterpKind::bspline},
+                      BatchedCase{4, InterpKind::bspline},
+                      BatchedCase{16, InterpKind::bspline},
+                      BatchedCase{1, InterpKind::lagrange},
+                      BatchedCase{4, InterpKind::lagrange},
+                      BatchedCase{16, InterpKind::lagrange}));
+
+TEST(PmeBatchedDeterminism, RepeatedBlockApplyIsBitwiseIdentical) {
+  const std::size_t n = 30, s = 6;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 191);
+  PmeOperator pme(pos, box, a, choose_pme_params(box, a, 1e-3));
+  Matrix f(3 * n, s), u1(3 * n, s), u2(3 * n, s);
+  Xoshiro256 rng(192);
+  fill_gaussian(rng, {f.data(), 3 * n * s});
+  pme.apply_block(f, u1);
+  pme.apply_block(f, u2);
+  for (std::size_t i = 0; i < 3 * n * s; ++i)
+    ASSERT_EQ(u1.data()[i], u2.data()[i]) << "i=" << i;
+}
+
+TEST(PmeBatched, OnTheFlyBlockMatchesPrecomputed) {
+  const std::size_t n = 25, s = 5;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 201);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  PmeOperator pre(pos, box, a, pp);
+  pp.precompute_interp = false;
+  PmeOperator otf(pos, box, a, pp);
+  Matrix f(3 * n, s), u1(3 * n, s), u2(3 * n, s);
+  Xoshiro256 rng(202);
+  fill_gaussian(rng, {f.data(), 3 * n * s});
+  pre.apply_block(f, u1);
+  otf.apply_block(f, u2);
+  for (std::size_t i = 0; i < 3 * n * s; ++i)
+    ASSERT_NEAR(u1.data()[i], u2.data()[i], 1e-12);
+}
+
 TEST(Pme, RealPlusRecipEqualsApply) {
   const std::size_t n = 25;
   const double a = 1.0;
