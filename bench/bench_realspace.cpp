@@ -1,0 +1,145 @@
+// Real-space near-field assembly benchmark: seed-style from-scratch build
+// (std::function cell-list sweep + vector<vector> staging + from_blocks)
+// versus the persistent pipeline's full rebuild and its steady-state
+// in-place value refresh (stable BCSR pattern, allocation-free).
+//
+// The refresh arm jitters positions within skin/4 between repetitions, so
+// the skin-padded Verlet list revalidates in O(n) and never re-enumerates —
+// the steady state of a BD run between list rebuilds.
+//
+// Emits machine-readable JSON (default BENCH_realspace.json, or the path
+// given as argv[1]) so the perf trajectory is trackable across PRs.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cell_list.hpp"
+#include "common/neighbor_list.hpp"
+#include "ewald/beenakker.hpp"
+#include "pme/realspace.hpp"
+#include "sparse/bcsr3.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace hbd;
+using namespace hbd::bench;
+
+/// The pre-persistent assembly, verbatim: per-call CellList, std::function
+/// pair dispatch, vector<vector> staging, from_blocks copy.
+Bcsr3Matrix seed_build(std::span<const Vec3> pos, double box, double radius,
+                       double xi, double rmax) {
+  const std::size_t n = pos.size();
+  std::vector<std::vector<std::uint32_t>> cols(n);
+  std::vector<std::vector<std::array<double, 9>>> blocks(n);
+
+  const double self = beenakker_self(radius, xi);
+  for (std::size_t i = 0; i < n; ++i) {
+    cols[i].push_back(static_cast<std::uint32_t>(i));
+    blocks[i].push_back({self, 0.0, 0.0, 0.0, self, 0.0, 0.0, 0.0, self});
+  }
+
+  const CellList cl(pos, box, rmax);
+  const std::function<void(std::size_t, std::size_t, const Vec3&, double)>
+      fn = [&](std::size_t i, std::size_t j, const Vec3& rij, double r2) {
+        const double r = std::sqrt(r2);
+        PairCoeffs c = beenakker_real(r, radius, xi);
+        if (r < 2.0 * radius) {
+          const PairCoeffs corr = rpy_overlap_correction(r, radius);
+          c.f += corr.f;
+          c.g += corr.g;
+        }
+        std::array<double, 9> b;
+        pair_tensor(rij, c, b);
+        cols[i].push_back(static_cast<std::uint32_t>(j));
+        blocks[i].push_back(b);
+      };
+  cl.for_each_neighbor_of_all(fn);
+  return Bcsr3Matrix::from_blocks(n, cols, blocks);
+}
+
+struct Result {
+  std::size_t n;
+  double t_seed;
+  double t_rebuild;
+  double t_refresh;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_realspace.json";
+  print_header(
+      "Real-space assembly — seed build vs persistent rebuild vs refresh",
+      "Sec. IV-C near field; refresh amortizes pattern + list across steps");
+
+  int threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+  const double skin = 0.5;
+  std::printf("skin = %.2f, threads = %d\n\n", skin, threads);
+  std::printf("%7s | %10s %10s %10s | %9s %9s\n", "n", "seed", "rebuild",
+              "refresh", "re/seed", "ref/seed");
+
+  std::vector<Result> results;
+  for (const std::size_t n : {4000u, 16000u}) {
+    const ParticleSystem sys = benchmark_suspension(n);
+    auto pos = sys.wrapped_positions();
+    const double rmax = std::min(5.0, 0.499 * sys.box);
+    const double xi = std::sqrt(std::log(1e4)) / rmax;
+
+    const double t_seed = time_median3(
+        [&] { seed_build(pos, sys.box, sys.radius, xi, rmax); });
+    const double t_rebuild = time_median3(
+        [&] { build_realspace_operator(pos, sys.box, sys.radius, xi, rmax); });
+
+    RealspaceOperator op(sys.box, sys.radius, xi, rmax, skin);
+    op.refresh(pos);  // warm-up: pattern + list built once
+    Xoshiro256 rng(99);
+    const double t_refresh = time_median3([&] {
+      for (Vec3& p : pos)
+        for (int c = 0; c < 3; ++c)
+          p[c] += 0.25 * skin / 3.0 * (2.0 * rng.next_double() - 1.0);
+      op.refresh(pos);
+    });
+    // Steady state: the jitter stayed within skin/2, so no rebuild happened.
+    if (op.neighbors().build_count() != 1) {
+      std::fprintf(stderr, "refresh arm rebuilt the list — not steady state\n");
+      return 1;
+    }
+
+    results.push_back({n, t_seed, t_rebuild, t_refresh});
+    std::printf("%7zu | %10.5f %10.5f %10.5f | %8.2fx %8.2fx\n", n, t_seed,
+                t_rebuild, t_refresh, t_seed / t_rebuild, t_seed / t_refresh);
+  }
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"realspace\",\n  \"skin\": %.2f,\n"
+               "  \"threads\": %d,\n  \"results\": [\n",
+               skin, threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"t_seed_s\": %.6f, \"t_rebuild_s\": %.6f, "
+                 "\"t_refresh_s\": %.6f, \"refresh_speedup\": %.4f}%s\n",
+                 r.n, r.t_seed, r.t_rebuild, r.t_refresh,
+                 r.t_seed / r.t_refresh, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

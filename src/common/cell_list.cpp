@@ -1,6 +1,5 @@
 #include "common/cell_list.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -15,29 +14,78 @@ double wrap(double x, double box) {
 }
 }  // namespace
 
-CellList::CellList(std::span<const Vec3> pos, double box, double cutoff)
-    : pos_(pos), box_(box), cutoff_(cutoff) {
+void CellList::rebuild(std::span<const Vec3> pos, double box, double cutoff) {
   HBD_CHECK(box > 0.0 && cutoff > 0.0);
+  pos_ = pos;
+  box_ = box;
+  cutoff_ = cutoff;
+
+  const std::size_t prev_ncell = ncell_;
   ncell_ = std::max<std::size_t>(1, static_cast<std::size_t>(box / cutoff));
   // With fewer than 3 cells per dimension, neighbor enumeration would visit
   // cells twice; cap and rely on the all-cells fallback there.
   if (ncell_ < 3) ncell_ = 1;
 
   const std::size_t total = ncell_ * ncell_ * ncell_;
-  std::vector<std::uint32_t> count(total + 1, 0);
-  std::vector<std::uint32_t> cell_of_particle(pos.size());
+  cell_start_.assign(total + 1, 0);
+  cell_of_particle_.resize(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i) {
     const std::size_t c = cell_of(pos[i]);
-    cell_of_particle[i] = static_cast<std::uint32_t>(c);
-    ++count[c + 1];
+    cell_of_particle_[i] = static_cast<std::uint32_t>(c);
+    ++cell_start_[c + 1];
   }
-  for (std::size_t c = 0; c < total; ++c) count[c + 1] += count[c];
-  cell_start_ = count;
+  for (std::size_t c = 0; c < total; ++c) cell_start_[c + 1] += cell_start_[c];
   particles_.resize(pos.size());
-  std::vector<std::uint32_t> cursor(cell_start_.begin(),
-                                    cell_start_.end() - 1);
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < pos.size(); ++i)
-    particles_[cursor[cell_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+    particles_[cursor_[cell_of_particle_[i]]++] = static_cast<std::uint32_t>(i);
+
+  // The wrap tables depend only on the grid resolution.
+  if (ncell_ != prev_ncell) build_neighbor_tables();
+}
+
+void CellList::build_neighbor_tables() {
+  if (ncell_ == 1) {
+    nbr_full_.clear();
+    nbr_half_.clear();
+    return;
+  }
+  const std::size_t nc = ncell_;
+  const std::size_t total = nc * nc * nc;
+  nbr_full_.resize(kFullStencil * total);
+  nbr_half_.resize(kHalfStencil * total);
+  // Periodic wrap of coordinate c + d for d ∈ {−1, 0, +1}: wrapped[c + d + 1].
+  std::vector<std::uint32_t> wrapped(nc + 2);
+  wrapped[0] = static_cast<std::uint32_t>(nc - 1);
+  for (std::size_t c = 0; c < nc; ++c)
+    wrapped[c + 1] = static_cast<std::uint32_t>(c);
+  wrapped[nc + 1] = 0;
+
+  for (std::size_t cx = 0; cx < nc; ++cx) {
+    for (std::size_t cy = 0; cy < nc; ++cy) {
+      for (std::size_t cz = 0; cz < nc; ++cz) {
+        const std::size_t c = (cx * nc + cy) * nc + cz;
+        int kf = 0, kh = 0;
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              const std::size_t ox = wrapped[cx + static_cast<std::size_t>(dx + 1)];
+              const std::size_t oy = wrapped[cy + static_cast<std::size_t>(dy + 1)];
+              const std::size_t oz = wrapped[cz + static_cast<std::size_t>(dz + 1)];
+              const std::uint32_t o =
+                  static_cast<std::uint32_t>((ox * nc + oy) * nc + oz);
+              nbr_full_[kFullStencil * c + kf++] = o;
+              // Half stencil: lexicographically positive offsets only.
+              const bool self = dx == 0 && dy == 0 && dz == 0;
+              const bool negative =
+                  dx < 0 || (dx == 0 && dy < 0) || (dx == 0 && dy == 0 && dz < 0);
+              if (!self && !negative) nbr_half_[kHalfStencil * c + kh++] = o;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 std::size_t CellList::cell_of(const Vec3& p) const {
@@ -50,110 +98,6 @@ std::size_t CellList::cell_of(const Vec3& p) const {
     idx[d] = c;
   }
   return (idx[0] * ncell_ + idx[1]) * ncell_ + idx[2];
-}
-
-void CellList::for_each_pair(
-    const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
-        fn) const {
-  const double cut2 = cutoff_ * cutoff_;
-  if (ncell_ == 1) {
-    // Fallback: all pairs.
-    for (std::size_t a = 0; a < pos_.size(); ++a) {
-      for (std::size_t b = a + 1; b < pos_.size(); ++b) {
-        const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
-        const double r2 = norm2(d);
-        if (r2 <= cut2) fn(a, b, d, r2);
-      }
-    }
-    return;
-  }
-
-  const long nc = static_cast<long>(ncell_);
-  for (long cx = 0; cx < nc; ++cx) {
-    for (long cy = 0; cy < nc; ++cy) {
-      for (long cz = 0; cz < nc; ++cz) {
-        const std::size_t c = (cx * nc + cy) * nc + cz;
-        // Pairs within cell c.
-        for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1]; ++u) {
-          for (std::size_t v = u + 1; v < cell_start_[c + 1]; ++v) {
-            const std::size_t a = particles_[u], b = particles_[v];
-            const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
-            const double r2 = norm2(d);
-            if (r2 <= cut2) fn(a, b, d, r2);
-          }
-        }
-        // Pairs with half the neighboring cells (avoid double visits).
-        for (long dx = -1; dx <= 1; ++dx) {
-          for (long dy = -1; dy <= 1; ++dy) {
-            for (long dz = -1; dz <= 1; ++dz) {
-              if (dx == 0 && dy == 0 && dz == 0) continue;
-              // Keep lexicographically positive offsets only.
-              if (dx < 0 || (dx == 0 && dy < 0) ||
-                  (dx == 0 && dy == 0 && dz < 0))
-                continue;
-              const long ox = (cx + dx + nc) % nc;
-              const long oy = (cy + dy + nc) % nc;
-              const long oz = (cz + dz + nc) % nc;
-              const std::size_t o = (ox * nc + oy) * nc + oz;
-              for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1];
-                   ++u) {
-                for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1];
-                     ++v) {
-                  const std::size_t a = particles_[u], b = particles_[v];
-                  const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
-                  const double r2 = norm2(d);
-                  if (r2 <= cut2)
-                    fn(std::min(a, b), std::max(a, b),
-                       a < b ? d : Vec3{-d.x, -d.y, -d.z}, r2);
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-void CellList::for_each_neighbor_of_all(
-    const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
-        fn) const {
-  const double cut2 = cutoff_ * cutoff_;
-  const long nc = static_cast<long>(ncell_);
-#pragma omp parallel for schedule(dynamic, 32)
-  for (std::size_t i = 0; i < pos_.size(); ++i) {
-    if (ncell_ == 1) {
-      for (std::size_t j = 0; j < pos_.size(); ++j) {
-        if (j == i) continue;
-        const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
-        const double r2 = norm2(d);
-        if (r2 <= cut2) fn(i, j, d, r2);
-      }
-      continue;
-    }
-    // Home cell coordinates of particle i.
-    const std::size_t home = cell_of(pos_[i]);
-    const long cx = static_cast<long>(home / (ncell_ * ncell_));
-    const long cy = static_cast<long>((home / ncell_) % ncell_);
-    const long cz = static_cast<long>(home % ncell_);
-    for (long dx = -1; dx <= 1; ++dx) {
-      for (long dy = -1; dy <= 1; ++dy) {
-        for (long dz = -1; dz <= 1; ++dz) {
-          const long ox = (cx + dx + nc) % nc;
-          const long oy = (cy + dy + nc) % nc;
-          const long oz = (cz + dz + nc) % nc;
-          const std::size_t o = (ox * nc + oy) * nc + oz;
-          for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1]; ++v) {
-            const std::size_t j = particles_[v];
-            if (j == i) continue;
-            const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
-            const double r2 = norm2(d);
-            if (r2 <= cut2) fn(i, j, d, r2);
-          }
-        }
-      }
-    }
-  }
 }
 
 }  // namespace hbd

@@ -1,11 +1,18 @@
 // Verlet cell lists (paper ref. [27]) for linear-time enumeration of
 // particle pairs within a cutoff under cubic periodic boundary conditions.
 // Used to assemble the sparse real-space Ewald operator and to evaluate
-// short-range steric forces.
+// short-range steric forces, either directly or through the persistent
+// NeighborList built on top.
+//
+// Iteration is templated on the callable so the per-pair dispatch inlines
+// (no std::function indirection on the hot path), and the periodic cell
+// wrap is resolved once per (re)build into neighbor-cell index tables — the
+// inner loops perform no modulo arithmetic.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -13,46 +20,130 @@
 
 namespace hbd {
 
-/// Spatial hash of particles into a uniform grid of cells with side ≥ cutoff.
-class CellList {
- public:
-  /// Builds the list for particles in a cubic box of width `box` (positions
-  /// may lie outside [0, box); they are wrapped).  `cutoff` must be positive
-  /// and at most box/2 for the minimum-image pair enumeration to be exact.
-  CellList(std::span<const Vec3> pos, double box, double cutoff);
-
-  std::size_t num_cells_per_dim() const { return ncell_; }
-
-  /// Calls fn(i, j, rij, r2) for every unordered pair (i < j) whose
-  /// minimum-image distance is at most the cutoff.  rij is the
-  /// minimum-image displacement r_i − r_j and r2 = |rij|².  Serial order.
-  void for_each_pair(
-      const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
-          fn) const;
-
-  /// Parallel variant: for every particle i (OpenMP over i), calls
-  /// fn(i, j, rij, r2) for ALL neighbors j ≠ i within the cutoff (each pair
-  /// seen from both sides, so per-i accumulation needs no synchronization).
-  void for_each_neighbor_of_all(
-      const std::function<void(std::size_t, std::size_t, const Vec3&, double)>&
-          fn) const;
-
- private:
-  std::size_t cell_of(const Vec3& p) const;
-
-  std::span<const Vec3> pos_;
-  double box_;
-  double cutoff_;
-  std::size_t ncell_;                      // cells per dimension
-  std::vector<std::uint32_t> cell_start_;  // CSR-style cell → particle index
-  std::vector<std::uint32_t> particles_;   // particle ids sorted by cell
-};
-
 /// Minimum-image displacement a − b in a cubic box.
 inline Vec3 minimum_image(const Vec3& a, const Vec3& b, double box) {
   Vec3 d = a - b;
   for (int c = 0; c < 3; ++c) d[c] -= box * std::round(d[c] / box);
   return d;
 }
+
+/// Spatial hash of particles into a uniform grid of cells with side ≥ cutoff.
+class CellList {
+ public:
+  CellList() = default;
+
+  /// Builds the list for particles in a cubic box of width `box` (positions
+  /// may lie outside [0, box); they are wrapped).  `cutoff` must be positive;
+  /// pair enumeration is exact for cutoffs up to box/2 (minimum image).
+  CellList(std::span<const Vec3> pos, double box, double cutoff) {
+    rebuild(pos, box, cutoff);
+  }
+
+  /// (Re)bins the particles, reusing all internal storage — steady-state
+  /// rebuilds with unchanged n and grid perform no allocation.  The list
+  /// keeps a reference to `pos`; it must outlive any iteration call.
+  void rebuild(std::span<const Vec3> pos, double box, double cutoff);
+
+  std::size_t num_cells_per_dim() const { return ncell_; }
+  std::size_t particles() const { return pos_.size(); }
+
+  /// Calls fn(i, j, rij, r2) for every unordered pair (i < j) whose
+  /// minimum-image distance is at most the cutoff.  rij is the
+  /// minimum-image displacement r_i − r_j and r2 = |rij|².  Serial order.
+  template <class Fn>
+  void for_each_pair(Fn&& fn) const {
+    const double cut2 = cutoff_ * cutoff_;
+    if (ncell_ == 1) {
+      // Fallback: all pairs.
+      for (std::size_t a = 0; a < pos_.size(); ++a) {
+        for (std::size_t b = a + 1; b < pos_.size(); ++b) {
+          const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+          const double r2 = norm2(d);
+          if (r2 <= cut2) fn(a, b, d, r2);
+        }
+      }
+      return;
+    }
+    const std::size_t total = ncell_ * ncell_ * ncell_;
+    for (std::size_t c = 0; c < total; ++c) {
+      // Pairs within cell c.
+      for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1]; ++u) {
+        for (std::size_t v = u + 1; v < cell_start_[c + 1]; ++v) {
+          const std::size_t a = particles_[u], b = particles_[v];
+          const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+          const double r2 = norm2(d);
+          if (r2 <= cut2) fn(a, b, d, r2);
+        }
+      }
+      // Pairs with half the neighboring cells (avoid double visits).
+      const std::uint32_t* half = nbr_half_.data() + kHalfStencil * c;
+      for (int k = 0; k < kHalfStencil; ++k) {
+        const std::size_t o = half[k];
+        for (std::size_t u = cell_start_[c]; u < cell_start_[c + 1]; ++u) {
+          for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1]; ++v) {
+            const std::size_t a = particles_[u], b = particles_[v];
+            const Vec3 d = minimum_image(pos_[a], pos_[b], box_);
+            const double r2 = norm2(d);
+            if (r2 <= cut2)
+              fn(std::min(a, b), std::max(a, b),
+                 a < b ? d : Vec3{-d.x, -d.y, -d.z}, r2);
+          }
+        }
+      }
+    }
+  }
+
+  /// Parallel variant: for every particle i (OpenMP over i), calls
+  /// fn(i, j, rij, r2) for ALL neighbors j ≠ i within the cutoff (each pair
+  /// seen from both sides, so per-i accumulation needs no synchronization).
+  template <class Fn>
+  void for_each_neighbor_of_all(Fn&& fn) const {
+    const double cut2 = cutoff_ * cutoff_;
+#pragma omp parallel for schedule(dynamic, 32)
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      if (ncell_ == 1) {
+        for (std::size_t j = 0; j < pos_.size(); ++j) {
+          if (j == i) continue;
+          const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
+          const double r2 = norm2(d);
+          if (r2 <= cut2) fn(i, j, d, r2);
+        }
+        continue;
+      }
+      const std::uint32_t* nbr =
+          nbr_full_.data() + kFullStencil * cell_of_particle_[i];
+      for (int k = 0; k < kFullStencil; ++k) {
+        const std::size_t o = nbr[k];
+        for (std::size_t v = cell_start_[o]; v < cell_start_[o + 1]; ++v) {
+          const std::size_t j = particles_[v];
+          if (j == i) continue;
+          const Vec3 d = minimum_image(pos_[i], pos_[j], box_);
+          const double r2 = norm2(d);
+          if (r2 <= cut2) fn(i, j, d, r2);
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr int kFullStencil = 27;  // 3×3×3 neighborhood, self included
+  static constexpr int kHalfStencil = 13;  // lexicographically positive half
+
+  std::size_t cell_of(const Vec3& p) const;
+  void build_neighbor_tables();
+
+  std::span<const Vec3> pos_;
+  double box_ = 0.0;
+  double cutoff_ = 0.0;
+  std::size_t ncell_ = 0;                  // cells per dimension
+  std::vector<std::uint32_t> cell_start_;  // CSR-style cell → particle index
+  std::vector<std::uint32_t> particles_;   // particle ids sorted by cell
+  std::vector<std::uint32_t> cell_of_particle_;  // home cell of each particle
+  std::vector<std::uint32_t> cursor_;            // counting-sort scratch
+  // Periodic neighbor-cell tables, rebuilt only when the grid resolution
+  // changes: for each cell its 27-cell stencil and the 13-cell half stencil.
+  std::vector<std::uint32_t> nbr_full_;
+  std::vector<std::uint32_t> nbr_half_;
+};
 
 }  // namespace hbd

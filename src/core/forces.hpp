@@ -5,9 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "common/neighbor_list.hpp"
 #include "common/vec3.hpp"
 
 namespace hbd {
@@ -19,6 +21,17 @@ class ForceField {
   virtual ~ForceField() = default;
   virtual void add_forces(std::span<const Vec3> pos, double box,
                           std::span<double> f) const = 0;
+
+  /// Neighbor-aware entry point used by the BD drivers: `neighbors` is the
+  /// simulation-owned list, already updated for `pos` (or nullptr).  Pair
+  /// forces whose cutoff fits under the list's reuse it instead of building
+  /// private neighbor structures; the default forwards to the 3-argument
+  /// overload.
+  virtual void add_forces(std::span<const Vec3> pos, double box,
+                          std::span<double> f,
+                          const NeighborList* /*neighbors*/) const {
+    add_forces(pos, box, f);
+  }
 };
 
 /// Paper Sec. V-A: repulsive harmonic contact force
@@ -30,10 +43,19 @@ class RepulsiveHarmonic : public ForceField {
       : radius_(radius), k_(spring_k) {}
   void add_forces(std::span<const Vec3> pos, double box,
                   std::span<double> f) const override;
+  /// Reuses the shared list when its cutoff covers 2a; otherwise falls back
+  /// to a private persistent skin-padded list.  Not thread-safe across
+  /// concurrent calls (the fallback list is mutable state).
+  void add_forces(std::span<const Vec3> pos, double box, std::span<double> f,
+                  const NeighborList* neighbors) const override;
 
  private:
+  /// Revalidates (or creates) the private fallback list for `pos`.
+  const NeighborList& own_list(std::span<const Vec3> pos, double box) const;
+
   double radius_;
   double k_;
+  mutable std::optional<NeighborList> own_;
 };
 
 /// Harmonic bonds f = −k·(r − r0)·r̂ between listed particle pairs
@@ -73,6 +95,8 @@ class CompositeForce : public ForceField {
   }
   void add_forces(std::span<const Vec3> pos, double box,
                   std::span<double> f) const override;
+  void add_forces(std::span<const Vec3> pos, double box, std::span<double> f,
+                  const NeighborList* neighbors) const override;
 
  private:
   std::vector<std::shared_ptr<const ForceField>> fields_;

@@ -9,7 +9,14 @@
 namespace hbd {
 
 RdfAccumulator::RdfAccumulator(double box, double rmax, std::size_t bins)
-    : box_(box), rmax_(rmax), bins_(bins), counts_(bins, 0.0) {
+    : box_(box),
+      rmax_(rmax),
+      bins_(bins),
+      counts_(bins, 0.0),
+      // Skin sized so closely spaced trajectory snapshots revalidate the
+      // stored pairs in O(n) instead of re-binning; the bin filter is on the
+      // exact distance, so the skin never changes a count.
+      list_(box, rmax, 0.1 * rmax) {
   HBD_CHECK(rmax > 0.0 && rmax <= 0.5 * box && bins >= 1);
 }
 
@@ -19,13 +26,14 @@ void RdfAccumulator::add_snapshot(std::span<const Vec3> pos) {
   else
     HBD_CHECK(pos.size() == particles_);
   const double dr = rmax_ / static_cast<double>(bins_);
-  CellList cl(pos, box_, rmax_);
-  cl.for_each_pair([&](std::size_t, std::size_t, const Vec3&, double r2) {
-    const double r = std::sqrt(r2);
-    const std::size_t bin =
-        std::min(bins_ - 1, static_cast<std::size_t>(r / dr));
-    counts_[bin] += 2.0;  // each pair contributes to both particles
-  });
+  list_.update(pos);
+  list_.for_each_pair(
+      pos, rmax_, [&](std::size_t, std::size_t, const Vec3&, double r2) {
+        const double r = std::sqrt(r2);
+        const std::size_t bin =
+            std::min(bins_ - 1, static_cast<std::size_t>(r / dr));
+        counts_[bin] += 2.0;  // each pair contributes to both particles
+      });
   ++snapshots_;
 }
 

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "common/neighbor_list.hpp"
 #include "common/vec3.hpp"
 
 namespace hbd {
@@ -38,6 +39,10 @@ class RdfAccumulator {
   std::size_t snapshots_ = 0;
   std::size_t particles_ = 0;
   std::vector<double> counts_;
+  // Persistent pair enumeration across snapshots: binning storage is reused
+  // and nothing is re-enumerated when consecutive snapshots are close
+  // (sub-half-skin motion, e.g. frequent sampling of a BD trajectory).
+  NeighborList list_;
 };
 
 }  // namespace hbd

@@ -11,14 +11,21 @@ namespace {
 
 /// One propagation step shared by both drivers:
 /// r += μ0·(M̃ f)·Δt + d, with d the pre-sampled Brownian displacement.
+/// `neighbors` is the simulation-owned list shared with the force fields
+/// (nullptr for the dense driver); the wrapped/force/velocity buffers are
+/// caller-owned scratch so steady-state stepping allocates nothing.
 void propagate(ParticleSystem& system,
                const std::shared_ptr<const ForceField>& forces,
                const BdConfig& config, MobilityOperator& mobility,
-               const Matrix& displacements, std::size_t column) {
+               const Matrix& displacements, std::size_t column,
+               NeighborList* neighbors, std::vector<Vec3>& wrapped,
+               std::vector<double>& f, std::vector<double>& u) {
   const std::size_t n = system.size();
-  const std::vector<Vec3> wrapped = system.wrapped_positions();
-  std::vector<double> f(3 * n, 0.0), u(3 * n, 0.0);
-  if (forces) forces->add_forces(wrapped, system.box, f);
+  system.wrapped_positions(wrapped);
+  f.assign(3 * n, 0.0);
+  u.assign(3 * n, 0.0);
+  if (neighbors) neighbors->update(wrapped);
+  if (forces) forces->add_forces(wrapped, system.box, f, neighbors);
   mobility.apply(f, u);
   const double h = config.mu0 * config.dt;
 #pragma omp parallel for schedule(static)
@@ -48,9 +55,9 @@ EwaldBdSimulation::EwaldBdSimulation(ParticleSystem system,
 }
 
 void EwaldBdSimulation::rebuild() {
-  const std::vector<Vec3> wrapped = system_.wrapped_positions();
+  system_.wrapped_positions(wrapped_);
   mobility_.emplace(
-      ewald_mobility_dense(wrapped, system_.box, system_.radius,
+      ewald_mobility_dense(wrapped_, system_.box, system_.radius,
                            ewald_params_));
   if (config_.kbt == 0.0) {
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
@@ -68,7 +75,8 @@ void EwaldBdSimulation::step(std::size_t nsteps) {
   for (std::size_t s = 0; s < nsteps; ++s) {
     if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
     propagate(system_, forces_, config_, *mobility_, displacements_,
-              block_cursor_);
+              block_cursor_, /*neighbors=*/nullptr, wrapped_, forces_scratch_,
+              velocity_scratch_);
     ++block_cursor_;
     ++steps_;
   }
@@ -90,14 +98,22 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
       forces_(std::move(forces)),
       config_(config),
       pme_params_(pme_params),
-      rng_(config.seed) {
+      rng_(config.seed),
+      nlist_(std::make_shared<NeighborList>(system_.box, pme_params.rmax,
+                                            pme_params.skin)) {
   HBD_CHECK(config_.lambda_rpy >= 1);
   krylov_config_.tolerance = krylov_tol;
 }
 
 void MatrixFreeBdSimulation::rebuild() {
-  const std::vector<Vec3> wrapped = system_.wrapped_positions();
-  pme_.emplace(wrapped, system_.box, system_.radius, pme_params_);
+  system_.wrapped_positions(wrapped_);
+  // First rebuild constructs the operator (sharing the simulation-owned
+  // neighbor list); subsequent mobility updates refresh it in place,
+  // reusing the FFT plans, influence table, and the BCSR pattern.
+  if (!pme_)
+    pme_.emplace(wrapped_, system_.box, system_.radius, pme_params_, nlist_);
+  else
+    pme_->update(wrapped_);
   if (config_.kbt == 0.0) {
     // Athermal (pure drift) run: no Brownian displacements to sample.
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
@@ -118,7 +134,8 @@ void MatrixFreeBdSimulation::step(std::size_t nsteps) {
   for (std::size_t s = 0; s < nsteps; ++s) {
     if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
     PmeMobility mob(*pme_);
-    propagate(system_, forces_, config_, mob, displacements_, block_cursor_);
+    propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
+              nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
     ++block_cursor_;
     ++steps_;
   }

@@ -12,7 +12,9 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "common/neighbor_list.hpp"
 #include "common/rng.hpp"
 #include "core/brownian.hpp"
 #include "core/forces.hpp"
@@ -61,6 +63,11 @@ class EwaldBdSimulation {
   Matrix displacements_;        // 3n×λ block of Brownian displacements
   std::size_t block_cursor_ = 0;
   std::size_t steps_ = 0;
+
+  // Per-step scratch (wrapped positions, forces, velocities), allocated once.
+  std::vector<Vec3> wrapped_;
+  std::vector<double> forces_scratch_;
+  std::vector<double> velocity_scratch_;
 };
 
 class MatrixFreeBdSimulation {
@@ -80,6 +87,9 @@ class MatrixFreeBdSimulation {
   const KrylovStats& last_krylov_stats() const { return krylov_stats_; }
   /// The current PME operator (valid after the first step).
   PmeOperator* pme() { return pme_ ? &*pme_ : nullptr; }
+  /// The simulation-owned neighbor list shared by the real-space assembly
+  /// and the steric forces (cutoff = PME rmax, padded by the PME skin).
+  const NeighborList& neighbor_list() const { return *nlist_; }
 
  private:
   void rebuild();
@@ -91,11 +101,17 @@ class MatrixFreeBdSimulation {
   KrylovConfig krylov_config_;
   Xoshiro256 rng_;
 
+  std::shared_ptr<NeighborList> nlist_;
   std::optional<PmeOperator> pme_;
   KrylovStats krylov_stats_;
   Matrix displacements_;
   std::size_t block_cursor_ = 0;
   std::size_t steps_ = 0;
+
+  // Per-step scratch (wrapped positions, forces, velocities), allocated once.
+  std::vector<Vec3> wrapped_;
+  std::vector<double> forces_scratch_;
+  std::vector<double> velocity_scratch_;
 };
 
 }  // namespace hbd

@@ -14,14 +14,21 @@ double ParticleSystem::volume_fraction() const {
 }
 
 std::vector<Vec3> ParticleSystem::wrapped_positions() const {
-  std::vector<Vec3> w = positions;
-  for (Vec3& r : w) {
+  std::vector<Vec3> w;
+  wrapped_positions(w);
+  return w;
+}
+
+void ParticleSystem::wrapped_positions(std::vector<Vec3>& out) const {
+  out.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Vec3 r = positions[i];
     for (int d = 0; d < 3; ++d) {
       r[d] = std::fmod(r[d], box);
       if (r[d] < 0.0) r[d] += box;
     }
+    out[i] = r;
   }
-  return w;
 }
 
 ParticleSystem random_suspension(std::size_t n, double box, double radius,

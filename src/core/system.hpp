@@ -27,6 +27,10 @@ struct ParticleSystem {
 
   /// Copies of the positions wrapped into [0, box)³.
   std::vector<Vec3> wrapped_positions() const;
+
+  /// Same, written into caller-owned storage (resized to n) — the
+  /// allocation-free per-step path of the BD drivers.
+  void wrapped_positions(std::vector<Vec3>& out) const;
 };
 
 /// Random sequential addition of n non-overlapping spheres (separation at

@@ -24,8 +24,7 @@ PairCoeffs rpy_pair(double r, double a) {
   return c;
 }
 
-void pair_tensor(const Vec3& rij, const PairCoeffs& c,
-                 std::array<double, 9>& block) {
+void pair_tensor(const Vec3& rij, const PairCoeffs& c, double* block) {
   const double r2 = norm2(rij);
   const double inv_r2 = 1.0 / r2;
   // g r̂r̂ᵀ = (g/r²) r rᵀ
@@ -35,9 +34,20 @@ void pair_tensor(const Vec3& rij, const PairCoeffs& c,
   const double gxy = c.g * rij.x * rij.y * inv_r2;
   const double gxz = c.g * rij.x * rij.z * inv_r2;
   const double gyz = c.g * rij.y * rij.z * inv_r2;
-  block = {c.f + gxx, gxy,       gxz,        //
-           gxy,       c.f + gyy, gyz,        //
-           gxz,       gyz,       c.f + gzz};
+  block[0] = c.f + gxx;
+  block[1] = gxy;
+  block[2] = gxz;
+  block[3] = gxy;
+  block[4] = c.f + gyy;
+  block[5] = gyz;
+  block[6] = gxz;
+  block[7] = gyz;
+  block[8] = c.f + gzz;
+}
+
+void pair_tensor(const Vec3& rij, const PairCoeffs& c,
+                 std::array<double, 9>& block) {
+  pair_tensor(rij, c, block.data());
 }
 
 PairCoeffs rpy_pair_poly(double r, double ai, double aj, double a_ref) {

@@ -25,7 +25,8 @@ struct PairCoeffs {
 PairCoeffs rpy_pair(double r, double a);
 
 /// Writes the 3×3 tensor f·I + g·r̂r̂ᵀ for displacement vector rij into
-/// `block` (row-major).
+/// `block` (row-major, 9 doubles).
+void pair_tensor(const Vec3& rij, const PairCoeffs& c, double* block);
 void pair_tensor(const Vec3& rij, const PairCoeffs& c,
                  std::array<double, 9>& block);
 

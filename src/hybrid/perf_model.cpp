@@ -147,6 +147,40 @@ double PmePerfModel::t_realspace(std::size_t n, double neighbors) const {
                   flops / (hw_.peak_dp_gflops * 1e9));
 }
 
+double PmePerfModel::t_realspace_assembly(std::size_t n,
+                                          double neighbors) const {
+  const double blocks = static_cast<double>(n) * (neighbors + 1.0);
+  // Write 72 B of values per block, read the 4 B column index and the 24 B
+  // neighbor position; positions of the row owners stream once.
+  const double bytes = blocks * (72.0 + 4.0 + 24.0) + 24.0 * n;
+  // Minimum image + distance, erfc/exp pair coefficients, 3×3 outer product.
+  const double flops = blocks * 200.0;
+  return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
+                  flops / (hw_.peak_dp_gflops * 1e9));
+}
+
+double PmePerfModel::t_neighbor_rebuild(std::size_t n, double neighbors) const {
+  constexpr double kStencilOverVolume = 27.0 / (4.0 / 3.0 * std::numbers::pi);
+  const double candidates =
+      static_cast<double>(n) * neighbors * kStencilOverVolume;
+  // Candidate distance checks dominate the arithmetic; binning and the
+  // per-row column sort dominate the traffic (cols written by the fill pass
+  // and rewritten by the sort).
+  const double flops = candidates * 20.0 + 30.0 * static_cast<double>(n);
+  const double bytes = candidates * 24.0 +
+                       static_cast<double>(n) * (neighbors * 8.0 + 32.0);
+  return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
+                  flops / (hw_.peak_dp_gflops * 1e9));
+}
+
+double PmePerfModel::t_realspace_overhead(std::size_t n, double neighbors,
+                                          std::size_t lambda,
+                                          double rebuild_interval) const {
+  if (lambda == 0 || rebuild_interval <= 0.0) return 0.0;
+  return t_realspace_assembly(n, neighbors) / static_cast<double>(lambda) +
+         t_neighbor_rebuild(n, neighbors) / rebuild_interval;
+}
+
 double PmePerfModel::t_offload_transfer(std::size_t n) const {
   if (hw_.pcie_bw_gbs <= 0.0) return 0.0;
   return 2.0 * 24.0 * static_cast<double>(n) / (hw_.pcie_bw_gbs * 1e9);

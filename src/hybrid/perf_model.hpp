@@ -93,6 +93,28 @@ class PmePerfModel {
   /// neighbors per particle.
   double t_realspace(std::size_t n, double neighbors) const;
 
+  /// In-place value refresh of the near-field BCSR matrix (one per mobility
+  /// update): streams the fixed pattern (76 B/block read+write of the
+  /// values plus the column indices and positions) and evaluates the
+  /// erfc/exp Beenakker pair tensor per block (~200 flops) — the flop term
+  /// dominates on flop-rich hardware, the value stream on bandwidth-bound.
+  double t_realspace_assembly(std::size_t n, double neighbors) const;
+
+  /// Skin-padded Verlet neighbor-list rebuild: counting-sort binning plus
+  /// the 27-cell candidate sweep (≈ 27/(4π/3) ≈ 6.45 candidate distances
+  /// per stored neighbor, ~20 flops each) and the CSR fill/sort traffic.
+  double t_neighbor_rebuild(std::size_t n, double neighbors) const;
+
+  /// Amortized per-step overhead of the persistent real-space pipeline: one
+  /// value refresh per mobility update (λ steps) plus one neighbor rebuild
+  /// per `rebuild_interval` steps (the list's measured
+  /// mean_rebuild_interval, or an estimate skin/(2·max step)).  Zero when
+  /// either interval is unset — the pre-persistent model is the λ → ∞,
+  /// interval → ∞ limit.
+  double t_realspace_overhead(std::size_t n, double neighbors,
+                              std::size_t lambda,
+                              double rebuild_interval) const;
+
   /// Average neighbor count for cutoff rmax in a box of width L.
   static double mean_neighbors(std::size_t n, double rmax, double box);
 

@@ -27,7 +27,8 @@ void derive_cutoffs(double xi, double box, double ep_target, double* rmax,
 
 HybridPlan tune_splitting(const Device& host, const Device& accelerator,
                           std::size_t n, double box, int order,
-                          double ep_target) {
+                          double ep_target, std::size_t lambda,
+                          double rebuild_interval) {
   const double s = std::sqrt(std::log(10.0 / ep_target));
   // ξ range: from "everything in real space" (rmax = L/2) to a real-space
   // cutoff of two particle diameters.
@@ -44,7 +45,12 @@ HybridPlan tune_splitting(const Device& host, const Device& accelerator,
     std::size_t mesh = 0;
     derive_cutoffs(xi, box, ep_target, &rmax, &mesh);
     const double nbr = PmePerfModel::mean_neighbors(n, rmax, box);
-    const double t_real = host.model.t_realspace(n, nbr);
+    // Host-side work per step: the SpMV plus the amortized assembly/rebuild
+    // of the persistent near-field structures (both CPU work, so both must
+    // fit under the overlapped accelerator reciprocal sweep).
+    const double t_real =
+        host.model.t_realspace(n, nbr) +
+        host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval);
     const double t_recip = accelerator.model.t_recip(mesh, order, n) +
                            accelerator.model.t_offload_transfer(n);
     // Host and accelerator overlap: the step takes the slower of the two.
@@ -157,7 +163,7 @@ BdStepModel model_bd_step(const Device& host,
                           const std::vector<Device>& accelerators,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
-                          int krylov_iterations) {
+                          int krylov_iterations, double rebuild_interval) {
   BdStepModel out;
 
   // ---- CPU-only: balanced splitting on the host alone --------------------
@@ -186,8 +192,10 @@ BdStepModel model_bd_step(const Device& host,
       const double t_block =
           t_real_block + host.model.t_recip_block(mesh, order, n, lambda);
       const double t_step =
-          t_single + static_cast<double>(krylov_iterations) * t_block /
-                         static_cast<double>(lambda);
+          t_single +
+          static_cast<double>(krylov_iterations) * t_block /
+              static_cast<double>(lambda) +
+          host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval);
       if (t_step < best) best = t_step;
     }
     out.cpu_only = best;
@@ -196,7 +204,8 @@ BdStepModel model_bd_step(const Device& host,
   // ---- Hybrid -------------------------------------------------------------
   if (!accelerators.empty()) {
     const HybridPlan plan =
-        tune_splitting(host, accelerators.front(), n, box, order, ep_target);
+        tune_splitting(host, accelerators.front(), n, box, order, ep_target,
+                       lambda, rebuild_interval);
     // Line 9 (single vector, once per step): host real ∥ accelerator recip.
     const double t_line9 = plan.t_single;
     // Line 6 (block of λ columns × krylov_iterations): real-space block on

@@ -38,10 +38,16 @@ struct HybridPlan {
 /// Sweeps the splitting parameter so that one real-space evaluation on the
 /// host overlaps one reciprocal evaluation on the accelerator (paper's α
 /// tuning).  `ep_target` fixes the truncation-error budget that couples
-/// rmax(ξ) and K(ξ).
+/// rmax(ξ) and K(ξ).  The host real-space term includes the amortized cost
+/// of the persistent near-field pipeline — one BCSR value refresh per
+/// mobility update (`lambda` steps) and one Verlet rebuild per
+/// `rebuild_interval` steps — which grows with rmax and therefore pulls the
+/// balanced ξ toward finer splittings; pass lambda = 0 (or a non-positive
+/// interval) for the legacy amortization-free model.
 HybridPlan tune_splitting(const Device& host, const Device& accelerator,
                           std::size_t n, double box, int order,
-                          double ep_target);
+                          double ep_target, std::size_t lambda = 16,
+                          double rebuild_interval = 256.0);
 
 /// Static partition of `columns` reciprocal-space column tasks over the
 /// devices, proportional to speed; returns per-device column counts
@@ -78,10 +84,14 @@ struct BdStepModel {
   double speedup() const { return hybrid > 0.0 ? cpu_only / hybrid : 0.0; }
 };
 
+/// `rebuild_interval` is the measured (or estimated) steps between Verlet
+/// list rebuilds, feeding the amortized real-space pipeline overhead; a
+/// non-positive value disables the term.
 BdStepModel model_bd_step(const Device& host,
                           const std::vector<Device>& accelerators,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
-                          int krylov_iterations);
+                          int krylov_iterations,
+                          double rebuild_interval = 256.0);
 
 }  // namespace hbd

@@ -9,6 +9,7 @@
 #include "common/aligned.hpp"
 #include "common/cell_list.hpp"
 #include "common/error.hpp"
+#include "common/neighbor_list.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"

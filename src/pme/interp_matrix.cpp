@@ -26,16 +26,22 @@ InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
       order_(order),
       precompute_(precompute),
       kind_(kind),
-      scale_(static_cast<double>(mesh) / box),
-      pos_(pos.begin(), pos.end()) {
+      scale_(static_cast<double>(mesh) / box) {
   HBD_CHECK(order >= 2 && order <= kMaxOrder);
   HBD_CHECK_MSG(mesh >= static_cast<std::size_t>(order),
                 "PME mesh smaller than the spline order");
+  rebuild(pos);
+}
+
+void InterpMatrix::rebuild(std::span<const Vec3> pos) {
+  HBD_CHECK(pos.size() == n_);
+  const double box = static_cast<double>(mesh_) / scale_;
+  pos_.assign(pos.begin(), pos.end());
   // Wrap positions into the primary box once.
   for (Vec3& r : pos_)
     for (int d = 0; d < 3; ++d) r[d] = wrap(r[d], box);
 
-  const std::size_t p3 = static_cast<std::size_t>(order) * order * order;
+  const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
   if (precompute_) {
     cols_.resize(n_ * p3);
     vals_.resize(n_ * p3);
@@ -46,13 +52,13 @@ InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
 
   // ---- Independent-set schedule -------------------------------------------
   // Largest even number of blocks per dimension with block side ≥ p.
-  std::size_t nb = mesh / static_cast<std::size_t>(order);
+  std::size_t nb = mesh_ / static_cast<std::size_t>(order_);
   if (nb % 2 == 1) --nb;
   if (nb < 2) {
     nsets_ = 1;
     blocks_per_dim_ = 1;
     set_block_ids_.assign(1, {0});
-    block_start_ = {0, static_cast<std::uint32_t>(n_)};
+    block_start_.assign({0, static_cast<std::uint32_t>(n_)});
     block_particles_.resize(n_);
     for (std::size_t i = 0; i < n_; ++i)
       block_particles_[i] = static_cast<std::uint32_t>(i);
@@ -62,8 +68,8 @@ InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
   blocks_per_dim_ = nb;
 
   const std::size_t nblocks = nb * nb * nb;
-  std::vector<std::uint32_t> block_of(n_);
-  std::vector<std::uint32_t> count(nblocks + 1, 0);
+  block_of_.resize(n_);
+  block_start_.assign(nblocks + 1, 0);
   for (std::size_t i = 0; i < n_; ++i) {
     std::size_t b[3];
     for (int d = 0; d < 3; ++d) {
@@ -73,18 +79,19 @@ InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
       b[d] = static_cast<std::size_t>(base) * nb / mesh_;
     }
     const std::size_t id = (b[0] * nb + b[1]) * nb + b[2];
-    block_of[i] = static_cast<std::uint32_t>(id);
-    ++count[id + 1];
+    block_of_[i] = static_cast<std::uint32_t>(id);
+    ++block_start_[id + 1];
   }
-  for (std::size_t c = 0; c < nblocks; ++c) count[c + 1] += count[c];
-  block_start_ = count;
+  for (std::size_t c = 0; c < nblocks; ++c)
+    block_start_[c + 1] += block_start_[c];
   block_particles_.resize(n_);
-  std::vector<std::uint32_t> cursor(block_start_.begin(),
-                                    block_start_.end() - 1);
+  block_cursor_.assign(block_start_.begin(), block_start_.end() - 1);
   for (std::size_t i = 0; i < n_; ++i)
-    block_particles_[cursor[block_of[i]]++] = static_cast<std::uint32_t>(i);
+    block_particles_[block_cursor_[block_of_[i]]++] =
+        static_cast<std::uint32_t>(i);
 
-  set_block_ids_.assign(8, {});
+  if (set_block_ids_.size() != 8) set_block_ids_.assign(8, {});
+  for (auto& set : set_block_ids_) set.clear();  // capacity retained
   for (std::size_t bx = 0; bx < nb; ++bx)
     for (std::size_t by = 0; by < nb; ++by)
       for (std::size_t bz = 0; bz < nb; ++bz) {

@@ -42,6 +42,12 @@ class InterpMatrix {
                int order, bool precompute = true,
                InterpKind kind = InterpKind::bspline);
 
+  /// Recomputes the weights and the independent-set schedule for new
+  /// positions of the same particles, reusing all internal storage — no
+  /// allocation in steady state.  Produces exactly the state a fresh
+  /// InterpMatrix for `pos` would hold.
+  void rebuild(std::span<const Vec3> pos);
+
   std::size_t particles() const { return n_; }
   std::size_t mesh() const { return mesh_; }
   int order() const { return order_; }
@@ -107,6 +113,10 @@ class InterpMatrix {
   std::vector<std::vector<std::uint32_t>> set_block_ids_;  // per set
   std::vector<std::uint32_t> block_start_;  // CSR over flattened block id
   std::vector<std::uint32_t> block_particles_;
+
+  // rebuild() scratch, kept to avoid steady-state allocation.
+  std::vector<std::uint32_t> block_of_;
+  std::vector<std::uint32_t> block_cursor_;
 };
 
 }  // namespace hbd

@@ -8,22 +8,37 @@
 namespace hbd {
 
 PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
-                         const PmeParams& params)
+                         const PmeParams& params,
+                         std::shared_ptr<NeighborList> neighbors)
     : n_(pos.size()),
       box_(box),
       radius_(radius),
       params_(params),
-      real_(build_realspace_operator(pos, box, radius, params.xi,
-                                     params.rmax)),
+      real_(neighbors ? RealspaceOperator(box, radius, params.xi, params.rmax,
+                                          std::move(neighbors))
+                      : RealspaceOperator(box, radius, params.xi, params.rmax,
+                                          params.skin)),
       interp_(pos, box, params.mesh, params.order, params.precompute_interp,
               params.interp),
       influence_(params.mesh, box, radius, params.xi, params.order,
                  params.interp == InterpKind::bspline),
       fft_(params.mesh, params.mesh, params.mesh) {
+  real_.refresh(pos);
   const std::size_t m3 = params.mesh * params.mesh * params.mesh;
   for (auto& m : mesh_) m.resize(m3);
   for (auto& s : spec_) s.resize(fft_.complex_size());
   scratch_.resize(3 * n_);
+}
+
+void PmeOperator::update(std::span<const Vec3> pos) {
+  HBD_CHECK(pos.size() == n_);
+  // Position-dependent state only: the real-space matrix values refresh in
+  // place through the persistent neighbor list, the interpolation weights
+  // and independent-set schedule are recomputed into existing storage.  The
+  // influence table, FFT plans, and mesh/batch buffers depend only on the
+  // (fixed) mesh and box and are untouched.
+  real_.refresh(pos);
+  interp_.rebuild(pos);
 }
 
 void PmeOperator::ensure_batch_capacity(std::size_t s) {
@@ -35,11 +50,11 @@ void PmeOperator::ensure_batch_capacity(std::size_t s) {
 
 void PmeOperator::apply_real(std::span<const double> f,
                              std::span<double> u) const {
-  real_.multiply(f, u);
+  real_.matrix().multiply(f, u);
 }
 
 void PmeOperator::apply_real_block(const Matrix& f, Matrix& u) const {
-  real_.multiply_block(f, u);
+  real_.matrix().multiply_block(f, u);
 }
 
 void PmeOperator::apply_recip(std::span<const double> f,
@@ -75,7 +90,7 @@ void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
   apply_recip(f, u);
   {
     ScopedPhase t(&timers_, "realspace");
-    real_.multiply(f, {scratch_.data(), scratch_.size()});
+    real_.matrix().multiply(f, {scratch_.data(), scratch_.size()});
   }
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < 3 * n_; ++i) u[i] += scratch_[i];
@@ -118,7 +133,7 @@ void PmeOperator::apply_block(const Matrix& f, Matrix& u) {
   // Real-space: one multi-vector BCSR product.
   {
     ScopedPhase t(&timers_, "realspace");
-    real_.multiply_block(f, u);
+    real_.matrix().multiply_block(f, u);
   }
   // Reciprocal: all s columns in one batched pass per phase.
   recip_block(f, u, /*accumulate=*/true);
@@ -130,7 +145,8 @@ std::size_t PmeOperator::bytes() const {
          batch_mesh_.size() * sizeof(double) +
          batch_spec_.size() * sizeof(Complex) + scratch_.size() * sizeof(double) +
          interp_.bytes() + influence_.bytes() +
-         real_.nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t));
+         real_.matrix().nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t)) +
+         real_.neighbors().bytes();
 }
 
 }  // namespace hbd

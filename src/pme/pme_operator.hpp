@@ -16,8 +16,10 @@
 #include "common/vec3.hpp"
 #include "fft/fft.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "common/neighbor_list.hpp"
 #include "pme/influence.hpp"
 #include "pme/interp_matrix.hpp"
+#include "pme/realspace.hpp"
 #include "sparse/bcsr3.hpp"
 
 namespace hbd {
@@ -28,6 +30,11 @@ struct PmeParams {
   int order = 6;          ///< interpolation order p (even)
   double rmax = 4.0;      ///< real-space cutoff (≤ box/2)
   double xi = 0.5;        ///< Ewald splitting parameter (paper's α)
+  /// Verlet skin added to rmax for the persistent neighbor list: update()
+  /// refreshes the real-space values in place and only re-enumerates pairs
+  /// when a particle drifts past skin/2.  Skin pairs hold zero blocks, so
+  /// the operator itself is independent of the skin.
+  double skin = 0.5;
   bool precompute_interp = true;  ///< store P vs recompute on the fly
   /// SPME B-splines (default) or original-PME Lagrangian interpolation.
   InterpKind interp = InterpKind::bspline;
@@ -35,8 +42,20 @@ struct PmeParams {
 
 class PmeOperator {
  public:
+  /// `neighbors` optionally shares a simulation-owned NeighborList with the
+  /// real-space assembly (cutoff ≥ params.rmax); by default the operator
+  /// owns a private list with params.skin.
   PmeOperator(std::span<const Vec3> pos, double box, double radius,
-              const PmeParams& params);
+              const PmeParams& params,
+              std::shared_ptr<NeighborList> neighbors = nullptr);
+
+  /// Re-targets the operator at new positions of the same particles: the
+  /// real-space matrix is refreshed in place through the persistent neighbor
+  /// list and the interpolation weights are recomputed; the FFT plans,
+  /// influence table, and all mesh/batch buffers are reused.  This is the
+  /// per-mobility-update path (Algorithm 2 line 4) — no allocation in steady
+  /// state.
+  void update(std::span<const Vec3> pos);
 
   std::size_t particles() const { return n_; }
   const PmeParams& params() const { return params_; }
@@ -73,7 +92,8 @@ class PmeOperator {
   /// Resident bytes of the operator (meshes + P + influence + M_real).
   std::size_t bytes() const;
 
-  const Bcsr3Matrix& realspace_matrix() const { return real_; }
+  const Bcsr3Matrix& realspace_matrix() const { return real_.matrix(); }
+  const RealspaceOperator& realspace() const { return real_; }
   const InterpMatrix& interp_matrix() const { return interp_; }
 
  private:
@@ -88,7 +108,7 @@ class PmeOperator {
   double box_, radius_;
   PmeParams params_;
 
-  Bcsr3Matrix real_;
+  RealspaceOperator real_;
   InterpMatrix interp_;
   InfluenceFunction influence_;
   Fft3d fft_;

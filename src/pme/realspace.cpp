@@ -1,50 +1,115 @@
 #include "pme/realspace.hpp"
 
-#include <array>
 #include <cmath>
 
-#include "common/cell_list.hpp"
 #include "common/error.hpp"
 #include "ewald/beenakker.hpp"
 
 namespace hbd {
 
-Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,
-                                     double radius, double xi, double rmax) {
-  const std::size_t n = pos.size();
+RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
+                                     double rmax, double skin)
+    : RealspaceOperator(box, radius, xi, rmax,
+                        std::make_shared<NeighborList>(box, rmax, skin)) {}
+
+RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
+                                     double rmax,
+                                     std::shared_ptr<NeighborList> neighbors)
+    : box_(box),
+      radius_(radius),
+      xi_(xi),
+      rmax_(rmax),
+      neighbors_(std::move(neighbors)) {
   HBD_CHECK_MSG(rmax <= 0.5 * box,
                 "real-space cutoff must not exceed half the box width");
+  HBD_CHECK(neighbors_ != nullptr);
+  HBD_CHECK_MSG(neighbors_->box() == box && neighbors_->cutoff() >= rmax,
+                "shared neighbor list does not cover the real-space cutoff");
+}
 
-  std::vector<std::vector<std::uint32_t>> cols(n);
-  std::vector<std::vector<std::array<double, 9>>> blocks(n);
-
-  // Diagonal: the Ewald self term.
-  const double self = beenakker_self(radius, xi);
-  for (std::size_t i = 0; i < n; ++i) {
-    cols[i].push_back(static_cast<std::uint32_t>(i));
-    blocks[i].push_back(
-        {self, 0.0, 0.0, 0.0, self, 0.0, 0.0, 0.0, self});
+void RealspaceOperator::refresh(std::span<const Vec3> pos) {
+  neighbors_->update(pos);
+  if (neighbors_->build_count() != pattern_generation_) {
+    rebuild_pattern();
+    pattern_generation_ = neighbors_->build_count();
   }
+  refresh_values(pos);
+}
 
-  // Off-diagonal: near-field Beenakker tensors.  The parallel neighbor sweep
-  // visits each pair from both sides, so each thread fills only row i.
-  CellList cl(pos, box, rmax);
-  cl.for_each_neighbor_of_all([&](std::size_t i, std::size_t j,
-                                  const Vec3& rij, double r2) {
-    const double r = std::sqrt(r2);
-    PairCoeffs c = beenakker_real(r, radius, xi);
-    if (r < 2.0 * radius) {
-      const PairCoeffs corr = rpy_overlap_correction(r, radius);
-      c.f += corr.f;
-      c.g += corr.g;
+void RealspaceOperator::rebuild_pattern() {
+  const std::size_t n = neighbors_->particles();
+  const auto list_ptr = neighbors_->row_ptr();
+  const auto list_cols = neighbors_->cols();
+
+  row_counts_.resize(n);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i)
+    row_counts_[i] = list_ptr[i + 1] - list_ptr[i] + 1;  // + diagonal
+  matrix_.resize_pattern(n, row_counts_);
+
+  // Merge the diagonal into each row's (already sorted) neighbor columns.
+  const auto mat_ptr = matrix_.row_ptr();
+  auto mat_cols = matrix_.col_idx_mut();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t t = mat_ptr[i];
+    std::size_t s = list_ptr[i];
+    const std::uint32_t diag = static_cast<std::uint32_t>(i);
+    while (s < list_ptr[i + 1] && list_cols[s] < diag)
+      mat_cols[t++] = list_cols[s++];
+    mat_cols[t++] = diag;
+    while (s < list_ptr[i + 1]) mat_cols[t++] = list_cols[s++];
+  }
+  ++pattern_builds_;
+}
+
+void RealspaceOperator::refresh_values(std::span<const Vec3> pos) {
+  const std::size_t n = neighbors_->particles();
+  const double cut2 = rmax_ * rmax_;
+  const double self = beenakker_self(radius_, xi_);
+  const auto mat_ptr = matrix_.row_ptr();
+  const auto mat_cols = matrix_.col_idx();
+  auto values = matrix_.values_mut();
+
+#pragma omp parallel for schedule(dynamic, 32)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 pi = pos[i];
+    for (std::size_t t = mat_ptr[i]; t < mat_ptr[i + 1]; ++t) {
+      double* b = values.data() + 9 * t;
+      const std::size_t j = mat_cols[t];
+      if (j == i) {
+        // Diagonal: the Ewald self term.
+        b[0] = self;
+        b[1] = b[2] = b[3] = 0.0;
+        b[4] = self;
+        b[5] = b[6] = b[7] = 0.0;
+        b[8] = self;
+        continue;
+      }
+      const Vec3 rij = minimum_image(pi, pos[j], box_);
+      const double r2 = norm2(rij);
+      if (r2 > cut2) {
+        // Skin-shell pair: listed for pattern stability, contributes 0.
+        for (int k = 0; k < 9; ++k) b[k] = 0.0;
+        continue;
+      }
+      const double r = std::sqrt(r2);
+      PairCoeffs c = beenakker_real(r, radius_, xi_);
+      if (r < 2.0 * radius_) {
+        const PairCoeffs corr = rpy_overlap_correction(r, radius_);
+        c.f += corr.f;
+        c.g += corr.g;
+      }
+      pair_tensor(rij, c, b);
     }
-    std::array<double, 9> b;
-    pair_tensor(rij, c, b);
-    cols[i].push_back(static_cast<std::uint32_t>(j));
-    blocks[i].push_back(b);
-  });
+  }
+}
 
-  return Bcsr3Matrix::from_blocks(n, cols, blocks);
+Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,
+                                     double radius, double xi, double rmax) {
+  RealspaceOperator op(box, radius, xi, rmax, /*skin=*/0.0);
+  op.refresh(pos);
+  return std::move(op).take_matrix();
 }
 
 }  // namespace hbd

@@ -6,15 +6,68 @@
 // ξ-independent Rotne–Prager overlap correction.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <vector>
 
+#include "common/neighbor_list.hpp"
 #include "common/vec3.hpp"
 #include "sparse/bcsr3.hpp"
 
 namespace hbd {
 
+/// Persistent real-space operator: owns (or shares) a skin-padded
+/// NeighborList and a Bcsr3Matrix whose sparsity pattern mirrors the list
+/// plus the diagonal.  refresh(pos) revalidates the list and recomputes the
+/// 3×3 blocks in place; when the list did not rebuild, only the values are
+/// rewritten into the existing pattern — two-pass count/fill assembly with
+/// no staging containers and no allocation after the first build.  Listed
+/// pairs in the skin shell (r_max < r ≤ r_max + skin) hold zero blocks, so
+/// the operator is exactly the bare-cutoff sum while the pattern survives
+/// sub-half-skin motion.
+class RealspaceOperator {
+ public:
+  /// Owns a private NeighborList with the given skin (0: pattern rebuilt on
+  /// any motion, matrix identical to the one-shot build).
+  RealspaceOperator(double box, double radius, double xi, double rmax,
+                    double skin = 0.0);
+
+  /// Shares `neighbors` with other consumers (steric forces, diagnostics).
+  /// Its cutoff must be ≥ rmax and its box must match.
+  RealspaceOperator(double box, double radius, double xi, double rmax,
+                    std::shared_ptr<NeighborList> neighbors);
+
+  /// Revalidates the neighbor list for `pos` and recomputes the matrix
+  /// values in place (pattern rebuilt only when the list rebuilt).
+  void refresh(std::span<const Vec3> pos);
+
+  const Bcsr3Matrix& matrix() const { return matrix_; }
+  Bcsr3Matrix take_matrix() && { return std::move(matrix_); }
+  const NeighborList& neighbors() const { return *neighbors_; }
+  NeighborList& neighbors() { return *neighbors_; }
+  const std::shared_ptr<NeighborList>& shared_neighbors() const {
+    return neighbors_;
+  }
+  double rmax() const { return rmax_; }
+  /// Number of sparsity-pattern (re)builds — value-only refreshes excluded.
+  std::size_t pattern_builds() const { return pattern_builds_; }
+
+ private:
+  void rebuild_pattern();
+  void refresh_values(std::span<const Vec3> pos);
+
+  double box_, radius_, xi_, rmax_;
+  std::shared_ptr<NeighborList> neighbors_;
+  Bcsr3Matrix matrix_;
+  std::vector<std::size_t> row_counts_;   // pattern-build scratch
+  std::uint64_t pattern_generation_ = 0;  // neighbors_->build_count() mirrored
+  std::size_t pattern_builds_ = 0;
+};
+
 /// Builds the sparse real-space operator for particles at `pos` in a cubic
 /// periodic box of width `box`.  Requires rmax ≤ box/2 (minimum image).
+/// One-shot convenience over RealspaceOperator (skin 0) — also the
+/// from-scratch reference the refresh path is tested against.
 Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,
                                      double radius, double xi, double rmax);
 

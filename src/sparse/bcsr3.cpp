@@ -17,8 +17,12 @@ Bcsr3Matrix Bcsr3Matrix::from_blocks(
   m.nblock_ = nblock;
   m.row_ptr_.assign(nblock + 1, 0);
   std::size_t total = 0;
+  // All validation happens up front: HBD_CHECK throws, and an exception
+  // escaping an OpenMP parallel region is undefined behavior, so the
+  // parallel fill below must be check-free.
   for (std::size_t i = 0; i < nblock; ++i) {
     HBD_CHECK(block_cols[i].size() == blocks[i].size());
+    for (const std::uint32_t c : block_cols[i]) HBD_CHECK(c < nblock);
     total += block_cols[i].size();
     m.row_ptr_[i + 1] = total;
   }
@@ -35,7 +39,6 @@ Bcsr3Matrix Bcsr3Matrix::from_blocks(
     });
     std::size_t t = m.row_ptr_[i];
     for (std::size_t k : order) {
-      HBD_CHECK(block_cols[i][k] < nblock);
       m.col_idx_[t] = block_cols[i][k];
       std::copy(blocks[i][k].begin(), blocks[i][k].end(),
                 m.values_.begin() + 9 * t);
@@ -43,6 +46,18 @@ Bcsr3Matrix Bcsr3Matrix::from_blocks(
     }
   }
   return m;
+}
+
+void Bcsr3Matrix::resize_pattern(std::size_t nblock,
+                                 std::span<const std::size_t> row_counts) {
+  HBD_CHECK(row_counts.size() == nblock);
+  nblock_ = nblock;
+  row_ptr_.resize(nblock + 1);
+  row_ptr_[0] = 0;
+  for (std::size_t i = 0; i < nblock; ++i)
+    row_ptr_[i + 1] = row_ptr_[i] + row_counts[i];
+  col_idx_.resize(row_ptr_[nblock]);
+  values_.assign(9 * row_ptr_[nblock], 0.0);
 }
 
 void Bcsr3Matrix::multiply(std::span<const double> x,

@@ -36,6 +36,19 @@ class Bcsr3Matrix {
   std::span<const std::uint32_t> col_idx() const { return col_idx_; }
   std::span<const double> values() const { return values_; }
 
+  /// Reshapes the matrix to hold `row_counts[i]` blocks in block row i,
+  /// reusing the existing storage — no allocation when the new pattern fits
+  /// the current capacity.  Column indices are then written through
+  /// col_idx_mut(); values start zeroed and are written through
+  /// values_mut().  This is the in-place refresh path of the persistent
+  /// real-space operator.
+  void resize_pattern(std::size_t nblock,
+                      std::span<const std::size_t> row_counts);
+  std::span<std::uint32_t> col_idx_mut() {
+    return {col_idx_.data(), col_idx_.size()};
+  }
+  std::span<double> values_mut() { return {values_.data(), values_.size()}; }
+
   /// y = A x for a single interleaved vector (x0 y0 z0 x1 y1 z1 …).
   void multiply(std::span<const double> x, std::span<double> y) const;
 
