@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "common/aligned.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "obs/json.hpp"
 #include "pme/pme_operator.hpp"
 
 #ifdef _OPENMP
@@ -114,27 +115,21 @@ int main(int argc, char** argv) {
                   col_phases[ph] / bat_phases[ph]);
   }
 
-  FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
+  obs::BenchReport report;
+  report.name = "block_mobility";
+  report.n = n;
+  report.params = {{"mesh", static_cast<double>(pp.mesh)},
+                   {"order", static_cast<double>(pp.order)},
+                   {"threads", static_cast<double>(threads)}};
+  for (const Result& r : results)
+    report.samples.push_back({{"s", static_cast<double>(r.s)},
+                              {"t_columnwise_s", r.t_columnwise},
+                              {"t_batched_s", r.t_batched},
+                              {"speedup", r.t_columnwise / r.t_batched}});
+  if (!obs::write_json(json_path, report)) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"bench\": \"block_mobility\",\n  \"n\": %zu,\n"
-               "  \"mesh\": %zu,\n  \"order\": %d,\n  \"threads\": %d,\n"
-               "  \"results\": [\n",
-               n, pp.mesh, pp.order, threads);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(out,
-                 "    {\"s\": %zu, \"t_columnwise_s\": %.6f, "
-                 "\"t_batched_s\": %.6f, \"speedup\": %.4f}%s\n",
-                 r.s, r.t_columnwise, r.t_batched,
-                 r.t_columnwise / r.t_batched,
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

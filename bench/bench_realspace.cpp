@@ -20,6 +20,7 @@
 #include "common/cell_list.hpp"
 #include "common/neighbor_list.hpp"
 #include "ewald/beenakker.hpp"
+#include "obs/json.hpp"
 #include "pme/realspace.hpp"
 #include "sparse/bcsr3.hpp"
 
@@ -121,25 +122,20 @@ int main(int argc, char** argv) {
                 t_rebuild, t_refresh, t_seed / t_rebuild, t_seed / t_refresh);
   }
 
-  FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
+  obs::BenchReport report;
+  report.name = "realspace";
+  report.n = results.empty() ? 0 : results.back().n;
+  report.params = {{"skin", skin}, {"threads", static_cast<double>(threads)}};
+  for (const Result& r : results)
+    report.samples.push_back({{"n", static_cast<double>(r.n)},
+                              {"t_seed_s", r.t_seed},
+                              {"t_rebuild_s", r.t_rebuild},
+                              {"t_refresh_s", r.t_refresh},
+                              {"refresh_speedup", r.t_seed / r.t_refresh}});
+  if (!obs::write_json(json_path, report)) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"bench\": \"realspace\",\n  \"skin\": %.2f,\n"
-               "  \"threads\": %d,\n  \"results\": [\n",
-               skin, threads);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(out,
-                 "    {\"n\": %zu, \"t_seed_s\": %.6f, \"t_rebuild_s\": %.6f, "
-                 "\"t_refresh_s\": %.6f, \"refresh_speedup\": %.4f}%s\n",
-                 r.n, r.t_seed, r.t_rebuild, r.t_refresh,
-                 r.t_seed / r.t_refresh, i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

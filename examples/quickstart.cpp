@@ -13,6 +13,7 @@
 #include "core/forces.hpp"
 #include "core/simulation.hpp"
 #include "core/system.hpp"
+#include "obs/telemetry.hpp"
 #include "pme/params.hpp"
 
 int main() {
@@ -58,6 +59,17 @@ int main() {
   // the crowding-induced slowdown develops at longer lags.
   std::printf("measured short-time D/D0 = %.3f (RPY periodic: %.3f)\n", d,
               1.0 - 2.837297 / sim.system().box);
+
+  // 6. Telemetry (docs/observability.md): where the time went, and how far
+  //    the measured phase times drifted from the Eq. 10 model.  Setting
+  //    HBD_TRACE=<path> / HBD_METRICS=<path> additionally dumps the full
+  //    Chrome trace and metrics JSON at exit.
+  if (obs::kEnabled) {
+    std::printf("\n-- model drift (measured vs Eq. 10) --\n%s",
+                sim.drift_audit().report().c_str());
+    std::printf("\n-- metrics --\n%s",
+                obs::Registry::global().report().c_str());
+  }
   std::printf("done.\n");
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -13,7 +14,14 @@ NeighborList::NeighborList(double box, double cutoff, double skin)
 
 bool NeighborList::update(std::span<const Vec3> pos) {
   ++updates_;
+  HBD_COUNTER_ADD("neighbor.updates", 1);
   if (!needs_rebuild(pos)) return false;
+  // Interval between consecutive rebuilds, in update() calls: the measured
+  // amortization factor for the model's neighbor-rebuild term (Sec. IV).
+  if (builds_ > 0)
+    HBD_HISTOGRAM_OBSERVE("neighbor.rebuild_interval",
+                          static_cast<double>(updates_ - updates_at_build_));
+  updates_at_build_ = updates_;
   rebuild(pos);
   return true;
 }
@@ -36,6 +44,8 @@ bool NeighborList::needs_rebuild(std::span<const Vec3> pos) const {
 }
 
 void NeighborList::rebuild(std::span<const Vec3> pos) {
+  HBD_TRACE_SCOPE("neighbor.rebuild");
+  HBD_COUNTER_ADD("neighbor.rebuilds", 1);
   const std::size_t n = pos.size();
   cells_.rebuild(pos, box_, cutoff_ + skin_);
 
@@ -68,6 +78,7 @@ void NeighborList::rebuild(std::span<const Vec3> pos) {
 
   ref_pos_.assign(pos.begin(), pos.end());
   ++builds_;
+  HBD_GAUGE_SET("neighbor.pairs", row_ptr_[n]);
 }
 
 }  // namespace hbd

@@ -107,6 +107,7 @@ class NeighborList {
   std::vector<std::size_t> cursor_;     // fill-pass scratch
   std::uint64_t builds_ = 0;
   std::uint64_t updates_ = 0;
+  std::uint64_t updates_at_build_ = 0;  // telemetry: per-interval histogram
 };
 
 }  // namespace hbd

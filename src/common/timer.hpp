@@ -5,6 +5,9 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
 
 namespace hbd {
 
@@ -27,39 +30,42 @@ class Timer {
 
 /// Accumulates named phase timings, e.g. the spreading / FFT / influence /
 /// interpolation breakdown of one PME application.
+///
+/// Thread-safe: accumulation lands on per-thread shards (obs::PhaseAccumulator)
+/// merged on read, so concurrently timed scopes on different threads never
+/// race or contend.  With -DHBD_TELEMETRY=OFF, add() is a no-op and every
+/// query reports zero.
 class PhaseTimers {
  public:
-  void add(const std::string& name, double seconds) {
-    totals_[name] += seconds;
-    counts_[name] += 1;
+  void add(std::string_view name, double seconds) {
+#if HBD_TELEMETRY_ENABLED
+    acc_.add(name, seconds);
+#else
+    (void)name;
+    (void)seconds;
+#endif
   }
-  void clear() {
-    totals_.clear();
-    counts_.clear();
-  }
+  void clear() { acc_.clear(); }
 
-  double total(const std::string& name) const {
-    auto it = totals_.find(name);
-    return it == totals_.end() ? 0.0 : it->second;
-  }
-  long count(const std::string& name) const {
-    auto it = counts_.find(name);
-    return it == counts_.end() ? 0 : it->second;
-  }
-  const std::map<std::string, double>& totals() const { return totals_; }
+  double total(std::string_view name) const { return acc_.total(name); }
+  long count(std::string_view name) const { return acc_.count(name); }
+  /// Merged (name → total seconds) view; a snapshot, not a live reference.
+  std::map<std::string, double> totals() const { return acc_.totals(); }
 
  private:
-  std::map<std::string, double> totals_;
-  std::map<std::string, long> counts_;
+  obs::PhaseAccumulator acc_;
 };
 
 /// RAII helper: adds the scope's duration to a PhaseTimers entry on exit.
+/// Compiles out (no clock reads) when telemetry is disabled.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseTimers* timers, std::string name)
       : timers_(timers), name_(std::move(name)) {}
   ~ScopedPhase() {
+#if HBD_TELEMETRY_ENABLED
     if (timers_ != nullptr) timers_->add(name_, timer_.seconds());
+#endif
   }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -14,12 +15,20 @@ Matrix gaussian_block(Xoshiro256& rng, std::size_t dim, std::size_t count) {
   return z;
 }
 
+namespace {
+Matrix cholesky_traced(const Matrix& mobility) {
+  HBD_TRACE_SCOPE("cholesky.factor");
+  return cholesky(mobility);
+}
+}  // namespace
+
 CholeskyBrownianSampler::CholeskyBrownianSampler(const Matrix& mobility)
-    : factor_(cholesky(mobility)) {}
+    : factor_(cholesky_traced(mobility)) {}
 
 Matrix CholeskyBrownianSampler::sample_block(const Matrix& z,
                                              double two_kbt_dt) {
   HBD_CHECK(z.rows() == factor_.rows());
+  HBD_TRACE_SCOPE("cholesky.sample");
   Matrix d = z;
   trmm_lower_left(factor_, d);  // D = S Z
   scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
@@ -28,6 +37,7 @@ Matrix CholeskyBrownianSampler::sample_block(const Matrix& z,
 
 Matrix KrylovBrownianSampler::sample_block(const Matrix& z,
                                            double two_kbt_dt) {
+  HBD_TRACE_SCOPE("krylov.sample");
   Matrix d = krylov_sqrt_apply(*op_, z, config_, &stats_);
   scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
   return d;

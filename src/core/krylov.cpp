@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/matfun.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -86,6 +87,7 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
   const std::size_t n = op.dim();
   const std::size_t s = z.cols();
   HBD_CHECK(z.rows() == n && s >= 1);
+  HBD_TRACE_SCOPE("krylov.sqrt");
 
   Xoshiro256 deflation_rng(0xD3F1A710ull);
 
@@ -111,8 +113,13 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
   Matrix corr(n, s), x(n, s), proj(s, s), gj(s, s);
 
   for (int m = 1; m <= config.max_iterations; ++m) {
+    HBD_TRACE_SCOPE("krylov.iteration");
     // W = M V_m − V_{m−1} B_mᵀ − V_m A_m, then QR → V_{m+1} B_{m+1}.
-    op.apply_block(v[m - 1], w);
+    {
+      HBD_TRACE_SCOPE("krylov.apply");
+      op.apply_block(v[m - 1], w);
+    }
+    HBD_COUNTER_ADD("krylov.block_applies", 1);
     if (m >= 2) {
       // W -= V_{m-2 index} B ᵀ  (the block produced by the previous QR)
       gemm(false, true, 1.0, v[m - 2], b_blocks[m - 2], 0.0, corr);
@@ -180,6 +187,7 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
     }
     if (have_prev && rel < config.tolerance) {
       if (stats != nullptr) stats->converged = true;
+      HBD_HISTOGRAM_OBSERVE("krylov.iterations", m);
       return x;
     }
     x_prev = x;
@@ -194,6 +202,7 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
   }
 
   if (stats != nullptr) stats->converged = false;
+  HBD_HISTOGRAM_OBSERVE("krylov.iterations", config.max_iterations);
   return x_prev;
 }
 

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "linalg/blas.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -20,13 +22,27 @@ void propagate(ParticleSystem& system,
                const Matrix& displacements, std::size_t column,
                NeighborList* neighbors, std::vector<Vec3>& wrapped,
                std::vector<double>& f, std::vector<double>& u) {
+  HBD_TRACE_SCOPE("bd.propagate");
   const std::size_t n = system.size();
-  system.wrapped_positions(wrapped);
+  {
+    HBD_TRACE_SCOPE("bd.wrap");
+    system.wrapped_positions(wrapped);
+  }
   f.assign(3 * n, 0.0);
   u.assign(3 * n, 0.0);
-  if (neighbors) neighbors->update(wrapped);
-  if (forces) forces->add_forces(wrapped, system.box, f, neighbors);
-  mobility.apply(f, u);
+  if (neighbors) {
+    HBD_TRACE_SCOPE("bd.neighbor");
+    neighbors->update(wrapped);
+  }
+  if (forces) {
+    HBD_TRACE_SCOPE("bd.forces");
+    forces->add_forces(wrapped, system.box, f, neighbors);
+  }
+  {
+    HBD_TRACE_SCOPE("bd.apply");
+    mobility.apply(f, u);
+  }
+  HBD_TRACE_SCOPE("bd.integrate");
   const double h = config.mu0 * config.dt;
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
@@ -55,13 +71,18 @@ EwaldBdSimulation::EwaldBdSimulation(ParticleSystem system,
 }
 
 void EwaldBdSimulation::rebuild() {
+  HBD_TRACE_SCOPE("bd.rebuild");
   system_.wrapped_positions(wrapped_);
-  mobility_.emplace(
-      ewald_mobility_dense(wrapped_, system_.box, system_.radius,
-                           ewald_params_));
+  {
+    HBD_TRACE_SCOPE("ewald.mobility");
+    mobility_.emplace(
+        ewald_mobility_dense(wrapped_, system_.box, system_.radius,
+                             ewald_params_));
+  }
   if (config_.kbt == 0.0) {
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
   } else {
+    HBD_TRACE_SCOPE("bd.sample");
     sampler_.emplace(mobility_->matrix());
     const Matrix z =
         gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
@@ -69,16 +90,22 @@ void EwaldBdSimulation::rebuild() {
         z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
   }
   block_cursor_ = 0;
+  HBD_COUNTER_ADD("bd.rebuilds", 1);
+  HBD_GAUGE_SET("bd.mobility_bytes", mobility_bytes());
 }
 
 void EwaldBdSimulation::step(std::size_t nsteps) {
   for (std::size_t s = 0; s < nsteps; ++s) {
+    HBD_TRACE_SCOPE("bd.step");
+    [[maybe_unused]] const Timer step_timer;
     if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
     propagate(system_, forces_, config_, *mobility_, displacements_,
               block_cursor_, /*neighbors=*/nullptr, wrapped_, forces_scratch_,
               velocity_scratch_);
     ++block_cursor_;
     ++steps_;
+    HBD_COUNTER_ADD("bd.steps", 1);
+    HBD_HISTOGRAM_OBSERVE("bd.step.seconds", step_timer.seconds());
   }
 }
 
@@ -106,6 +133,10 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
 }
 
 void MatrixFreeBdSimulation::rebuild() {
+  HBD_TRACE_SCOPE("bd.rebuild");
+  // Close the previous audit window before this rebuild's applies land in
+  // the operator's phase timers.
+  if (pme_) audit_drift();
   system_.wrapped_positions(wrapped_);
   // First rebuild constructs the operator (sharing the simulation-owned
   // neighbor list); subsequent mobility updates refresh it in place,
@@ -119,6 +150,7 @@ void MatrixFreeBdSimulation::rebuild() {
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
     krylov_stats_ = {};
   } else {
+    HBD_TRACE_SCOPE("bd.sample");
     PmeMobility mob(*pme_);
     KrylovBrownianSampler sampler(mob, krylov_config_);
     const Matrix z =
@@ -128,17 +160,101 @@ void MatrixFreeBdSimulation::rebuild() {
     krylov_stats_ = sampler.last_stats();
   }
   block_cursor_ = 0;
+  HBD_COUNTER_ADD("bd.rebuilds", 1);
+  HBD_GAUGE_SET("bd.mobility_bytes", mobility_bytes());
 }
 
 void MatrixFreeBdSimulation::step(std::size_t nsteps) {
   for (std::size_t s = 0; s < nsteps; ++s) {
+    HBD_TRACE_SCOPE("bd.step");
+    [[maybe_unused]] const Timer step_timer;
     if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
     PmeMobility mob(*pme_);
     propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
               nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
     ++block_cursor_;
     ++steps_;
+    HBD_COUNTER_ADD("bd.steps", 1);
+    HBD_HISTOGRAM_OBSERVE("bd.step.seconds", step_timer.seconds());
   }
+}
+
+void MatrixFreeBdSimulation::audit_drift() {
+  // Without telemetry the phase timers observe nothing — no measurements to
+  // audit against.
+  if constexpr (!obs::kEnabled) return;
+  const std::size_t n = system_.size();
+  const auto totals = pme_->timers().totals();
+  const PmeOperator::ApplyCounts counts = pme_->apply_counts();
+  const std::uint64_t d_single = counts.single - counts_seen_.single;
+  const std::uint64_t d_block = counts.block - counts_seen_.block;
+  const std::uint64_t d_cols =
+      counts.block_columns - counts_seen_.block_columns;
+  counts_seen_ = counts;
+  if (d_single + d_block == 0) return;
+
+  // Predictions from the base model over the window's actual work: d_single
+  // single sweeps plus d_block batched applies of the mean observed width,
+  // with the neighbor count measured from the near-field matrix itself.
+  const PmePerfModel model(model_hw_);
+  const std::size_t mesh = pme_->params().mesh;
+  const int order = pme_->params().order;
+  const std::size_t width =
+      d_block > 0 ? static_cast<std::size_t>(d_cols / d_block) : 0;
+  const double nbr =
+      static_cast<double>(pme_->realspace_matrix().nnz_blocks() - n) /
+      static_cast<double>(n);
+  const double ns = static_cast<double>(d_single);
+  const double nb = static_cast<double>(d_block);
+
+  const struct {
+    const char* phase;
+    double modeled;
+    obs::PhaseScaling scaling;
+  } rows[] = {
+      {"spreading",
+       ns * model.t_spreading(mesh, order, n) +
+           nb * model.t_spreading_block(mesh, order, n, width),
+       obs::PhaseScaling::bandwidth},
+      {"fft", ns * model.t_fft(mesh) + nb * model.t_fft_block(mesh, width),
+       obs::PhaseScaling::fft},
+      {"influence",
+       ns * model.t_influence(mesh) + nb * model.t_influence_block(mesh, width),
+       obs::PhaseScaling::bandwidth},
+      {"ifft", ns * model.t_ifft(mesh) + nb * model.t_ifft_block(mesh, width),
+       obs::PhaseScaling::ifft},
+      {"interpolation",
+       ns * model.t_interpolation(order, n) +
+           nb * model.t_interpolation_block(order, n, width),
+       obs::PhaseScaling::bandwidth},
+      {"realspace",
+       ns * model.t_realspace(n, nbr) +
+           nb * model.t_realspace_block(n, nbr, width),
+       obs::PhaseScaling::bandwidth},
+  };
+  for (const auto& row : rows) {
+    const auto it = totals.find(row.phase);
+    const double total = it == totals.end() ? 0.0 : it->second;
+    const double measured = total - phase_seen_[row.phase];
+    phase_seen_[row.phase] = total;
+    drift_.record(row.phase, measured, row.modeled, row.scaling);
+  }
+}
+
+HardwareParams MatrixFreeBdSimulation::effective_hardware() const {
+  if (!recalibrate_) return model_hw_;
+  const obs::DriftAudit::Recalibration r = drift_.recalibration();
+  return recalibrated(model_hw_, r.bandwidth_scale, r.fft_scale,
+                      r.ifft_scale);
+}
+
+BdStepModel MatrixFreeBdSimulation::model_step(
+    const std::vector<Device>& accelerators, double ep_target) const {
+  const Device host{PmePerfModel(effective_hardware()), /*is_host=*/true};
+  const int iters = std::max(krylov_stats_.iterations, 1);
+  return model_bd_step(host, accelerators, system_.size(), system_.box,
+                       pme_params_.order, ep_target, config_.lambda_rpy,
+                       iters, effective_rebuild_interval(*nlist_));
 }
 
 std::size_t MatrixFreeBdSimulation::mobility_bytes() const {

@@ -10,8 +10,10 @@
 // both hold the mobility fixed for λ_RPY consecutive steps.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/neighbor_list.hpp"
@@ -20,6 +22,8 @@
 #include "core/forces.hpp"
 #include "core/system.hpp"
 #include "ewald/beenakker.hpp"
+#include "hybrid/scheduler.hpp"
+#include "obs/drift.hpp"
 #include "pme/pme_operator.hpp"
 
 namespace hbd {
@@ -91,8 +95,40 @@ class MatrixFreeBdSimulation {
   /// and the steric forces (cutoff = PME rmax, padded by the PME skin).
   const NeighborList& neighbor_list() const { return *nlist_; }
 
+  // --- Telemetry: model-vs-measured drift audit (Eq. 10–11) ----------------
+
+  /// Per-phase measured-vs-modeled accounting, one window per mobility
+  /// rebuild: predictions come from model_hardware() applied to the window's
+  /// actual apply counts, measurements from the operator's phase timers.
+  const obs::DriftAudit& drift_audit() const { return drift_; }
+
+  /// Base hardware parameters for the drift predictions (default:
+  /// westmere_ep(), the paper's reference host).
+  const HardwareParams& model_hardware() const { return model_hw_; }
+  void set_model_hardware(HardwareParams hw) { model_hw_ = std::move(hw); }
+
+  /// When enabled, effective_hardware() folds the audit's measured
+  /// recalibration scales into the base parameters (default off: the audit
+  /// only reports).
+  void set_auto_recalibrate(bool on) { recalibrate_ = on; }
+  bool auto_recalibrate() const { return recalibrate_; }
+
+  /// model_hardware() corrected by the measured drift medians when
+  /// auto-recalibration is on; the base parameters otherwise.
+  HardwareParams effective_hardware() const;
+
+  /// Modeled per-step BD cost from this run's measured state: the
+  /// effective (possibly recalibrated) hardware, the Verlet list's measured
+  /// mean rebuild interval instead of the static 256-step default, and the
+  /// last observed Krylov iteration count.
+  BdStepModel model_step(const std::vector<Device>& accelerators = {},
+                         double ep_target = 1e-3) const;
+
  private:
   void rebuild();
+  /// Records one drift-audit window covering all operator applies since the
+  /// previous call (the λ propagation applies + the Krylov block applies).
+  void audit_drift();
 
   ParticleSystem system_;
   std::shared_ptr<const ForceField> forces_;
@@ -107,6 +143,14 @@ class MatrixFreeBdSimulation {
   Matrix displacements_;
   std::size_t block_cursor_ = 0;
   std::size_t steps_ = 0;
+
+  // Drift-audit state: base model hardware plus the timer/counter readings
+  // at the previous audit window boundary.
+  obs::DriftAudit drift_;
+  HardwareParams model_hw_ = westmere_ep();
+  bool recalibrate_ = false;
+  PmeOperator::ApplyCounts counts_seen_;
+  std::map<std::string, double> phase_seen_;
 
   // Per-step scratch (wrapped positions, forces, velocities), allocated once.
   std::vector<Vec3> wrapped_;

@@ -38,6 +38,24 @@ HardwareParams xeon_phi_knc() {
   };
 }
 
+HardwareParams recalibrated(HardwareParams hw, double bandwidth_scale,
+                            double fft_scale, double ifft_scale) {
+  if (bandwidth_scale > 0.0) hw.stream_bw_gbs *= bandwidth_scale;
+  if (fft_scale > 0.0) {
+    // Forward rate: scale whichever representation is active.
+    if (hw.fft_rate_points.empty())
+      hw.fft_eff_max *= fft_scale;
+    else
+      for (auto& [k, rate] : hw.fft_rate_points) rate *= fft_scale;
+  }
+  if (ifft_scale > 0.0 && fft_scale > 0.0) {
+    // t_ifft = t_fft / ifft_penalty: the forward scale already moved the
+    // inverse rate by fft_scale, so the penalty absorbs the remainder.
+    hw.ifft_penalty *= ifft_scale / fft_scale;
+  }
+  return hw;
+}
+
 double PmePerfModel::fft_rate(std::size_t mesh) const {
   const double k = static_cast<double>(mesh);
   if (!hw_.fft_rate_points.empty()) {
@@ -143,6 +161,16 @@ double PmePerfModel::t_realspace(std::size_t n, double neighbors) const {
   const double blocks = static_cast<double>(n) * (neighbors + 1.0);
   const double bytes = blocks * (9.0 * 8.0 + 4.0) + 48.0 * n;
   const double flops = blocks * 18.0;
+  return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
+                  flops / (hw_.peak_dp_gflops * 1e9));
+}
+
+double PmePerfModel::t_realspace_block(std::size_t n, double neighbors,
+                                       std::size_t s) const {
+  const double blocks = static_cast<double>(n) * (neighbors + 1.0);
+  const double sd = static_cast<double>(s);
+  const double bytes = blocks * (9.0 * 8.0 + 4.0) + 48.0 * n * sd;
+  const double flops = blocks * 18.0 * sd;
   return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
                   flops / (hw_.peak_dp_gflops * 1e9));
 }

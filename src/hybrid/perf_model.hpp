@@ -39,6 +39,14 @@ struct HardwareParams {
 /// 160 DP GFlop/s, ~42 GB/s STREAM, 24 GB.
 HardwareParams westmere_ep();
 
+/// Folds measured drift corrections into the effective rates (the drift
+/// audit's Recalibration scales): `bandwidth_scale` multiplies the STREAM
+/// bandwidth of the bandwidth-bound phases, `fft_scale`/`ifft_scale` the
+/// achievable forward/inverse transform rates.  Scales ≤ 0 leave the
+/// corresponding rate untouched.
+HardwareParams recalibrated(HardwareParams hw, double bandwidth_scale,
+                            double fft_scale, double ifft_scale);
+
 /// Intel Xeon Phi (KNC): 61 cores, 1074 DP GFlop/s, ~160 GB/s STREAM, 8 GB,
 /// PCIe-attached.
 HardwareParams xeon_phi_knc();
@@ -92,6 +100,12 @@ class PmePerfModel {
   /// vectors) over bandwidth, with `neighbors` = average near-field
   /// neighbors per particle.
   double t_realspace(std::size_t n, double neighbors) const;
+
+  /// Multi-vector BCSR product over a width-s block: the matrix streams
+  /// once while the s vector pairs stream per column; the flop count scales
+  /// linearly with s.  Reduces to t_realspace at s = 1.
+  double t_realspace_block(std::size_t n, double neighbors,
+                           std::size_t s) const;
 
   /// In-place value refresh of the near-field BCSR matrix (one per mobility
   /// update): streams the fixed pattern (76 B/block read+write of the

@@ -6,9 +6,15 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/neighbor_list.hpp"
 #include "pme/params.hpp"
 
 namespace hbd {
+
+double effective_rebuild_interval(const NeighborList& list, double fallback) {
+  if (list.build_count() == 0) return fallback;
+  return std::max(list.mean_rebuild_interval(), 1.0);
+}
 
 namespace {
 

@@ -18,6 +18,16 @@
 
 namespace hbd {
 
+class NeighborList;
+
+/// Measured Verlet amortization factor for the model's neighbor-rebuild
+/// term: the list's mean_rebuild_interval() once it has observed at least
+/// one rebuild, else `fallback` (the legacy static estimate).  Feed this to
+/// tune_splitting / model_bd_step so the amortized overhead tracks the run
+/// instead of the 256-step default.
+double effective_rebuild_interval(const NeighborList& list,
+                                  double fallback = 256.0);
+
 /// One device participating in the hybrid computation.
 struct Device {
   PmePerfModel model;

@@ -6,6 +6,12 @@
 // for faster builds.
 #pragma once
 
+#include "obs/drift.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 #include "common/aligned.hpp"
 #include "common/cell_list.hpp"
 #include "common/error.hpp"

@@ -1,0 +1,92 @@
+// Model-vs-measured drift audit (telemetry layer 3).
+//
+// The performance model (paper Sec. IV-D, Eq. 10–11) predicts per-phase PME
+// times from hardware parameters; the hybrid scheduler trusts those
+// predictions when partitioning work.  The audit closes the loop: after
+// every mobility rebuild the driver records, per phase, the measured
+// seconds next to the model's prediction for the same window of work.  The
+// audit keeps per-window ratio history, reports the median drift per phase,
+// and derives multiplicative corrections for the model's effective rates
+// (bandwidth-bound phases → STREAM bandwidth, FFT phases → achievable FFT
+// rate) so `HardwareParams` can be recalibrated at runtime.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbd::obs {
+
+/// Which hardware rate a phase's modeled time is inversely proportional to;
+/// used to map measured drift back onto HardwareParams knobs.
+enum class PhaseScaling { bandwidth, fft, ifft, other };
+
+/// Aggregated drift of one phase across audit windows.
+struct PhaseDrift {
+  std::string name;
+  PhaseScaling scaling = PhaseScaling::other;
+  std::uint64_t windows = 0;
+  double measured_total = 0.0;  ///< seconds
+  double modeled_total = 0.0;   ///< seconds
+  double ratio_last = 0.0;      ///< measured/modeled of the latest window
+  double ratio_median = 0.0;    ///< median of per-window ratios
+};
+
+class DriftAudit {
+ public:
+  /// Records one audit window for `phase`: `measured_s` seconds observed
+  /// against `modeled_s` predicted.  Windows with a non-positive modeled
+  /// time contribute to the totals but not to the ratio history.
+  void record(std::string_view phase, double measured_s, double modeled_s,
+              PhaseScaling scaling = PhaseScaling::other);
+
+  /// All audited phases, sorted by name.
+  std::vector<PhaseDrift> phases() const;
+
+  /// Median measured/modeled ratio of one phase (0 when unaudited).
+  double ratio(std::string_view phase) const;
+
+  /// Number of windows recorded for the most-audited phase.
+  std::uint64_t windows() const;
+
+  /// Multiplicative corrections that would bring the model's effective
+  /// rates in line with the measured medians: scale < 1 means the hardware
+  /// delivered less than modeled.  Identity (all 1) until data exists.
+  struct Recalibration {
+    double bandwidth_scale = 1.0;  ///< multiply stream_bw_gbs by this
+    double fft_scale = 1.0;        ///< multiply the forward-FFT rate
+    double ifft_scale = 1.0;       ///< multiply the inverse-FFT rate
+  };
+  Recalibration recalibration() const;
+
+  /// Human-readable per-phase table.
+  std::string report() const;
+  void write_json(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kHistory = 256;  // ratios kept per phase
+
+  struct Entry {
+    PhaseScaling scaling = PhaseScaling::other;
+    std::uint64_t windows = 0;
+    double measured_total = 0.0;
+    double modeled_total = 0.0;
+    double ratio_last = 0.0;
+    std::vector<double> ratios;  // ring of the last kHistory ratios
+    std::size_t ring_head = 0;
+  };
+
+  static double median(std::vector<double> v);
+  PhaseDrift drift_of(const std::string& name, const Entry& e) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace hbd::obs

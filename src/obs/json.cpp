@@ -1,0 +1,284 @@
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace hbd::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ << ",";
+    has_sibling_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << "{";
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  has_sibling_.pop_back();
+  out_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << "[";
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  has_sibling_.pop_back();
+  out_ << "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ << json_escape(k) << ":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  out_ << json_escape(v);
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+}
+
+// ---- Validator --------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k)
+            if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(
+                                     s[i++])))
+              return false;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = i;
+    eat('-');
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i > start;
+  }
+
+  bool digits() {
+    const std::size_t start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      ++i;
+    return i > start;
+  }
+
+  bool value(int depth) {
+    if (depth > 256) return false;
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object(int depth) {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array(int depth) {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value(0)) return false;
+  p.skip_ws();
+  return p.i == text.size();
+}
+
+// ---- Bench-report schema ----------------------------------------------------
+
+void write_json(std::ostream& out, const BenchReport& report) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", report.name);
+  w.field("n", static_cast<double>(report.n));
+  w.key("params");
+  w.begin_object();
+  for (const auto& [k, v] : report.params) w.field(k, v);
+  w.end_object();
+  w.key("samples");
+  w.begin_array();
+  for (const BenchSample& sample : report.samples) {
+    w.begin_object();
+    for (const auto& [k, v] : sample) w.field(k, v);
+    w.end_object();
+  }
+  w.end_array();
+  // Per-key distribution across the samples: p50 / p90 / max (nearest-rank
+  // on the sorted values), so cross-PR tooling can diff one summary number
+  // per series without parsing every sample.
+  std::map<std::string, std::vector<double>> series;
+  for (const BenchSample& sample : report.samples)
+    for (const auto& [k, v] : sample) series[k].push_back(v);
+  w.key("percentiles");
+  w.begin_object();
+  for (auto& [k, values] : series) {
+    std::sort(values.begin(), values.end());
+    auto rank = [&](double p) {
+      const double idx =
+          std::clamp(std::ceil(p * static_cast<double>(values.size())) - 1.0,
+                     0.0, static_cast<double>(values.size()) - 1.0);
+      return values[static_cast<std::size_t>(idx)];
+    };
+    w.key(k);
+    w.begin_object();
+    w.field("p50", rank(0.50));
+    w.field("p90", rank(0.90));
+    w.field("max", values.back());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  out << "\n";
+}
+
+bool write_json(const std::string& path, const BenchReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out, report);
+  return out.good();
+}
+
+}  // namespace hbd::obs

@@ -1,0 +1,74 @@
+// Minimal JSON utilities shared by the telemetry exporters and the bench
+// harnesses: a streaming writer with automatic comma placement, a string
+// escaper, a strict validator (used by tests to check exporter output), and
+// the common benchmark-report schema
+//
+//   { "bench": <name>, "n": <n>, "params": {...},
+//     "samples": [{...}, ...], "percentiles": {key: {p50, p90, max}} }
+//
+// that every BENCH_*.json shares (hbd::obs::write_json).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hbd::obs {
+
+/// Escapes `s` for JSON, returning the quoted string token.
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer: emits commas between siblings automatically.
+/// Scalars are written with %.10g (finite; NaN/Inf become null).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(double v);
+  void value(std::string_view v);
+  void value(bool v);
+  void field(std::string_view k, double v) {
+    key(k);
+    value(v);
+  }
+  void field(std::string_view k, std::string_view v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separate();
+
+  std::ostream& out_;
+  std::vector<bool> has_sibling_;  // per open scope
+  bool after_key_ = false;
+};
+
+/// Strict recursive-descent validation of a complete JSON document.
+bool json_valid(std::string_view text);
+
+/// One benchmark record: ordered (key, value) pairs.
+using BenchSample = std::vector<std::pair<std::string, double>>;
+
+/// The shared schema of the BENCH_*.json files.
+struct BenchReport {
+  std::string name;                 ///< "bench" field
+  std::size_t n = 0;                ///< headline problem size
+  BenchSample params;               ///< fixed configuration (mesh, threads…)
+  std::vector<BenchSample> samples; ///< one object per measured case
+};
+
+/// Writes `report` in the shared schema; the "percentiles" section is
+/// computed per numeric key across the samples (p50/p90/max).
+void write_json(std::ostream& out, const BenchReport& report);
+bool write_json(const std::string& path, const BenchReport& report);
+
+}  // namespace hbd::obs

@@ -1,0 +1,360 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace hbd::obs {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram() {
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    s = std::make_unique<Shard>();
+    for (auto& b : s->buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  const int idx =
+      static_cast<int>(std::floor(std::log2(v) * kSubBuckets)) - kMinExp;
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+void Histogram::observe(double v) {
+  Shard& s = *shards_[this_thread_shard()];
+  s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(s.sum, v);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t c = 0;
+  for (const auto& s : shards_) c += s->count.load(std::memory_order_relaxed);
+  return c;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) total += s->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+std::vector<std::uint64_t> Histogram::merged() const {
+  std::vector<std::uint64_t> out(kBuckets, 0);
+  for (const auto& s : shards_)
+    for (int b = 0; b < kBuckets; ++b)
+      out[static_cast<std::size_t>(b)] +=
+          s->buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const std::vector<std::uint64_t> buckets = merged();
+  const double target = std::clamp(p, 0.0, 1.0) * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      // Geometric midpoint of bucket b, clamped to the observed range.
+      const double mid = std::exp2((b + kMinExp + 0.5) / kSubBuckets);
+      return std::clamp(mid, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s->buckets) b.store(0, std::memory_order_relaxed);
+    s->count.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  // references handed to static call-site caches must outlive atexit dumps.
+  static int atexit_once = []() {
+    std::atexit([]() {
+      const char* path = std::getenv("HBD_METRICS");
+      if (path != nullptr && path[0] != '\0')
+        Registry::global().write_json(std::string(path));
+    });
+    return 0;
+  }();
+  (void)atexit_once;
+  return *registry;
+}
+
+template <class Map, class Maker>
+static auto& find_or_create(std::shared_mutex& mu, Map& map,
+                            std::string_view name, Maker make) {
+  {
+    std::shared_lock lock(mu);
+    auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), make()).first;
+  return *it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(mu_, counters_, name,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(mu_, gauges_, name,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(mu_, histograms_, name,
+                        [] { return std::make_unique<Histogram>(); });
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock lock(mu_);
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p90 = h->percentile(0.90);
+    s.p99 = h->percentile(0.99);
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::shared_lock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::report() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream out;
+  char line[256];
+  if (!snap.counters.empty()) out << "counters:\n";
+  for (const auto& [name, v] : snap.counters) {
+    std::snprintf(line, sizeof(line), "  %-36s %lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out << line;
+  }
+  if (!snap.gauges.empty()) out << "gauges:\n";
+  for (const auto& [name, v] : snap.gauges) {
+    std::snprintf(line, sizeof(line), "  %-36s %.6g\n", name.c_str(), v);
+    out << line;
+  }
+  if (!snap.histograms.empty())
+    out << "histograms:                            "
+           "count        mean         p50         p90         p99         max\n";
+  for (const auto& [name, h] : snap.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "  %-36s %5llu %11.4g %11.4g %11.4g %11.4g %11.4g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, h.p50, h.p90, h.p99, h.max);
+    out << line;
+  }
+  return out.str();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters)
+    w.field(name, static_cast<double>(v));
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) w.field(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", static_cast<double>(h.count));
+    w.field("sum", h.sum);
+    w.field("mean", h.mean);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.p50);
+    w.field("p90", h.p90);
+    w.field("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  out << "\n";
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  char line[256];
+  out << "kind,name,field,value\n";
+  for (const auto& [name, v] : snap.counters) {
+    std::snprintf(line, sizeof(line), "counter,%s,value,%lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out << line;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::snprintf(line, sizeof(line), "gauge,%s,value,%.9g\n", name.c_str(),
+                  v);
+    out << line;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::pair<const char*, double> fields[] = {
+        {"count", static_cast<double>(h.count)}, {"sum", h.sum},
+        {"mean", h.mean},                        {"min", h.min},
+        {"max", h.max},                          {"p50", h.p50},
+        {"p90", h.p90},                          {"p99", h.p99}};
+    for (const auto& [field, value] : fields) {
+      std::snprintf(line, sizeof(line), "histogram,%s,%s,%.9g\n",
+                    name.c_str(), field, value);
+      out << line;
+    }
+  }
+}
+
+bool Registry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return out.good();
+}
+
+// ---- PhaseAccumulator -------------------------------------------------------
+
+PhaseAccumulator::Slot* PhaseAccumulator::find_or_create(
+    std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end())
+    it = slots_.emplace(std::string(name), std::make_unique<Slot>()).first;
+  return it->second.get();
+}
+
+void PhaseAccumulator::add(std::string_view name, double seconds) {
+  Slot* slot = find_or_create(name);
+  const std::size_t shard = this_thread_shard();
+  detail::atomic_add(slot->total[shard].v, seconds);
+  slot->count[shard].v.fetch_add(1, std::memory_order_relaxed);
+}
+
+double PhaseAccumulator::total(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : it->second->total)
+    sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+long PhaseAccumulator::count(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) return 0;
+  std::int64_t sum = 0;
+  for (const auto& s : it->second->count)
+    sum += s.v.load(std::memory_order_relaxed);
+  return static_cast<long>(sum);
+}
+
+std::map<std::string, double> PhaseAccumulator::totals() const {
+  std::shared_lock lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, slot] : slots_) {
+    double sum = 0.0;
+    for (const auto& s : slot->total)
+      sum += s.v.load(std::memory_order_relaxed);
+    out[name] = sum;
+  }
+  return out;
+}
+
+void PhaseAccumulator::clear() {
+  std::unique_lock lock(mu_);
+  slots_.clear();
+}
+
+}  // namespace hbd::obs

@@ -1,0 +1,198 @@
+// Thread-safe metrics registry (telemetry layer 2).
+//
+// All hot-path writes land on per-thread shards (cache-line padded relaxed
+// atomics indexed by a thread-local shard id), so concurrent writers never
+// contend; readers merge the shards on demand.  Three metric kinds:
+//
+//   * Counter   — monotonically accumulating int64 (events, bytes);
+//   * Gauge     — last-write-wins double (sizes, current values);
+//   * Histogram — log-scale buckets (4 per octave, ~9% relative bucket
+//     midpoint error) with exact count/sum/min/max and merged percentiles.
+//
+// The process-wide Registry maps dotted names to metrics and exports JSON,
+// CSV, and a human-readable report().  PhaseAccumulator is the same sharded
+// machinery keyed per instance — the backing store of the PhaseTimers shim
+// in common/timer.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbd::obs {
+
+/// Number of write shards; threads hash onto shards by a dense thread id.
+inline constexpr std::size_t kShards = 16;
+
+/// Dense per-thread shard index in [0, kShards).
+std::size_t this_thread_shard();
+
+namespace detail {
+
+struct alignas(64) PaddedI64 {
+  std::atomic<std::int64_t> v{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> v{0.0};
+};
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-library).
+inline void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    shards_[this_thread_shard()].v.fetch_add(delta,
+                                             std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedI64, kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram: bucket b covers [2^(b/4), 2^((b+1)/4)) scaled so
+/// the representable range is ~[2^-64, 2^64); out-of-range values clamp to
+/// the end buckets (count/sum/min/max stay exact).
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;           // per octave
+  static constexpr int kMinExp = -64 * kSubBuckets;
+  static constexpr int kMaxExp = 64 * kSubBuckets;
+  static constexpr int kBuckets = kMaxExp - kMinExp + 1;
+
+  Histogram();
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+  }
+  /// p in [0, 1]; geometric midpoint of the bucket holding the p-quantile.
+  double percentile(double p) const;
+  void reset();
+
+ private:
+  static int bucket_of(double v);
+
+  struct Shard {
+    std::array<std::atomic<std::uint32_t>, kBuckets> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<std::uint64_t> merged() const;
+
+  std::array<std::unique_ptr<Shard>, kShards> shards_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Merged point-in-time view of one histogram.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+/// Point-in-time view of the whole registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+};
+
+class Registry {
+ public:
+  /// Process-wide registry.  First call installs an atexit hook that honors
+  /// HBD_METRICS=<path> (JSON snapshot dumped at exit).
+  static Registry& global();
+
+  /// Returns the named metric, creating it on first use.  References stay
+  /// valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (entries remain registered).
+  void reset();
+
+  /// Human-readable one-call report of everything.
+  std::string report() const;
+
+  void write_json(std::ostream& out) const;
+  bool write_json(const std::string& path) const;
+  void write_csv(std::ostream& out) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Per-instance sharded (name → total seconds, count) accumulator: the
+/// thread-safe backing store for the PhaseTimers shim.  add() is one CAS
+/// add on a per-thread shard after a shared-lock name lookup.
+class PhaseAccumulator {
+ public:
+  void add(std::string_view name, double seconds);
+  double total(std::string_view name) const;
+  long count(std::string_view name) const;
+  std::map<std::string, double> totals() const;
+  void clear();
+
+ private:
+  struct Slot {
+    std::array<detail::PaddedF64, kShards> total;
+    std::array<detail::PaddedI64, kShards> count;
+  };
+  Slot* find_or_create(std::string_view name);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Slot>, std::less<>> slots_;
+};
+
+}  // namespace hbd::obs

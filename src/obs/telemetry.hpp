@@ -1,0 +1,75 @@
+// Unified telemetry entry point (tracing + metrics macros).
+//
+// The subsystem has three layers (docs/observability.md):
+//
+//   * tracing  — HBD_TRACE_SCOPE("pme.recip.fft") records a span into a
+//     per-thread ring buffer; export as Chrome trace_event JSON or a
+//     collapsed flame summary (obs/trace.hpp);
+//   * metrics  — a global Registry of per-thread-sharded counters, gauges
+//     and log-scale histograms with JSON/CSV exporters (obs/metrics.hpp);
+//   * drift    — measured-vs-modeled phase accounting after every mobility
+//     rebuild (obs/drift.hpp, driven by core/simulation).
+//
+// Everything behind the macros compiles out with -DHBD_TELEMETRY=OFF
+// (hbd::obs::kEnabled == false): no clock reads, no atomics, no storage.
+// The class APIs remain available either way so exporters and accessors
+// always link; with telemetry off they simply observe nothing.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hbd::obs {
+
+#if HBD_TELEMETRY_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace hbd::obs
+
+#define HBD_OBS_CONCAT_IMPL(a, b) a##b
+#define HBD_OBS_CONCAT(a, b) HBD_OBS_CONCAT_IMPL(a, b)
+
+#if HBD_TELEMETRY_ENABLED
+
+/// Traces the enclosing scope as a span named `name` (a string literal or
+/// other static-lifetime string; dotted hierarchy, e.g. "bd.step").
+#define HBD_TRACE_SCOPE(name) \
+  ::hbd::obs::TraceScope HBD_OBS_CONCAT(hbd_trace_scope_, __LINE__)(name)
+
+/// Adds `delta` to the named counter in the global registry.  The handle is
+/// resolved once per call site (thread-safe static init), so the hot path
+/// is one relaxed atomic add on a per-thread shard.
+#define HBD_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    static ::hbd::obs::Counter& hbd_obs_c =                                 \
+        ::hbd::obs::Registry::global().counter(name);                       \
+    hbd_obs_c.add(delta);                                                   \
+  } while (0)
+
+/// Sets the named gauge in the global registry.
+#define HBD_GAUGE_SET(name, value)                                          \
+  do {                                                                      \
+    static ::hbd::obs::Gauge& hbd_obs_g =                                   \
+        ::hbd::obs::Registry::global().gauge(name);                         \
+    hbd_obs_g.set(static_cast<double>(value));                              \
+  } while (0)
+
+/// Records `value` (> 0) into the named log-scale histogram.
+#define HBD_HISTOGRAM_OBSERVE(name, value)                                  \
+  do {                                                                      \
+    static ::hbd::obs::Histogram& hbd_obs_h =                               \
+        ::hbd::obs::Registry::global().histogram(name);                     \
+    hbd_obs_h.observe(static_cast<double>(value));                          \
+  } while (0)
+
+#else  // !HBD_TELEMETRY_ENABLED
+
+#define HBD_TRACE_SCOPE(name) ((void)0)
+#define HBD_COUNTER_ADD(name, delta) ((void)0)
+#define HBD_GAUGE_SET(name, value) ((void)0)
+#define HBD_HISTOGRAM_OBSERVE(name, value) ((void)0)
+
+#endif  // HBD_TELEMETRY_ENABLED

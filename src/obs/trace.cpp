@@ -1,0 +1,261 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace hbd::obs {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double steady_ns() {
+  return std::chrono::duration<double, std::nano>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local std::uint32_t tls_depth = 0;
+thread_local void* tls_buffer = nullptr;  // Tracer::ThreadBuffer*
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  epoch_ns_ = steady_ns();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  static int atexit_once = []() {
+    std::atexit([]() {
+      const char* path = std::getenv("HBD_TRACE");
+      if (path != nullptr && path[0] != '\0')
+        Tracer::global().write_chrome_trace(std::string(path));
+    });
+    return 0;
+  }();
+  (void)atexit_once;
+  return tracer;
+}
+
+double Tracer::now() const {
+  return (steady_ns() - epoch_ns_) * 1e-9;
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  if (tls_buffer != nullptr)
+    return static_cast<ThreadBuffer*>(tls_buffer);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->tid = static_cast<std::uint32_t>(buffers_.size());
+  buf->ring.resize(capacity_);
+  ThreadBuffer* raw = buf.get();
+  buffers_.push_back(std::move(buf));
+  tls_buffer = raw;
+  return raw;
+}
+
+void Tracer::record(const char* name, double t0, double dur,
+                    std::uint32_t depth) {
+  ThreadBuffer* buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->ring[buf->head] = {name, t0, dur, buf->tid, depth};
+  buf->head = (buf->head + 1) % capacity_;
+  if (buf->size < capacity_) ++buf->size;
+  ++buf->total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->head = 0;
+    buf->size = 0;
+    buf->total = 0;
+  }
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    total += buf->total;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t lost = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    lost += buf->total - buf->size;
+  }
+  return lost;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      // Oldest-first: the ring holds the last `size` spans ending at head.
+      const std::size_t start =
+          (buf->head + capacity_ - buf->size) % capacity_;
+      for (std::size_t k = 0; k < buf->size; ++k)
+        events.push_back(buf->ring[(start + k) % capacity_]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0 != b.t0) return a.t0 < b.t0;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    char buf[64];
+    out << "{\"name\":" << json_escape(e.name)
+        << ",\"cat\":\"hbd\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f}", e.t0 * 1e6,
+                  e.dur * 1e6);
+    out << buf;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+std::vector<SpanSummary> Tracer::summarize() const {
+  const std::vector<TraceEvent> events = snapshot();
+  // Exclusive (self) time: subtract each span's duration from its parent,
+  // reconstructed per thread from begin order and depth.
+  std::map<std::string, SpanSummary> by_name;
+  std::vector<std::size_t> stack;  // indices into events, current ancestry
+  std::vector<double> child_sum(events.size(), 0.0);
+  std::uint32_t tid = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i == 0 || e.tid != tid) {
+      stack.clear();
+      tid = e.tid;
+    }
+    while (stack.size() > e.depth) stack.pop_back();
+    if (!stack.empty()) child_sum[stack.back()] += e.dur;
+    stack.push_back(i);
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    SpanSummary& s = by_name[events[i].name];
+    s.name = events[i].name;
+    ++s.count;
+    s.total += events[i].dur;
+    s.self += events[i].dur - child_sum[i];
+  }
+  std::vector<SpanSummary> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanSummary& a, const SpanSummary& b) {
+              return a.total > b.total;
+            });
+  return rows;
+}
+
+std::string Tracer::flame_summary() const {
+  const auto rows = summarize();
+  std::ostringstream out;
+  out << "span                                count     total(s)      self(s)\n";
+  for (const SpanSummary& r : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-32s %9llu %12.6f %12.6f\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.count),
+                  r.total, r.self);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string Tracer::collapsed() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::vector<std::size_t> stack;
+  std::vector<double> child_sum(events.size(), 0.0);
+  std::uint32_t tid = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i == 0 || e.tid != tid) {
+      stack.clear();
+      tid = e.tid;
+    }
+    while (stack.size() > e.depth) stack.pop_back();
+    if (!stack.empty()) child_sum[stack.back()] += e.dur;
+    stack.push_back(i);
+  }
+  // Second pass: accumulate self time per unique stack path.
+  std::map<std::string, double> by_stack;
+  stack.clear();
+  std::string path;
+  tid = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i == 0 || e.tid != tid) {
+      stack.clear();
+      tid = e.tid;
+    }
+    while (stack.size() > e.depth) stack.pop_back();
+    path.clear();
+    for (std::size_t idx : stack) {
+      path += events[idx].name;
+      path += ';';
+    }
+    path += e.name;
+    by_stack[path] += e.dur - child_sum[i];
+    stack.push_back(i);
+  }
+  std::ostringstream out;
+  for (const auto& [stack_path, self] : by_stack) {
+    char line[64];
+    std::snprintf(line, sizeof(line), " %.0f\n", self * 1e6);
+    out << stack_path << line;
+  }
+  return out.str();
+}
+
+TraceScope::TraceScope(const char* name) : name_(name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  depth_ = tls_depth++;
+  t0_ = tracer.now();
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  --tls_depth;
+  Tracer& tracer = Tracer::global();
+  tracer.record(name_, t0_, tracer.now() - t0_, depth_);
+}
+
+}  // namespace hbd::obs

@@ -1,0 +1,126 @@
+// Low-overhead span tracer (telemetry layer 1).
+//
+// Each thread records completed spans into its own fixed-capacity ring
+// buffer (oldest spans overwritten), guarded by a per-thread mutex that is
+// uncontended on the hot path — export is the only other locker.  Span
+// names are static-lifetime strings with a dotted hierarchy mirroring the
+// paper's phase decomposition ("bd.step", "pme.recip.fft", ...); nesting is
+// tracked with a thread-local depth counter, so parent/child structure can
+// be rebuilt from (begin, duration, depth) alone.
+//
+// Exports: Chrome trace_event JSON (load in chrome://tracing or Perfetto)
+// and a collapsed flame summary (one "a;b;c <self-microseconds>" line per
+// unique stack, Brendan-Gregg style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hbd::obs {
+
+/// One completed span.  `t0` is seconds since the tracer's epoch (steady
+/// clock); `depth` is the span nesting level on its thread at begin time.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime string
+  double t0 = 0.0;             ///< begin, seconds since epoch
+  double dur = 0.0;            ///< duration, seconds
+  std::uint32_t tid = 0;       ///< dense thread index (registration order)
+  std::uint32_t depth = 0;     ///< nesting depth at begin
+};
+
+/// Aggregated per-name row of the flame summary.
+struct SpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total = 0.0;  ///< inclusive seconds
+  double self = 0.0;   ///< exclusive seconds (total minus child spans)
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer.  First call installs an atexit hook that honors
+  /// HBD_TRACE=<path> (Chrome trace JSON dumped at exit).
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Seconds since the tracer's epoch on the steady clock.
+  double now() const;
+
+  /// Appends one completed span to the calling thread's ring buffer.
+  void record(const char* name, double t0, double dur, std::uint32_t depth);
+
+  /// Discards all recorded spans (buffers stay registered).
+  void clear();
+
+  /// Spans recorded since construction/clear() across all threads,
+  /// including any that have since been overwritten in a ring.
+  std::uint64_t recorded() const;
+  /// Spans lost to ring-buffer overwrite.
+  std::uint64_t dropped() const;
+
+  /// All currently buffered spans, sorted by (tid, t0).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  void write_chrome_trace(std::ostream& out) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Per-name aggregate (count, inclusive, exclusive), sorted by inclusive
+  /// time descending.
+  std::vector<SpanSummary> summarize() const;
+  /// Human-readable table of summarize().
+  std::string flame_summary() const;
+  /// Collapsed stacks: "parent;child;leaf <self-us>\n" per unique stack.
+  std::string collapsed() const;
+
+  /// Ring capacity per thread (spans).
+  std::size_t capacity_per_thread() const { return capacity_; }
+
+ private:
+  explicit Tracer(std::size_t capacity = 1 << 15);
+
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  // capacity_ slots once first used
+    std::size_t head = 0;          // next write slot
+    std::size_t size = 0;          // valid slots (<= capacity)
+    std::uint64_t total = 0;       // spans ever recorded here
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer* buffer_for_this_thread();
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;  // guards buffers_ (registration / iteration)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> enabled_{true};
+  double epoch_ns_ = 0.0;  // steady_clock time at construction, ns
+};
+
+/// RAII span: records [construction, destruction) under `name` when the
+/// global tracer is enabled.  `name` must outlive the tracer (use string
+/// literals).  Cost when disabled: one relaxed atomic load.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  double t0_ = 0.0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hbd::obs

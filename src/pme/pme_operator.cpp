@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 #include "pme/realspace.hpp"
 
 namespace hbd {
@@ -37,8 +38,35 @@ void PmeOperator::update(std::span<const Vec3> pos) {
   // and independent-set schedule are recomputed into existing storage.  The
   // influence table, FFT plans, and mesh/batch buffers depend only on the
   // (fixed) mesh and box and are untouched.
-  real_.refresh(pos);
-  interp_.rebuild(pos);
+  HBD_TRACE_SCOPE("pme.update");
+  {
+    HBD_TRACE_SCOPE("pme.update.realspace");
+    real_.refresh(pos);
+  }
+  {
+    HBD_TRACE_SCOPE("pme.update.interp");
+    interp_.rebuild(pos);
+  }
+}
+
+std::uint64_t PmeOperator::spread_traffic_bytes(std::size_t s) const {
+  const double k3 = static_cast<double>(params_.mesh) *
+                    static_cast<double>(params_.mesh) *
+                    static_cast<double>(params_.mesh);
+  const double p3 = static_cast<double>(params_.order) *
+                    static_cast<double>(params_.order) *
+                    static_cast<double>(params_.order);
+  const double sd = static_cast<double>(s);
+  return static_cast<std::uint64_t>(
+      24.0 * sd * k3 + (12.0 + 24.0 * sd) * p3 * static_cast<double>(n_));
+}
+
+std::uint64_t PmeOperator::interp_traffic_bytes(std::size_t s) const {
+  const double p3 = static_cast<double>(params_.order) *
+                    static_cast<double>(params_.order) *
+                    static_cast<double>(params_.order);
+  return static_cast<std::uint64_t>((12.0 + 24.0 * static_cast<double>(s)) *
+                                    p3 * static_cast<double>(n_));
 }
 
 void PmeOperator::ensure_batch_capacity(std::size_t s) {
@@ -60,28 +88,39 @@ void PmeOperator::apply_real_block(const Matrix& f, Matrix& u) const {
 void PmeOperator::apply_recip(std::span<const double> f,
                               std::span<double> u) {
   HBD_CHECK(f.size() == 3 * n_ && u.size() == 3 * n_);
+  HBD_TRACE_SCOPE("pme.recip");
+  counts_.single += 1;
   {
+    HBD_TRACE_SCOPE("pme.recip.spread");
     ScopedPhase t(&timers_, "spreading");
     interp_.spread(f, mesh_[0].data(), mesh_[1].data(), mesh_[2].data());
   }
   {
+    HBD_TRACE_SCOPE("pme.recip.fft");
     ScopedPhase t(&timers_, "fft");
     for (int c = 0; c < 3; ++c)
       fft_.forward(mesh_[c].data(), spec_[c].data());
   }
+  HBD_COUNTER_ADD("pme.fft.forward", 3);
   {
+    HBD_TRACE_SCOPE("pme.recip.influence");
     ScopedPhase t(&timers_, "influence");
     influence_.apply(spec_[0].data(), spec_[1].data(), spec_[2].data());
   }
   {
+    HBD_TRACE_SCOPE("pme.recip.ifft");
     ScopedPhase t(&timers_, "ifft");
     for (int c = 0; c < 3; ++c)
       fft_.inverse(spec_[c].data(), mesh_[c].data());
   }
+  HBD_COUNTER_ADD("pme.fft.inverse", 3);
   {
+    HBD_TRACE_SCOPE("pme.recip.interp");
     ScopedPhase t(&timers_, "interpolation");
     interp_.interpolate(mesh_[0].data(), mesh_[1].data(), mesh_[2].data(), u);
   }
+  HBD_COUNTER_ADD("pme.spread.bytes", spread_traffic_bytes(1));
+  HBD_COUNTER_ADD("pme.interp.bytes", interp_traffic_bytes(1));
 }
 
 void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
@@ -89,6 +128,7 @@ void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
   // Reciprocal part into u, then accumulate the sparse real part.
   apply_recip(f, u);
   {
+    HBD_TRACE_SCOPE("pme.real.spmv");
     ScopedPhase t(&timers_, "realspace");
     real_.matrix().multiply(f, {scratch_.data(), scratch_.size()});
   }
@@ -99,26 +139,38 @@ void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
 void PmeOperator::recip_block(const Matrix& f, Matrix& u, bool accumulate) {
   const std::size_t s = f.cols();
   ensure_batch_capacity(s);
+  HBD_TRACE_SCOPE("pme.recip");
+  counts_.block += 1;
+  counts_.block_columns += s;
   {
+    HBD_TRACE_SCOPE("pme.recip.spread");
     ScopedPhase t(&timers_, "spreading");
     interp_.spread_block(f, batch_mesh_.data());
   }
   {
+    HBD_TRACE_SCOPE("pme.recip.fft");
     ScopedPhase t(&timers_, "fft");
     fft_.forward_batch(batch_mesh_.data(), batch_spec_.data(), 3 * s);
   }
+  HBD_COUNTER_ADD("pme.fft.forward", 3 * s);
   {
+    HBD_TRACE_SCOPE("pme.recip.influence");
     ScopedPhase t(&timers_, "influence");
     influence_.apply_batch(batch_spec_.data(), s);
   }
   {
+    HBD_TRACE_SCOPE("pme.recip.ifft");
     ScopedPhase t(&timers_, "ifft");
     fft_.inverse_batch(batch_spec_.data(), batch_mesh_.data(), 3 * s);
   }
+  HBD_COUNTER_ADD("pme.fft.inverse", 3 * s);
   {
+    HBD_TRACE_SCOPE("pme.recip.interp");
     ScopedPhase t(&timers_, "interpolation");
     interp_.interpolate_block(batch_mesh_.data(), u, accumulate);
   }
+  HBD_COUNTER_ADD("pme.spread.bytes", spread_traffic_bytes(s));
+  HBD_COUNTER_ADD("pme.interp.bytes", interp_traffic_bytes(s));
 }
 
 void PmeOperator::apply_recip_block(const Matrix& f, Matrix& u) {
@@ -132,6 +184,7 @@ void PmeOperator::apply_block(const Matrix& f, Matrix& u) {
             f.cols() == u.cols());
   // Real-space: one multi-vector BCSR product.
   {
+    HBD_TRACE_SCOPE("pme.real.spmv");
     ScopedPhase t(&timers_, "realspace");
     real_.matrix().multiply_block(f, u);
   }

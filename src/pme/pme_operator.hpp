@@ -9,6 +9,7 @@
 // once per time step for the deterministic velocity.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -87,7 +88,20 @@ class PmeOperator {
   /// Phase timings (spreading / fft / influence / ifft / interpolation)
   /// accumulated over all apply calls — the Fig. 5 breakdown.
   const PhaseTimers& timers() const { return timers_; }
-  void clear_timers() { timers_.clear(); }
+  void clear_timers() {
+    timers_.clear();
+    counts_ = {};
+  }
+
+  /// Apply-call counters accumulated alongside timers(): the drift audit
+  /// scales the per-apply Eq. 10 predictions by these to model one audit
+  /// window.  Reset by clear_timers().
+  struct ApplyCounts {
+    std::uint64_t single = 0;        ///< single-vector reciprocal sweeps
+    std::uint64_t block = 0;         ///< batched block applies
+    std::uint64_t block_columns = 0; ///< summed widths of the block applies
+  };
+  const ApplyCounts& apply_counts() const { return counts_; }
 
   /// Resident bytes of the operator (meshes + P + influence + M_real).
   std::size_t bytes() const;
@@ -103,6 +117,11 @@ class PmeOperator {
 
   /// Grows the persistent batch buffers to hold 3s meshes/spectra.
   void ensure_batch_capacity(std::size_t s);
+
+  /// Modeled memory traffic of one s-column spread / interpolation pass
+  /// (Eq. 10 byte counts), fed to the telemetry byte counters.
+  std::uint64_t spread_traffic_bytes(std::size_t s) const;
+  std::uint64_t interp_traffic_bytes(std::size_t s) const;
 
   std::size_t n_;
   double box_, radius_;
@@ -127,6 +146,7 @@ class PmeOperator {
   aligned_vector<double> scratch_;
 
   PhaseTimers timers_;
+  ApplyCounts counts_;
 };
 
 }  // namespace hbd

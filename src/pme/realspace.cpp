@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "ewald/beenakker.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -28,12 +29,21 @@ RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
 }
 
 void RealspaceOperator::refresh(std::span<const Vec3> pos) {
-  neighbors_->update(pos);
+  HBD_TRACE_SCOPE("realspace.refresh");
+  {
+    HBD_TRACE_SCOPE("realspace.neighbor");
+    neighbors_->update(pos);
+  }
   if (neighbors_->build_count() != pattern_generation_) {
+    HBD_TRACE_SCOPE("realspace.pattern");
     rebuild_pattern();
     pattern_generation_ = neighbors_->build_count();
+    HBD_GAUGE_SET("realspace.nnz_blocks", matrix_.nnz_blocks());
   }
-  refresh_values(pos);
+  {
+    HBD_TRACE_SCOPE("realspace.values");
+    refresh_values(pos);
+  }
 }
 
 void RealspaceOperator::rebuild_pattern() {
@@ -61,6 +71,7 @@ void RealspaceOperator::rebuild_pattern() {
     while (s < list_ptr[i + 1]) mat_cols[t++] = list_cols[s++];
   }
   ++pattern_builds_;
+  HBD_COUNTER_ADD("realspace.pattern_builds", 1);
 }
 
 void RealspaceOperator::refresh_values(std::span<const Vec3> pos) {

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "common/vec3.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 namespace {
@@ -137,8 +138,14 @@ TEST(PhaseTimers, Accumulates) {
   pt.add("fft", 1.0);
   pt.add("fft", 2.0);
   pt.add("spread", 0.5);
-  EXPECT_DOUBLE_EQ(pt.total("fft"), 3.0);
-  EXPECT_EQ(pt.count("fft"), 2);
+  if (obs::kEnabled) {
+    EXPECT_DOUBLE_EQ(pt.total("fft"), 3.0);
+    EXPECT_EQ(pt.count("fft"), 2);
+  } else {
+    // -DHBD_TELEMETRY=OFF: add() is a no-op and every query reports zero.
+    EXPECT_DOUBLE_EQ(pt.total("fft"), 0.0);
+    EXPECT_EQ(pt.count("fft"), 0);
+  }
   EXPECT_DOUBLE_EQ(pt.total("missing"), 0.0);
   pt.clear();
   EXPECT_DOUBLE_EQ(pt.total("fft"), 0.0);

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Schema checks for the telemetry JSON artifacts.
+
+Usage:
+    check_telemetry_schema.py --trace trace.json --metrics metrics.json
+    check_telemetry_schema.py --bench BENCH_block_mobility.json ...
+
+Validates that
+  * a trace file is Chrome trace_event JSON: a "traceEvents" list of "X"
+    (complete) events with name/pid/tid/ts/dur fields;
+  * a metrics file has the registry export shape: "counters"/"gauges" maps
+    of numbers and a "histograms" map whose entries carry
+    count/sum/mean/min/max/p50/p90/p99;
+  * a bench file follows the shared BENCH_*.json schema: bench/n/params/
+    samples/percentiles, with every percentile entry keyed by a sample field
+    and holding p50/p90/max.
+
+Exits non-zero (with a message per problem) on the first malformed file.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(path, message):
+    sys.exit(f"{path}: {message}")
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"not readable JSON: {exc}")
+
+
+def require(cond, path, message):
+    if not cond:
+        fail(path, message)
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def check_trace(path):
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), path, "missing traceEvents list")
+    require(events, path, "traceEvents is empty")
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(e, dict), path, f"{where} must be an object")
+        require(e.get("ph") == "X", path, f"{where}: expected complete event")
+        require(isinstance(e.get("name"), str) and e["name"], path,
+                f"{where}: missing name")
+        for key in ("pid", "tid", "ts", "dur"):
+            require(is_num(e.get(key)), path, f"{where}: missing {key}")
+        require(e["dur"] >= 0, path, f"{where}: negative duration")
+    print(f"{path}: ok ({len(events)} events)")
+
+
+def check_metrics(path):
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        require(isinstance(doc.get(section), dict), path,
+                f"missing {section} object")
+    for name, v in doc["counters"].items():
+        require(is_num(v), path, f"counter {name} must be numeric")
+    for name, v in doc["gauges"].items():
+        require(is_num(v), path, f"gauge {name} must be numeric")
+    for name, h in doc["histograms"].items():
+        require(isinstance(h, dict), path, f"histogram {name} not an object")
+        for key in ("count", "sum", "mean", "min", "max", "p50", "p90",
+                    "p99"):
+            require(is_num(h.get(key)), path,
+                    f"histogram {name} missing {key}")
+        require(h["count"] >= 0, path, f"histogram {name}: negative count")
+        if h["count"] > 0:
+            require(h["min"] <= h["p50"] <= h["max"], path,
+                    f"histogram {name}: p50 outside [min, max]")
+    n = (len(doc["counters"]), len(doc["gauges"]), len(doc["histograms"]))
+    print(f"{path}: ok ({n[0]} counters, {n[1]} gauges, {n[2]} histograms)")
+
+
+def check_bench(path):
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    require(isinstance(doc.get("bench"), str) and doc["bench"], path,
+            "missing bench name")
+    require(is_num(doc.get("n")), path, "missing n")
+    require(isinstance(doc.get("params"), dict), path, "missing params")
+    samples = doc.get("samples")
+    require(isinstance(samples, list) and samples, path,
+            "missing non-empty samples list")
+    keys = None
+    for i, s in enumerate(samples):
+        require(isinstance(s, dict), path, f"samples[{i}] must be an object")
+        for k, v in s.items():
+            require(is_num(v), path, f"samples[{i}].{k} must be numeric")
+        keys = set(s) if keys is None else keys
+        require(set(s) == keys, path, f"samples[{i}] keys differ")
+    pct = doc.get("percentiles")
+    require(isinstance(pct, dict), path, "missing percentiles")
+    for key, entry in pct.items():
+        require(key in keys, path, f"percentile key {key} not in samples")
+        for p in ("p50", "p90", "max"):
+            require(is_num(entry.get(p)), path,
+                    f"percentiles.{key} missing {p}")
+    print(f"{path}: ok ({len(samples)} samples)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome trace_event JSON file")
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="metrics registry JSON file")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="BENCH_*.json benchmark report")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics or args.bench):
+        parser.error("nothing to check")
+    for path in args.trace:
+        check_trace(path)
+    for path in args.metrics:
+        check_metrics(path)
+    for path in args.bench:
+        check_bench(path)
+
+
+if __name__ == "__main__":
+    main()
