@@ -152,8 +152,9 @@ int main(int argc, char** argv) {
     std::printf("diffusion estimate D/D0 = %.4f\n", d);
   }
   if (!opt.checkpoint.empty()) {
-    save_checkpoint(opt.checkpoint,
-                    {sim.system(), steps_done + opt.steps, opt.seed});
+    save_checkpoint(
+        opt.checkpoint,
+        {sim.system(), steps_done + opt.steps, opt.seed, sim.manifest()});
     std::printf("checkpoint written to %s\n", opt.checkpoint.c_str());
   }
   return 0;

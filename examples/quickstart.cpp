@@ -60,13 +60,18 @@ int main() {
   std::printf("measured short-time D/D0 = %.3f (RPY periodic: %.3f)\n", d,
               1.0 - 2.837297 / sim.system().box);
 
-  // 6. Telemetry (docs/observability.md): where the time went, and how far
-  //    the measured phase times drifted from the Eq. 10 model.  Setting
-  //    HBD_TRACE=<path> / HBD_METRICS=<path> additionally dumps the full
-  //    Chrome trace and metrics JSON at exit.
+  // 6. Telemetry (docs/observability.md): where the time went, how far the
+  //    measured phase times drifted from the Eq. 10 model, and the numerical
+  //    health of the run (Krylov convergence, e_p probes when enabled).
+  //    Setting HBD_TRACE=<path> / HBD_METRICS=<path> additionally dumps the
+  //    full Chrome trace and metrics JSON at exit; HBD_HEALTH=<path> enables
+  //    online e_p probing and writes the JSON health report (manifest, e_p
+  //    series, Krylov statistics) when the simulation is destroyed.
   if (obs::kEnabled) {
     std::printf("\n-- model drift (measured vs Eq. 10) --\n%s",
                 sim.drift_audit().report().c_str());
+    std::printf("\n-- numerical health --\n%s",
+                sim.health().summary().c_str());
     std::printf("\n-- metrics --\n%s",
                 obs::Registry::global().report().c_str());
   }

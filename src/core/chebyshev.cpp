@@ -8,6 +8,8 @@
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "obs/health.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hbd {
 
@@ -120,7 +122,14 @@ Matrix chebyshev_sqrt_apply(MobilityOperator& op, const Matrix& z,
   if (stats != nullptr) {
     stats->terms = terms;
     stats->coeff_tail = tail;
+    // Per-term convergence curve: the uniform-error contribution of each
+    // kept coefficient relative to the spectral scale √λ_max.
+    const double scale = std::sqrt(bounds.max);
+    stats->relative_coefficients.assign(c.begin(), c.end());
+    for (double& rc : stats->relative_coefficients)
+      rc = std::abs(rc) / scale;
   }
+  HBD_HISTOGRAM_OBSERVE("chebyshev.terms", terms);
 
   // Affine map Ã = (2M − (b+a)I)/(b−a); recurrence T_{k+1} = 2ÃT_k − T_{k−1}.
   const double alpha = 2.0 / (bounds.max - bounds.min);
@@ -150,6 +159,11 @@ Matrix chebyshev_sqrt_apply(MobilityOperator& op, const Matrix& z,
       x.data()[i] += c[k] * next;
     }
   }
+  if (stats != nullptr)
+    obs::guard_finite({x.data(), total}, "chebyshev.sqrt", /*step=*/-1,
+                      &stats->relative_coefficients);
+  else
+    obs::guard_finite({x.data(), total}, "chebyshev.sqrt", /*step=*/-1);
   return x;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/mobility.hpp"
 #include "linalg/dense_matrix.hpp"
@@ -34,6 +35,9 @@ struct ChebyshevConfig {
 struct ChebyshevStats {
   int terms = 0;           ///< expansion length actually used
   double coeff_tail = 0.0; ///< magnitude of the first dropped coefficient
+  /// Per-term convergence curve |c_k|/√λ_max — the Chebyshev analogue of
+  /// the Krylov relative-change series, fed to the health monitor.
+  std::vector<double> relative_coefficients;
 };
 
 /// X ≈ M^{1/2} Z via the Chebyshev expansion over `bounds` (Z is 3n×s).

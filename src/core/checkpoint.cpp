@@ -8,7 +8,10 @@
 namespace hbd {
 
 namespace {
-constexpr char kMagic[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '1'};
+// v1 files end after the positions; v2 appends the run manifest (so the
+// 48-byte header and positions block are layout-identical across versions).
+constexpr char kMagicV1[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '2'};
 
 template <class T>
 void write_pod(std::ofstream& out, const T& v) {
@@ -20,12 +23,83 @@ void read_pod(std::ifstream& in, T* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(T));
   HBD_CHECK_MSG(in.good(), "truncated checkpoint");
 }
+
+void write_string(std::ofstream& out, const std::string& s) {
+  const std::uint64_t len = s.size();
+  write_pod(out, len);
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void read_string(std::ifstream& in, std::string* s) {
+  std::uint64_t len = 0;
+  read_pod(in, &len);
+  HBD_CHECK_MSG(len < (1u << 20), "implausible string length in checkpoint");
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  HBD_CHECK_MSG(in.good(), "truncated checkpoint");
+}
+
+void write_manifest(std::ofstream& out, const obs::RunManifest& m) {
+  write_string(out, m.version);
+  write_string(out, m.compiler);
+  write_string(out, m.flags);
+  write_string(out, m.build_type);
+  write_pod(out, static_cast<std::uint8_t>(m.telemetry ? 1 : 0));
+  write_pod(out, static_cast<std::int64_t>(m.omp_threads));
+  write_pod(out, m.seed);
+  write_pod(out, m.dt);
+  write_pod(out, m.kbt);
+  write_pod(out, m.mu0);
+  write_pod(out, m.lambda_rpy);
+  write_pod(out, m.particles);
+  write_pod(out, m.box);
+  write_pod(out, m.radius);
+  write_pod(out, m.mesh);
+  write_pod(out, static_cast<std::int64_t>(m.order));
+  write_pod(out, m.rmax);
+  write_pod(out, m.xi);
+  write_pod(out, m.skin);
+  write_string(out, m.hw_name);
+  write_pod(out, m.hw_gflops);
+  write_pod(out, m.hw_bw_gbs);
+}
+
+void read_manifest(std::ifstream& in, obs::RunManifest* m) {
+  read_string(in, &m->version);
+  read_string(in, &m->compiler);
+  read_string(in, &m->flags);
+  read_string(in, &m->build_type);
+  std::uint8_t telemetry = 0;
+  read_pod(in, &telemetry);
+  m->telemetry = telemetry != 0;
+  std::int64_t omp_threads = 0;
+  read_pod(in, &omp_threads);
+  m->omp_threads = static_cast<int>(omp_threads);
+  read_pod(in, &m->seed);
+  read_pod(in, &m->dt);
+  read_pod(in, &m->kbt);
+  read_pod(in, &m->mu0);
+  read_pod(in, &m->lambda_rpy);
+  read_pod(in, &m->particles);
+  read_pod(in, &m->box);
+  read_pod(in, &m->radius);
+  read_pod(in, &m->mesh);
+  std::int64_t order = 0;
+  read_pod(in, &order);
+  m->order = static_cast<int>(order);
+  read_pod(in, &m->rmax);
+  read_pod(in, &m->xi);
+  read_pod(in, &m->skin);
+  read_string(in, &m->hw_name);
+  read_pod(in, &m->hw_gflops);
+  read_pod(in, &m->hw_bw_gbs);
+}
 }  // namespace
 
 void save_checkpoint(const std::string& path, const Checkpoint& cp) {
   std::ofstream out(path, std::ios::binary);
   HBD_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   write_pod(out, cp.system.box);
   write_pod(out, cp.system.radius);
   write_pod(out, cp.steps_taken);
@@ -34,6 +108,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& cp) {
   write_pod(out, n);
   out.write(reinterpret_cast<const char*>(cp.system.positions.data()),
             static_cast<std::streamsize>(n * sizeof(Vec3)));
+  write_manifest(out, cp.manifest);
   HBD_CHECK_MSG(out.good(), "checkpoint write failed for " << path);
 }
 
@@ -42,8 +117,11 @@ Checkpoint load_checkpoint(const std::string& path) {
   HBD_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  HBD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                "not a hydrobd checkpoint: " << path);
+  const bool v2 =
+      in.good() && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  const bool v1 =
+      in.good() && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  HBD_CHECK_MSG(v1 || v2, "not a hydrobd checkpoint: " << path);
   Checkpoint cp;
   read_pod(in, &cp.system.box);
   read_pod(in, &cp.system.radius);
@@ -56,6 +134,7 @@ Checkpoint load_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(cp.system.positions.data()),
           static_cast<std::streamsize>(n * sizeof(Vec3)));
   HBD_CHECK_MSG(in.good(), "truncated checkpoint " << path);
+  if (v2) read_manifest(in, &cp.manifest);
   return cp;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/system.hpp"
+#include "obs/health.hpp"
 
 namespace hbd {
 
@@ -16,6 +17,9 @@ struct Checkpoint {
   ParticleSystem system;
   std::size_t steps_taken = 0;
   std::uint64_t seed = 0;
+  /// Run provenance embedded in the file (format v2); a v1 checkpoint loads
+  /// with a default-constructed manifest.
+  obs::RunManifest manifest;
 };
 
 /// Writes a checkpoint; throws hbd::Error on I/O failure.

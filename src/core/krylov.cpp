@@ -1,5 +1,6 @@
 #include "core/krylov.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/matfun.hpp"
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 
 namespace hbd {
@@ -91,6 +93,13 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
 
   Xoshiro256 deflation_rng(0xD3F1A710ull);
 
+  // Full per-iteration relative-change series (Eq. 9): kept locally so it
+  // can be attached to NumericalExceptions even when the caller passes no
+  // stats, and copied out through KrylovStats at every exit.
+  std::vector<double> rel_series;
+  rel_series.reserve(static_cast<std::size_t>(config.max_iterations));
+  double min_proj_eig = std::numeric_limits<double>::infinity();
+
   std::vector<Matrix> v;             // orthonormal basis blocks, each n×s
   std::vector<Matrix> a_blocks;      // diagonal blocks of T
   std::vector<Matrix> b_blocks;      // subdiagonal blocks (B_{j+1})
@@ -156,8 +165,25 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
           }
       }
     }
+    double t_min = 0.0, t_max = 0.0;
     const Matrix tsqrt = matrix_function_sym(
-        t, [](double wv) { return std::sqrt(wv); }, 0.0);
+        t, [](double wv) { return std::sqrt(wv); }, 0.0, &t_min, &t_max);
+    min_proj_eig = std::min(min_proj_eig, t_min);
+    if constexpr (obs::kEnabled) {
+      // Roundoff leaves T_m eigenvalues barely negative; anything beyond
+      // that means the mobility operator itself lost SPD (e.g. overlapping
+      // particles under a non-regularized kernel) and T^{1/2} is garbage.
+      if (t_min < -1e-8 * std::max(t_max, 1e-300)) {
+        NumericalContext ctx;
+        ctx.phase = "krylov.spd";
+        ctx.index = -1;
+        ctx.value = t_min;
+        ctx.residuals = rel_series;
+        throw NumericalException(
+            "projected Lanczos matrix lost positive semidefiniteness",
+            std::move(ctx));
+      }
+    }
 
     // G = T^{1/2}[:, 0:s] · R1, then X = Σ_j V_j G_j.
     Matrix g(dim, s);
@@ -179,15 +205,21 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
       Matrix diff = x;
       axpy(-1.0, {x_prev.data(), n * s}, {diff.data(), n * s});
       const double xn = fro_norm(x);
+      obs::guard_finite({x.data(), n * s}, "krylov.sqrt", /*step=*/-1,
+                        &rel_series);
       rel = xn > 0.0 ? fro_norm(diff) / xn : 0.0;
+      rel_series.push_back(rel);
     }
     if (stats != nullptr) {
       stats->iterations = m;
       stats->relative_change = have_prev ? rel : 0.0;
+      stats->relative_changes = rel_series;
+      stats->min_projected_eigenvalue = min_proj_eig;
     }
     if (have_prev && rel < config.tolerance) {
       if (stats != nullptr) stats->converged = true;
       HBD_HISTOGRAM_OBSERVE("krylov.iterations", m);
+      HBD_HISTOGRAM_OBSERVE("krylov.relative_change", rel);
       return x;
     }
     x_prev = x;
@@ -203,6 +235,7 @@ Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
 
   if (stats != nullptr) stats->converged = false;
   HBD_HISTOGRAM_OBSERVE("krylov.iterations", config.max_iterations);
+  HBD_COUNTER_ADD("krylov.nonconverged", 1);
   return x_prev;
 }
 

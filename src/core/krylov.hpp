@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/mobility.hpp"
 #include "linalg/dense_matrix.hpp"
@@ -29,10 +30,20 @@ struct KrylovStats {
   int iterations = 0;
   double relative_change = 0.0;
   bool converged = false;
+  /// Per-iteration relative change ‖X_m − X_{m−1}‖_F/‖X_m‖_F (Eq. 9), one
+  /// entry per iteration from the second on — the full convergence curve,
+  /// fed to the health monitor and attached to NumericalExceptions.
+  std::vector<double> relative_changes;
+  /// Most negative eigenvalue seen across the projected matrices T_m
+  /// (roundoff makes it slightly negative; large negative values mean the
+  /// operator lost positive semidefiniteness).
+  double min_projected_eigenvalue = 0.0;
 };
 
-/// Returns X ≈ M^{1/2} Z (Z is 3n×s, row-major).  Throws if the projected
-/// matrix loses positive semidefiniteness beyond roundoff.
+/// Returns X ≈ M^{1/2} Z (Z is 3n×s, row-major).  Throws a
+/// NumericalException (obs/health.hpp) if the projected matrix loses
+/// positive semidefiniteness beyond roundoff or the iterate turns
+/// NaN/Inf — with the per-iteration convergence series attached.
 Matrix krylov_sqrt_apply(MobilityOperator& op, const Matrix& z,
                          const KrylovConfig& config = {},
                          KrylovStats* stats = nullptr);

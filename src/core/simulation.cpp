@@ -6,10 +6,24 @@
 #include "common/timer.hpp"
 #include "linalg/blas.hpp"
 #include "obs/telemetry.hpp"
+#include "pme/validate.hpp"
 
 namespace hbd {
 
 namespace {
+
+/// Fills the run fields of a manifest shared by both drivers.
+void fill_run_fields(obs::RunManifest& m, const BdConfig& config,
+                     const ParticleSystem& system) {
+  m.seed = config.seed;
+  m.dt = config.dt;
+  m.kbt = config.kbt;
+  m.mu0 = config.mu0;
+  m.lambda_rpy = config.lambda_rpy;
+  m.particles = system.size();
+  m.box = system.box;
+  m.radius = system.radius;
+}
 
 /// One propagation step shared by both drivers:
 /// r += μ0·(M̃ f)·Δt + d, with d the pre-sampled Brownian displacement.
@@ -116,6 +130,12 @@ std::size_t EwaldBdSimulation::mobility_bytes() const {
          d * config_.lambda_rpy * sizeof(double);
 }
 
+obs::RunManifest EwaldBdSimulation::manifest() const {
+  obs::RunManifest m = obs::RunManifest::build_info();
+  fill_run_fields(m, config_, system_);
+  return m;
+}
+
 // ---- Algorithm 2: matrix-free BD --------------------------------------------
 
 MatrixFreeBdSimulation::MatrixFreeBdSimulation(
@@ -130,6 +150,30 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
                                             pme_params.skin)) {
   HBD_CHECK(config_.lambda_rpy >= 1);
   krylov_config_.tolerance = krylov_tol;
+  // Publish this run's provenance to the process-wide manifest embedded by
+  // the metrics/trace/bench exporters (last constructed driver wins).
+  obs::run_manifest() = manifest();
+}
+
+MatrixFreeBdSimulation::~MatrixFreeBdSimulation() {
+  if constexpr (obs::kEnabled) {
+    if (!health_.export_path().empty())
+      health_.write_json(health_.export_path(), manifest());
+  }
+}
+
+obs::RunManifest MatrixFreeBdSimulation::manifest() const {
+  obs::RunManifest m = obs::RunManifest::build_info();
+  fill_run_fields(m, config_, system_);
+  m.mesh = pme_params_.mesh;
+  m.order = pme_params_.order;
+  m.rmax = pme_params_.rmax;
+  m.xi = pme_params_.xi;
+  m.skin = pme_params_.skin;
+  m.hw_name = model_hw_.name;
+  m.hw_gflops = model_hw_.peak_dp_gflops;
+  m.hw_bw_gbs = model_hw_.stream_bw_gbs;
+  return m;
 }
 
 void MatrixFreeBdSimulation::rebuild() {
@@ -158,10 +202,51 @@ void MatrixFreeBdSimulation::rebuild() {
     displacements_ = sampler.sample_block(
         z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
     krylov_stats_ = sampler.last_stats();
+    if constexpr (obs::kEnabled) {
+      health_.record_krylov(steps_, krylov_stats_.iterations,
+                            krylov_stats_.relative_change,
+                            krylov_stats_.converged);
+      HBD_COUNTER_ADD("krylov.updates", 1);
+      HBD_COUNTER_ADD("krylov.iterations.total", krylov_stats_.iterations);
+      obs::guard_finite(
+          {displacements_.data(),
+           displacements_.rows() * displacements_.cols()},
+          "displacements", static_cast<long>(steps_),
+          &krylov_stats_.relative_changes);
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (health_.probe_due()) probe_pme_error();
   }
   block_cursor_ = 0;
   HBD_COUNTER_ADD("bd.rebuilds", 1);
   HBD_GAUGE_SET("bd.mobility_bytes", mobility_bytes());
+}
+
+void MatrixFreeBdSimulation::probe_pme_error() {
+  HBD_TRACE_SCOPE("health.ep_probe");
+  // The reference shares positions with the live operator (wrapped_ was
+  // refreshed at the top of rebuild()) but nothing else: its truncation
+  // error is driven orders of magnitude below the operator under test.
+  if (!ref_pme_)
+    ref_pme_.emplace(wrapped_, system_.box, system_.radius,
+                     reference_pme_params(system_.box, system_.radius));
+  else
+    ref_pme_->update(wrapped_);
+  // Probe RNG is derived from the step index, not drawn from the trajectory
+  // RNG — probing on/off cannot perturb the trajectory.
+  const double ep = measure_pme_error_operators(
+      *pme_, *ref_pme_, health_.probe_samples(),
+      /*seed=*/0x9E3779B97F4A7C15ull ^ steps_);
+  health_.record_ep(steps_, ep);
+}
+
+void MatrixFreeBdSimulation::guard_step() {
+  obs::guard_finite(forces_scratch_, "forces", static_cast<long>(steps_));
+  const double* p = &system_.positions[0].x;
+  obs::guard_finite({p, 3 * system_.size()}, "positions",
+                    static_cast<long>(steps_),
+                    &krylov_stats_.relative_changes);
 }
 
 void MatrixFreeBdSimulation::step(std::size_t nsteps) {
@@ -172,6 +257,7 @@ void MatrixFreeBdSimulation::step(std::size_t nsteps) {
     PmeMobility mob(*pme_);
     propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
               nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
+    if constexpr (obs::kEnabled) guard_step();
     ++block_cursor_;
     ++steps_;
     HBD_COUNTER_ADD("bd.steps", 1);

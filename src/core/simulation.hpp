@@ -24,6 +24,7 @@
 #include "ewald/beenakker.hpp"
 #include "hybrid/scheduler.hpp"
 #include "obs/drift.hpp"
+#include "obs/health.hpp"
 #include "pme/pme_operator.hpp"
 
 namespace hbd {
@@ -52,6 +53,8 @@ class EwaldBdSimulation {
   std::size_t steps_taken() const { return steps_; }
   /// Bytes held by the dense mobility representation (Fig. 7a).
   std::size_t mobility_bytes() const;
+  /// Run-provenance manifest (build info + BdConfig + system; PME zero).
+  obs::RunManifest manifest() const;
 
  private:
   void rebuild();
@@ -80,6 +83,8 @@ class MatrixFreeBdSimulation {
                          std::shared_ptr<const ForceField> forces,
                          BdConfig config, PmeParams pme_params,
                          double krylov_tol = 1e-2);
+  /// Writes the health report to HBD_HEALTH (when set) before teardown.
+  ~MatrixFreeBdSimulation();
 
   void step(std::size_t nsteps = 1);
 
@@ -94,6 +99,24 @@ class MatrixFreeBdSimulation {
   /// The simulation-owned neighbor list shared by the real-space assembly
   /// and the steric forces (cutoff = PME rmax, padded by the PME skin).
   const NeighborList& neighbor_list() const { return *nlist_; }
+
+  // --- Telemetry: numerical health (layer 4) -------------------------------
+
+  /// Online accuracy/convergence monitor: e_p probe history, per-update
+  /// Krylov convergence records, and structured warnings.  Probing is
+  /// enabled by HBD_HEALTH=<path> (report written at destruction) or
+  /// programmatically via health().set_probes_enabled(true); probes run
+  /// every health().probe_interval() mobility rebuilds against a lazily
+  /// built high-resolution reference operator and never touch the
+  /// trajectory RNG, so trajectories are bitwise identical with probing on
+  /// or off.
+  obs::HealthMonitor& health() { return health_; }
+  const obs::HealthMonitor& health() const { return health_; }
+
+  /// Run-provenance manifest of this simulation (build info + BdConfig +
+  /// PmeParams + system size) — embedded in the health report and suitable
+  /// for checkpoints.
+  obs::RunManifest manifest() const;
 
   // --- Telemetry: model-vs-measured drift audit (Eq. 10–11) ----------------
 
@@ -129,6 +152,12 @@ class MatrixFreeBdSimulation {
   /// Records one drift-audit window covering all operator applies since the
   /// previous call (the λ propagation applies + the Krylov block applies).
   void audit_drift();
+  /// Runs one amortized e_p probe of the live operator against the lazily
+  /// constructed high-resolution reference (telemetry builds only).
+  void probe_pme_error();
+  /// NaN/Inf guards on forces and positions after one propagation step;
+  /// compiled out with -DHBD_TELEMETRY=OFF.
+  void guard_step();
 
   ParticleSystem system_;
   std::shared_ptr<const ForceField> forces_;
@@ -139,6 +168,11 @@ class MatrixFreeBdSimulation {
 
   std::shared_ptr<NeighborList> nlist_;
   std::optional<PmeOperator> pme_;
+  /// High-resolution reference operator for the e_p probes (lazily built on
+  /// the first probe, then refreshed in place — never constructed when
+  /// probing is disabled).
+  std::optional<PmeOperator> ref_pme_;
+  obs::HealthMonitor health_;
   KrylovStats krylov_stats_;
   Matrix displacements_;
   std::size_t block_cursor_ = 0;

@@ -11,9 +11,12 @@ namespace hbd {
 
 Matrix matrix_function_sym(const Matrix& a,
                            const std::function<double(double)>& f,
-                           double clip_below) {
+                           double clip_below, double* min_eig,
+                           double* max_eig) {
   const std::size_t n = a.rows();
   const EigenSym eig = eigen_sym(a);
+  if (min_eig != nullptr) *min_eig = eig.values.front();
+  if (max_eig != nullptr) *max_eig = eig.values.back();
   // B = V diag(f(w)); out = B Vᵀ.
   Matrix b(n, n);
   for (std::size_t j = 0; j < n; ++j) {

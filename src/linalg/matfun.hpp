@@ -12,9 +12,14 @@ namespace hbd {
 /// Returns f(A) = V f(diag(w)) Vᵀ for symmetric A.  Eigenvalues below
 /// `clip_below` are clipped up to it before applying f — the projected
 /// Lanczos matrices can have tiny negative eigenvalues from roundoff.
+/// When non-null, `min_eig`/`max_eig` receive the unclipped extreme
+/// eigenvalues, so callers can audit how much clipping actually occurred
+/// (the Krylov sampler's SPD-loss guard) without a second decomposition.
 Matrix matrix_function_sym(const Matrix& a,
                            const std::function<double(double)>& f,
-                           double clip_below = 0.0);
+                           double clip_below = 0.0,
+                           double* min_eig = nullptr,
+                           double* max_eig = nullptr);
 
 /// Principal square root of a symmetric positive semidefinite matrix.
 Matrix sqrtm_spd(const Matrix& a);

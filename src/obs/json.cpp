@@ -8,6 +8,8 @@
 #include <map>
 #include <ostream>
 
+#include "obs/health.hpp"
+
 namespace hbd::obs {
 
 std::string json_escape(std::string_view s) {
@@ -233,6 +235,8 @@ void write_json(std::ostream& out, const BenchReport& report) {
   JsonWriter w(out);
   w.begin_object();
   w.field("bench", report.name);
+  w.key("manifest");
+  run_manifest().write_json(w);
   w.field("n", static_cast<double>(report.n));
   w.key("params");
   w.begin_object();

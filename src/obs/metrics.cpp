@@ -10,6 +10,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 
 namespace hbd::obs {
@@ -226,6 +227,8 @@ void Registry::write_json(std::ostream& out) const {
   const MetricsSnapshot snap = snapshot();
   JsonWriter w(out);
   w.begin_object();
+  w.key("manifest");
+  run_manifest().write_json(w);
   w.key("counters");
   w.begin_object();
   for (const auto& [name, v] : snap.counters)

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 
 namespace hbd::obs {
@@ -139,7 +140,8 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
                   e.dur * 1e6);
     out << buf;
   }
-  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  out << "],\"displayTimeUnit\":\"ms\",\"manifest\":"
+      << run_manifest().to_json() << "}\n";
 }
 
 bool Tracer::write_chrome_trace(const std::string& path) const {

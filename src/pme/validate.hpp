@@ -18,16 +18,30 @@ namespace hbd {
 PmeParams reference_pme_params(double box, double radius,
                                double ref_tol = 1e-9);
 
-/// e_p of `params` measured against a high-resolution PME reference on a
-/// random force vector.
+/// e_p of `params` measured against a high-resolution PME reference,
+/// averaged over `samples` independent random force vectors (the Sec. V-B
+/// norm ratio is noisy at one sample); the batch runs through one block
+/// apply per operator.
 double measure_pme_error(std::span<const Vec3> pos, double box, double radius,
-                         const PmeParams& params, std::uint64_t seed = 7);
+                         const PmeParams& params, std::size_t samples = 4,
+                         std::uint64_t seed = 7);
 
 /// e_p measured against the direct (non-mesh) Ewald sum — O(n²·lattice),
 /// only sensible for small n; used to validate the PME-vs-PME measurement.
+/// Averages over the same `samples` force vectors as measure_pme_error at
+/// equal seed, so the two estimates are directly comparable.
 double measure_pme_error_direct(std::span<const Vec3> pos, double box,
                                 double radius, const PmeParams& params,
                                 double direct_tol = 1e-12,
+                                std::size_t samples = 4,
                                 std::uint64_t seed = 7);
+
+/// e_p of a live operator measured in place against a live high-resolution
+/// reference (both already targeted at the same positions) — the online
+/// health probe: no construction, one block apply per operator, mean of the
+/// per-column norm ratios.
+double measure_pme_error_operators(PmeOperator& pme, PmeOperator& reference,
+                                   std::size_t samples = 4,
+                                   std::uint64_t seed = 7);
 
 }  // namespace hbd

@@ -1,0 +1,340 @@
+// Telemetry layer 4 (numerical health): NaN/Inf guards with structured
+// context, online e_p probes, run-provenance manifests, and the guarantee
+// that none of it perturbs the trajectory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/forces.hpp"
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "pme/params.hpp"
+#include "pme/validate.hpp"
+
+using namespace hbd;
+
+namespace {
+
+ParticleSystem small_system(std::size_t n = 40, std::uint64_t seed = 61) {
+  Xoshiro256 rng(seed);
+  return suspension_at_volume_fraction(n, 0.2, 1.0, rng);
+}
+
+BdConfig quick_config() {
+  BdConfig config;
+  config.dt = 1e-4;
+  config.lambda_rpy = 4;
+  config.seed = 7;
+  return config;
+}
+
+/// Injects a NaN into the force array from the `poison_after`-th evaluation
+/// onward (plus a well-behaved harmonic contact force before that).
+class PoisonedForce : public ForceField {
+ public:
+  PoisonedForce(double radius, int poison_after)
+      : inner_(radius), poison_after_(poison_after) {}
+  void add_forces(std::span<const Vec3> pos, double box,
+                  std::span<double> f) const override {
+    inner_.add_forces(pos, box, f);
+    if (calls_++ >= poison_after_)
+      f[5] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  RepulsiveHarmonic inner_;
+  int poison_after_;
+  mutable int calls_ = 0;
+};
+
+}  // namespace
+
+// ---- guard_finite -----------------------------------------------------------
+
+TEST(HealthGuard, ReportsEntryStepAndResiduals) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const double bad[] = {1.0, 2.0, std::numeric_limits<double>::infinity(),
+                        4.0};
+  const std::vector<double> residuals = {0.5, 0.1, 0.02};
+  try {
+    obs::guard_finite(bad, "displacements", /*step=*/42, &residuals);
+    FAIL() << "guard_finite did not throw";
+  } catch (const NumericalException& e) {
+    EXPECT_EQ(e.context().phase, "displacements");
+    EXPECT_EQ(e.context().step, 42);
+    EXPECT_EQ(e.context().index, 2);
+    EXPECT_TRUE(std::isinf(e.context().value));
+    EXPECT_EQ(e.context().residuals, residuals);
+    EXPECT_NE(std::string(e.what()).find("displacements"),
+              std::string::npos);
+  }
+}
+
+TEST(HealthGuard, AllFiniteDoesNotThrow) {
+  const double good[] = {0.0, -1.5, 3e300};
+  EXPECT_NO_THROW(obs::guard_finite(good, "forces", 0));
+}
+
+TEST(HealthGuard, NanForceAbortsStepWithContext) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ParticleSystem system = small_system();
+  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-2);
+  // Poisoned from the 3rd force evaluation: steps 0 and 1 succeed, step 2
+  // must die in the "forces" guard with the step recorded.
+  auto forces = std::make_shared<PoisonedForce>(system.radius, 2);
+  MatrixFreeBdSimulation sim(std::move(system), forces, quick_config(), pme);
+  EXPECT_NO_THROW(sim.step(2));
+  try {
+    sim.step(1);
+    FAIL() << "NaN force was not caught";
+  } catch (const NumericalException& e) {
+    EXPECT_EQ(e.context().phase, "forces");
+    EXPECT_EQ(e.context().step, 2);
+    EXPECT_EQ(e.context().index, 5);
+    EXPECT_TRUE(std::isnan(e.context().value));
+  }
+}
+
+// ---- e_p probes -------------------------------------------------------------
+
+TEST(HealthProbe, EpAgreesWithDirectMeasurement) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ParticleSystem system = small_system();
+  const double box = system.box;
+  const PmeParams pme = choose_pme_params(box, system.radius, 1e-2);
+  const double e_dir = measure_pme_error_direct(
+      system.wrapped_positions(), box, system.radius, pme);
+
+  auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);
+  MatrixFreeBdSimulation sim(std::move(system), forces, quick_config(), pme);
+  sim.health().set_probes_enabled(true);
+  sim.health().set_probe_samples(8);
+  sim.step(1);  // first rebuild always probes
+
+  const auto probes = sim.health().ep_history();
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0].step, 0u);
+  // The probe and the direct measurement see the same truncation error of
+  // `pme`; different random force batches leave sampling noise, so the
+  // comparison is loose.
+  EXPECT_GT(probes[0].ep, 0.2 * e_dir);
+  EXPECT_LT(probes[0].ep, 5.0 * e_dir);
+}
+
+TEST(HealthProbe, WarnsWhenEpExceedsTolerance) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::HealthMonitor monitor;
+  monitor.set_ep_tolerance(1e-3);
+  monitor.record_ep(0, 5e-4);
+  monitor.record_ep(16, 2e-3);
+  EXPECT_EQ(monitor.warnings(), 1u);
+  const auto events = monitor.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, obs::HealthEvent::Severity::warning);
+  EXPECT_EQ(events[0].step, 16u);
+  EXPECT_EQ(events[0].phase, "pme.ep");
+  EXPECT_DOUBLE_EQ(events[0].value, 2e-3);
+  EXPECT_DOUBLE_EQ(monitor.ep_max(), 2e-3);
+}
+
+TEST(HealthProbe, TrajectoryBitwiseIdenticalWithProbesOn) {
+  // The core non-perturbation guarantee: probing draws from its own RNG and
+  // only ever reads simulation state, so every coordinate must match to the
+  // last bit.  (With telemetry compiled out this degenerates to determinism
+  // of two identical runs, which should hold all the more.)
+  ParticleSystem system = small_system(30, 17);
+  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-2);
+  auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);
+
+  MatrixFreeBdSimulation plain(system, forces, quick_config(), pme);
+  MatrixFreeBdSimulation probed(system, forces, quick_config(), pme);
+  probed.health().set_probes_enabled(true);
+  probed.health().set_probe_interval(1);  // probe every rebuild
+
+  plain.step(10);
+  probed.step(10);
+  if (obs::kEnabled) {
+    EXPECT_GE(probed.health().ep_history().size(), 2u);
+  }
+
+  const auto& a = plain.system().positions;
+  const auto& b = probed.system().positions;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "particle " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "particle " << i;
+    EXPECT_EQ(a[i].z, b[i].z) << "particle " << i;
+  }
+}
+
+// ---- Krylov convergence observability ---------------------------------------
+
+TEST(HealthKrylov, HistoryAndResidualSeriesRecorded) {
+  ParticleSystem system = small_system();
+  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-2);
+  auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);
+  MatrixFreeBdSimulation sim(std::move(system), forces, quick_config(), pme);
+  sim.step(9);  // lambda=4 -> 3 rebuilds
+
+  const KrylovStats& stats = sim.last_krylov_stats();
+  EXPECT_GT(stats.iterations, 0);
+  ASSERT_FALSE(stats.relative_changes.empty());
+  EXPECT_DOUBLE_EQ(stats.relative_changes.back(), stats.relative_change);
+  EXPECT_GT(stats.min_projected_eigenvalue, 0.0);  // mobility is SPD
+
+  if (!obs::kEnabled) return;
+  EXPECT_EQ(sim.health().krylov_updates(), 3u);
+  const auto history = sim.health().krylov_history();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].step, 0u);
+  EXPECT_EQ(history[1].step, 4u);
+  std::uint64_t total = 0;
+  for (const auto& u : history) {
+    EXPECT_TRUE(u.converged);
+    EXPECT_GT(u.iterations, 0);
+    total += static_cast<std::uint64_t>(u.iterations);
+  }
+  EXPECT_EQ(sim.health().krylov_iterations_total(), total);
+}
+
+// ---- Health report ----------------------------------------------------------
+
+TEST(HealthReport, JsonContainsManifestEpAndKrylov) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ParticleSystem system = small_system();
+  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-2);
+  auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);
+  MatrixFreeBdSimulation sim(std::move(system), forces, quick_config(), pme);
+  sim.health().set_probes_enabled(true);
+  sim.step(5);
+
+  std::ostringstream os;
+  sim.health().write_json(os, sim.manifest());
+  const std::string report = os.str();
+  EXPECT_TRUE(obs::json_valid(report));
+  for (const char* key :
+       {"\"manifest\"", "\"version\"", "\"compiler\"", "\"pme\"", "\"ep\"",
+        "\"series\"", "\"krylov\"", "\"iterations_total\"", "\"events\""})
+    EXPECT_NE(report.find(key), std::string::npos) << key;
+
+  const obs::RunManifest m = sim.manifest();
+  EXPECT_EQ(m.particles, sim.system().size());
+  EXPECT_EQ(m.seed, quick_config().seed);
+  EXPECT_EQ(m.mesh, pme.mesh);
+  EXPECT_FALSE(m.version.empty());
+  EXPECT_FALSE(m.compiler.empty());
+}
+
+// ---- Manifest in checkpoints ------------------------------------------------
+
+TEST(HealthManifest, CheckpointRoundTrip) {
+  ParticleSystem system = small_system(12, 3);
+  obs::RunManifest m = obs::RunManifest::build_info();
+  m.seed = 99;
+  m.dt = 2.5e-4;
+  m.kbt = 1.0;
+  m.mu0 = 1.0;
+  m.lambda_rpy = 8;
+  m.particles = system.size();
+  m.box = system.box;
+  m.radius = system.radius;
+  m.mesh = 32;
+  m.order = 6;
+  m.rmax = 3.5;
+  m.xi = 0.7;
+  m.skin = 0.4;
+  m.hw_name = "westmere-ep";
+  m.hw_gflops = 160.0;
+  m.hw_bw_gbs = 42.0;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hbd_health_ckpt.bin")
+          .string();
+  save_checkpoint(path, {system, 123, 99, m});
+  const Checkpoint cp = load_checkpoint(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(cp.steps_taken, 123u);
+  EXPECT_EQ(cp.system.size(), system.size());
+  EXPECT_EQ(cp.manifest.version, m.version);
+  EXPECT_EQ(cp.manifest.compiler, m.compiler);
+  EXPECT_EQ(cp.manifest.flags, m.flags);
+  EXPECT_EQ(cp.manifest.build_type, m.build_type);
+  EXPECT_EQ(cp.manifest.telemetry, m.telemetry);
+  EXPECT_EQ(cp.manifest.omp_threads, m.omp_threads);
+  EXPECT_EQ(cp.manifest.seed, 99u);
+  EXPECT_DOUBLE_EQ(cp.manifest.dt, 2.5e-4);
+  EXPECT_EQ(cp.manifest.lambda_rpy, 8u);
+  EXPECT_EQ(cp.manifest.particles, system.size());
+  EXPECT_EQ(cp.manifest.mesh, 32u);
+  EXPECT_EQ(cp.manifest.order, 6);
+  EXPECT_DOUBLE_EQ(cp.manifest.rmax, 3.5);
+  EXPECT_DOUBLE_EQ(cp.manifest.xi, 0.7);
+  EXPECT_DOUBLE_EQ(cp.manifest.skin, 0.4);
+  EXPECT_EQ(cp.manifest.hw_name, "westmere-ep");
+  EXPECT_DOUBLE_EQ(cp.manifest.hw_gflops, 160.0);
+  EXPECT_DOUBLE_EQ(cp.manifest.hw_bw_gbs, 42.0);
+}
+
+TEST(HealthManifest, V1CheckpointStillLoads) {
+  // A pre-manifest (v1) file: same header and positions, no trailing
+  // manifest block; loads with a default-constructed manifest.
+  ParticleSystem system = small_system(5, 11);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hbd_health_ckpt_v1.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("HBDCKPT1", 8);
+    auto pod = [&out](const auto& v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    pod(system.box);
+    pod(system.radius);
+    const std::size_t steps = 7;
+    const std::uint64_t seed = 13;
+    pod(steps);
+    pod(seed);
+    const std::size_t n = system.size();
+    pod(n);
+    out.write(reinterpret_cast<const char*>(system.positions.data()),
+              static_cast<std::streamsize>(n * sizeof(Vec3)));
+  }
+  const Checkpoint cp = load_checkpoint(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(cp.steps_taken, 7u);
+  EXPECT_EQ(cp.seed, 13u);
+  EXPECT_EQ(cp.system.size(), system.size());
+  EXPECT_TRUE(cp.manifest.version.empty());  // default manifest
+  EXPECT_EQ(cp.manifest.particles, 0u);
+}
+
+TEST(HealthManifest, EmbeddedInMetricsJson) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  std::ostringstream os;
+  obs::Registry::global().write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(obs::json_valid(json));
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\""), std::string::npos);
+}
+
+TEST(HealthManifest, EmbeddedInBenchJson) {
+  obs::BenchReport report;
+  report.name = "unit";
+  report.n = 4;
+  report.samples.push_back({{"t_s", 1.0}});
+  std::ostringstream os;
+  obs::write_json(os, report);
+  const std::string json = os.str();
+  EXPECT_TRUE(obs::json_valid(json));
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+}

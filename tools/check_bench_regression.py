@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Throughput and accuracy regression gate for CI.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_realspace.json \
+        --candidate build/BENCH_realspace.json [--threshold 0.30] \
+        [--metric t_rebuild_s] ...
+    check_bench_regression.py --health health.json --ep-max 5e-3
+
+Throughput: compares the p50 of each metric between the committed baseline
+report and a freshly measured candidate (both in the shared BENCH_*.json
+schema).  Timing metrics ("t_*") must not be slower than baseline by more
+than the threshold fraction; ratio metrics containing "speedup" must not be
+smaller by more than the threshold.  Without --metric, every timing and
+speedup key shared by both reports is gated.
+
+Accuracy: --health reads an HBD_HEALTH report and fails when the maximum
+probed PME error e_p exceeds --ep-max, or when any Krylov update failed to
+converge.
+
+CI runs this in the bench-regression job; a PR that intentionally trades
+throughput (or relaxes accuracy) skips the gate with the
+'perf-regression-ok' label (see .github/workflows/ci.yml).
+
+Exits non-zero with one line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"{path}: not readable JSON: {exc}")
+
+
+def p50(report, key, path):
+    entry = report.get("percentiles", {}).get(key)
+    if not isinstance(entry, dict) or "p50" not in entry:
+        sys.exit(f"{path}: no p50 for metric {key}")
+    return float(entry["p50"])
+
+
+def gated_metrics(baseline, candidate, requested):
+    if requested:
+        return requested
+    shared = set(baseline.get("percentiles", {})) & set(
+        candidate.get("percentiles", {}))
+    return sorted(k for k in shared
+                  if k.startswith("t_") or "speedup" in k)
+
+
+def check_throughput(args, failures):
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    metrics = gated_metrics(baseline, candidate, args.metric)
+    if not metrics:
+        sys.exit(f"{args.candidate}: no metrics to gate")
+    for key in metrics:
+        base = p50(baseline, key, args.baseline)
+        cand = p50(candidate, key, args.candidate)
+        higher_better = "speedup" in key
+        if base <= 0:
+            print(f"  skip {key}: non-positive baseline {base:g}")
+            continue
+        ratio = cand / base
+        if higher_better:
+            ok = ratio >= 1.0 - args.threshold
+            verdict = f"{ratio:.3f}x of baseline (floor {1 - args.threshold:.2f})"
+        else:
+            ok = ratio <= 1.0 + args.threshold
+            verdict = f"{ratio:.3f}x of baseline (ceiling {1 + args.threshold:.2f})"
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {status} {key}: {base:g} -> {cand:g}, {verdict}")
+        if not ok:
+            failures.append(f"{key}: {verdict}")
+
+
+def check_health(args, failures):
+    doc = load(args.health)
+    ep = doc.get("ep", {})
+    krylov = doc.get("krylov", {})
+    probes = len(ep.get("series", []))
+    ep_max = float(ep.get("max", 0.0))
+    nonconverged = int(krylov.get("nonconverged", 0))
+    if probes == 0:
+        failures.append(f"{args.health}: no e_p probes ran")
+    if args.ep_max is not None and ep_max > args.ep_max:
+        failures.append(
+            f"{args.health}: max e_p {ep_max:g} exceeds bound {args.ep_max:g}")
+    if nonconverged > 0:
+        failures.append(
+            f"{args.health}: {nonconverged} Krylov update(s) did not converge")
+    print(f"  {args.health}: {probes} probes, max e_p {ep_max:g}, "
+          f"{nonconverged} non-converged")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_*.json report")
+    parser.add_argument("--candidate", help="freshly measured report")
+    parser.add_argument("--metric", action="append", default=[],
+                        help="percentile key to gate (default: all t_* and "
+                             "*speedup* keys shared by both reports)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed relative slowdown / speedup loss")
+    parser.add_argument("--health", help="HBD_HEALTH JSON report to gate")
+    parser.add_argument("--ep-max", type=float, default=None,
+                        help="maximum allowed probed PME error e_p")
+    args = parser.parse_args()
+
+    if bool(args.baseline) != bool(args.candidate):
+        parser.error("--baseline and --candidate must be given together")
+    if not args.baseline and not args.health:
+        parser.error("nothing to check")
+
+    failures = []
+    if args.baseline:
+        check_throughput(args, failures)
+    if args.health:
+        check_health(args, failures)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 Usage:
     check_telemetry_schema.py --trace trace.json --metrics metrics.json
     check_telemetry_schema.py --bench BENCH_block_mobility.json ...
+    check_telemetry_schema.py --health health.json
 
 Validates that
   * a trace file is Chrome trace_event JSON: a "traceEvents" list of "X"
@@ -13,7 +14,11 @@ Validates that
     count/sum/mean/min/max/p50/p90/p99;
   * a bench file follows the shared BENCH_*.json schema: bench/n/params/
     samples/percentiles, with every percentile entry keyed by a sample field
-    and holding p50/p90/max.
+    and holding p50/p90/max;
+  * a health report (HBD_HEALTH=<path>) carries the manifest, the e_p probe
+    series, the Krylov convergence series, and the events list;
+  * every artifact embeds the run-provenance manifest (version, compiler,
+    run configuration, PME parameters).
 
 Exits non-zero (with a message per problem) on the first malformed file.
 """
@@ -45,9 +50,38 @@ def is_num(v):
     return isinstance(v, numbers.Real) and not isinstance(v, bool)
 
 
+def check_manifest(doc, path):
+    """The run-provenance block every exporter embeds (obs::RunManifest)."""
+    m = doc.get("manifest")
+    require(isinstance(m, dict), path, "missing manifest object")
+    for key in ("version", "compiler", "flags", "build_type"):
+        require(isinstance(m.get(key), str), path,
+                f"manifest.{key} must be a string")
+    require(m.get("version"), path, "manifest.version is empty")
+    require(isinstance(m.get("telemetry"), bool), path,
+            "manifest.telemetry must be a bool")
+    for key in ("omp_threads", "seed", "dt", "kbt", "mu0", "lambda_rpy",
+                "particles", "box", "radius"):
+        require(is_num(m.get(key)), path, f"manifest.{key} must be numeric")
+    pme = m.get("pme")
+    require(isinstance(pme, dict), path, "manifest.pme must be an object")
+    for key in ("mesh", "order", "rmax", "xi", "skin"):
+        require(is_num(pme.get(key)), path,
+                f"manifest.pme.{key} must be numeric")
+    hw = m.get("hardware")
+    require(isinstance(hw, dict), path,
+            "manifest.hardware must be an object")
+    require(isinstance(hw.get("name"), str), path,
+            "manifest.hardware.name must be a string")
+    for key in ("peak_dp_gflops", "stream_bw_gbs"):
+        require(is_num(hw.get(key)), path,
+                f"manifest.hardware.{key} must be numeric")
+
+
 def check_trace(path):
     doc = load(path)
     require(isinstance(doc, dict), path, "top level must be an object")
+    check_manifest(doc, path)
     events = doc.get("traceEvents")
     require(isinstance(events, list), path, "missing traceEvents list")
     require(events, path, "traceEvents is empty")
@@ -66,6 +100,7 @@ def check_trace(path):
 def check_metrics(path):
     doc = load(path)
     require(isinstance(doc, dict), path, "top level must be an object")
+    check_manifest(doc, path)
     for section in ("counters", "gauges", "histograms"):
         require(isinstance(doc.get(section), dict), path,
                 f"missing {section} object")
@@ -93,6 +128,7 @@ def check_bench(path):
     require(isinstance(doc.get("bench"), str) and doc["bench"], path,
             "missing bench name")
     require(is_num(doc.get("n")), path, "missing n")
+    check_manifest(doc, path)
     require(isinstance(doc.get("params"), dict), path, "missing params")
     samples = doc.get("samples")
     require(isinstance(samples, list) and samples, path,
@@ -114,6 +150,56 @@ def check_bench(path):
     print(f"{path}: ok ({len(samples)} samples)")
 
 
+def check_health(path):
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    check_manifest(doc, path)
+
+    ep = doc.get("ep")
+    require(isinstance(ep, dict), path, "missing ep object")
+    for key in ("tolerance", "samples_per_probe", "probe_interval_rebuilds",
+                "last", "max"):
+        require(is_num(ep.get(key)), path, f"ep.{key} must be numeric")
+    series = ep.get("series")
+    require(isinstance(series, list), path, "ep.series must be a list")
+    for i, p in enumerate(series):
+        require(isinstance(p, dict) and is_num(p.get("step"))
+                and is_num(p.get("ep")), path,
+                f"ep.series[{i}] must carry step and ep")
+
+    krylov = doc.get("krylov")
+    require(isinstance(krylov, dict), path, "missing krylov object")
+    for key in ("updates", "iterations_total", "iterations_max",
+                "nonconverged"):
+        require(is_num(krylov.get(key)), path,
+                f"krylov.{key} must be numeric")
+    kseries = krylov.get("series")
+    require(isinstance(kseries, list), path, "krylov.series must be a list")
+    for i, u in enumerate(kseries):
+        require(isinstance(u, dict), path,
+                f"krylov.series[{i}] must be an object")
+        for key in ("step", "iterations", "relative_change"):
+            require(is_num(u.get(key)), path,
+                    f"krylov.series[{i}].{key} must be numeric")
+        require(isinstance(u.get("converged"), bool), path,
+                f"krylov.series[{i}].converged must be a bool")
+
+    events = doc.get("events")
+    require(isinstance(events, list), path, "events must be a list")
+    for i, e in enumerate(events):
+        require(isinstance(e, dict), path, f"events[{i}] must be an object")
+        require(e.get("severity") in ("info", "warning", "error"), path,
+                f"events[{i}]: bad severity")
+        for key in ("step", "value", "threshold"):
+            require(is_num(e.get(key)), path,
+                    f"events[{i}].{key} must be numeric")
+        for key in ("phase", "message"):
+            require(isinstance(e.get(key), str), path,
+                    f"events[{i}].{key} must be a string")
+    print(f"{path}: ok ({len(series)} probes, {len(kseries)} krylov "
+          f"updates, {len(events)} events)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", action="append", default=[],
@@ -122,8 +208,10 @@ def main():
                         help="metrics registry JSON file")
     parser.add_argument("--bench", action="append", default=[],
                         help="BENCH_*.json benchmark report")
+    parser.add_argument("--health", action="append", default=[],
+                        help="HBD_HEALTH JSON report")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.bench):
+    if not (args.trace or args.metrics or args.bench or args.health):
         parser.error("nothing to check")
     for path in args.trace:
         check_trace(path)
@@ -131,6 +219,8 @@ def main():
         check_metrics(path)
     for path in args.bench:
         check_bench(path)
+    for path in args.health:
+        check_health(path)
 
 
 if __name__ == "__main__":
