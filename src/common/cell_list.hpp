@@ -47,6 +47,24 @@ class CellList {
   std::size_t num_cells_per_dim() const { return ncell_; }
   std::size_t particles() const { return pos_.size(); }
 
+  static constexpr int kFullStencilSize = 27;  // 3×3×3, self included
+
+  /// Home cell of particle i (as of the last rebuild).
+  std::uint32_t cell_of_particle(std::size_t i) const {
+    return cell_of_particle_[i];
+  }
+  /// CSR cell → particle map: members of cell c are
+  /// cell_particles()[cell_start()[c] .. cell_start()[c+1]), in ascending
+  /// particle order (counting sort is stable).
+  std::span<const std::uint32_t> cell_start() const { return cell_start_; }
+  std::span<const std::uint32_t> cell_particles() const { return particles_; }
+  /// The kFullStencilSize periodic neighbor cells of cell c (self included).
+  /// Empty grid (ncell == 1): no tables — callers use the all-pairs path.
+  std::span<const std::uint32_t> full_stencil(std::size_t c) const {
+    return {nbr_full_.data() + kFullStencil * c,
+            static_cast<std::size_t>(kFullStencil)};
+  }
+
   /// Calls fn(i, j, rij, r2) for every unordered pair (i < j) whose
   /// minimum-image distance is at most the cutoff.  rij is the
   /// minimum-image displacement r_i − r_j and r2 = |rij|².  Serial order.

@@ -1,12 +1,23 @@
 // Persistent skin-padded Verlet neighbor list (paper Sec. IV; the standard
 // BD/MD amortization of neighbor search).  Pairs within cutoff + skin are
 // stored as a flat CSR adjacency (both directions, columns sorted) built
-// from a reusable CellList.  Because the list is padded by the skin, it is
-// guaranteed to contain every pair within the bare cutoff as long as no
-// particle has moved farther than skin/2 from its position at build time —
-// the worst case being two particles approaching head-on, each contributing
-// skin/2.  update() therefore only re-enumerates pairs when that bound is
-// violated; otherwise revalidation is a single O(n) displacement scan.
+// from a reusable CellList by a single fused enumeration sweep: each row's
+// candidates are gathered from its 27-cell stencil, distance-filtered once,
+// and emitted sorted together with the minimum-image displacement, so a
+// full rebuild performs exactly one geometry pass (the displacement cache
+// lets value consumers skip re-deriving r_ij after a rebuild).
+//
+// Revalidation is drift-based.  With partial rebuilds disabled the classic
+// half-skin criterion applies: the padded list covers the bare cutoff until
+// some particle moves farther than skin/2 from its build-time reference.
+// With partial rebuilds enabled the threshold tightens to skin/3 and is
+// tracked per cell: only particles in cells whose maximum drift exceeded
+// the threshold are re-enumerated, and the CSR is patched symmetrically in
+// place.  The tighter bound keeps the mixed-reference list sound: a pair is
+// last evaluated when either endpoint is refreshed, so up to three
+// reference legs (θ each, triangle inequality) separate the evaluation
+// distance from the current one — listing radius cutoff + 3θ = cutoff +
+// skin still covers the bare cutoff.
 #pragma once
 
 #include <cstdint>
@@ -20,19 +31,23 @@ namespace hbd {
 
 class NeighborList {
  public:
+  /// What the most recent update() call did to the list.
+  enum class Rebuild : std::uint8_t { none, partial, full };
+
   /// List for a cubic periodic box of width `box`: after update(pos), every
   /// pair within `cutoff` is listed.  `skin` = 0 keeps the list exact (any
   /// motion triggers a rebuild); a positive skin trades a wider stored shell
   /// for rebuilds only every O(skin / (2·max step)) steps.
   NeighborList(double box, double cutoff, double skin);
 
-  /// Revalidates the list for `pos`: rebuilds when the particle count
-  /// changed or some particle drifted past skin/2 since the last build,
-  /// else a no-op.  Returns true when it rebuilt.
+  /// Revalidates the list for `pos`: rebuilds (fully or, when enabled and
+  /// profitable, partially) when the particle count changed or the drift
+  /// criterion is violated, else a no-op.  Returns true when it rebuilt.
   bool update(std::span<const Vec3> pos);
 
   double box() const { return box_; }
   double cutoff() const { return cutoff_; }
+  /// Current skin — the initial value, or the auto-tuned one when enabled.
   double skin() const { return skin_; }
   std::size_t particles() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
 
@@ -41,9 +56,36 @@ class NeighborList {
   std::span<const std::size_t> row_ptr() const { return row_ptr_; }
   std::span<const std::uint32_t> cols() const { return cols_; }
 
-  /// Build generation — bumps on every rebuild.  Consumers key derived
-  /// structures (e.g. a BCSR sparsity pattern) on it.
+  /// Minimum-image displacements r_i − r_j at enumeration time, aligned
+  /// with cols().  Matches the current positions only while
+  /// last_rebuild() == Rebuild::full (i.e. immediately after an update()
+  /// that rebuilt from scratch); partial rebuilds leave untouched rows
+  /// referenced to older positions.
+  std::span<const Vec3> pair_displacements() const { return rij_; }
+  Rebuild last_rebuild() const { return last_rebuild_; }
+
+  /// Opt-in cell-granular partial rebuilds (drift threshold skin/3; see the
+  /// file comment for the safety argument).  Off by default — the partial
+  /// patch keeps the listed-pair set equal within the bare cutoff but may
+  /// retain different skin-shell pairs than a from-scratch build.
+  void set_partial_rebuilds(bool on) { partial_enabled_ = on; }
+  bool partial_rebuilds() const { return partial_enabled_; }
+
+  /// Opt-in skin auto-tuning towards `target_interval` update() calls per
+  /// full rebuild: every full rebuild re-estimates the per-step drift scale
+  /// δ̂ from the measured interval and drift (diffusive growth d ≈ δ̂·√I,
+  /// per ROADMAP s* ∝ step·√I) and sets skin = k·δ̂·√target (k the drift
+  /// threshold divisor).  State-based and deterministic; the chosen skin is
+  /// clamped to [¼, 4]× the constructed skin and to the minimum-image bound.
+  void enable_auto_skin(double target_interval);
+  void disable_auto_skin() { auto_skin_ = false; }
+  bool auto_skin() const { return auto_skin_; }
+
+  /// Build generation — bumps on every rebuild, partial or full.  Consumers
+  /// key derived structures (e.g. a BCSR sparsity pattern) on it.
   std::uint64_t build_count() const { return builds_; }
+  std::uint64_t full_build_count() const { return full_builds_; }
+  std::uint64_t partial_build_count() const { return builds_ - full_builds_; }
   std::uint64_t update_count() const { return updates_; }
   /// Measured update() calls per rebuild — the amortization factor the
   /// performance model uses for the neighbor-rebuild cost term.
@@ -52,11 +94,23 @@ class NeighborList {
                         : static_cast<double>(updates_) /
                               static_cast<double>(builds_);
   }
+  /// Mean fraction of rows enumerated per rebuild (1 when every rebuild was
+  /// full) — the partial-rebuild amortization factor of the perf model.
+  double mean_rebuild_fraction() const {
+    const std::uint64_t n = particles();
+    if (builds_ == 0 || n == 0) return 1.0;
+    return static_cast<double>(full_builds_ * n + partial_rows_total_) /
+           static_cast<double>(builds_ * n);
+  }
 
   std::size_t bytes() const {
     return row_ptr_.capacity() * sizeof(std::size_t) +
            cols_.capacity() * sizeof(std::uint32_t) +
-           ref_pos_.capacity() * sizeof(Vec3);
+           rij_.capacity() * sizeof(Vec3) +
+           ref_pos_.capacity() * sizeof(Vec3) +
+           scratch_.capacity() * sizeof(Entry) +
+           cols_alt_.capacity() * sizeof(std::uint32_t) +
+           rij_alt_.capacity() * sizeof(Vec3);
   }
 
   /// Calls fn(i, j, rij, r2) for ALL stored neighbors j of every i with
@@ -96,18 +150,69 @@ class NeighborList {
   }
 
  private:
-  bool needs_rebuild(std::span<const Vec3> pos) const;
-  void rebuild(std::span<const Vec3> pos);
+  /// One enumerated candidate: partner id + minimum-image displacement
+  /// r_row − r_partner.  Sorted by partner id within each row.
+  struct Entry {
+    Vec3 d;
+    std::uint32_t j;
+  };
+  /// One symmetry-patch addition: column `col` (a re-enumerated particle)
+  /// to be merged into row `row`, displacement r_row − r_col.
+  struct Addition {
+    Vec3 d;
+    std::uint32_t row;
+    std::uint32_t col;
+  };
+
+  Rebuild classify(std::span<const Vec3> pos);
+  void rebuild_full(std::span<const Vec3> pos);
+  void rebuild_partial(std::span<const Vec3> pos);
+  void retune_skin();
+
+  /// Upper bound on row i's candidates (stencil occupancy), no geometry.
+  std::size_t candidate_bound(std::size_t i) const;
+  /// Enumerates row i into out: all partners within cutoff + skin, sorted
+  /// by id, with displacements.  Returns the number kept.
+  std::size_t enumerate_row(std::span<const Vec3> pos, std::size_t i,
+                            Entry* out) const;
 
   double box_, cutoff_, skin_;
+  double skin0_;                        // constructed skin (auto-tune clamp)
   CellList cells_;
-  std::vector<Vec3> ref_pos_;           // positions at the last rebuild
+  std::vector<Vec3> ref_pos_;           // per-row reference positions
   std::vector<std::size_t> row_ptr_;
   std::vector<std::uint32_t> cols_;
-  std::vector<std::size_t> cursor_;     // fill-pass scratch
+  std::vector<Vec3> rij_;               // displacement per stored pair
+  Rebuild last_rebuild_ = Rebuild::none;
+
+  bool partial_enabled_ = false;
+  bool auto_skin_ = false;
+  double auto_skin_target_ = 0.0;
+  double delta_hat_ = 0.0;              // EWMA per-step drift scale
+  double last_max_drift2_ = 0.0;
+
   std::uint64_t builds_ = 0;
+  std::uint64_t full_builds_ = 0;
+  std::uint64_t partial_rows_total_ = 0;
   std::uint64_t updates_ = 0;
-  std::uint64_t updates_at_build_ = 0;  // telemetry: per-interval histogram
+  std::uint64_t updates_at_build_ = 0;       // telemetry: interval histogram
+  std::uint64_t updates_at_full_build_ = 0;  // auto-skin measurement window
+
+  // Rebuild scratch, reused across calls (no steady-state allocation).
+  std::vector<Entry> scratch_;            // chunked candidate buffer
+  std::vector<std::size_t> chunk_off_;    // per-chunk-row scratch offsets
+  std::vector<std::size_t> counts_;       // per-chunk-row kept candidates
+  std::vector<double> drift2_;            // per-particle drift²
+  std::vector<std::uint8_t> cell_flag_;   // violated reference cells
+  std::vector<std::uint32_t> violated_;   // particles to re-enumerate
+  std::vector<std::uint32_t> row_slot_;   // particle → index in violated_
+  std::vector<std::uint8_t> in_set_;      // membership bitmap of violated_
+  std::vector<Addition> additions_;       // symmetry patch, sorted
+  std::vector<std::size_t> new_counts_;   // per-row patched counts
+  std::vector<std::size_t> add_begin_;    // per-row additions range
+  std::vector<std::size_t> row_ptr_alt_;  // double buffers for the patch
+  std::vector<std::uint32_t> cols_alt_;
+  std::vector<Vec3> rij_alt_;
 };
 
 }  // namespace hbd

@@ -150,6 +150,11 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
                                             pme_params.skin)) {
   HBD_CHECK(config_.lambda_rpy >= 1);
   krylov_config_.tolerance = krylov_tol;
+  // The simulation owns the list the operator shares, so the near-field
+  // rebuild knobs are applied here rather than by PmeOperator.
+  if (pme_params_.partial_rebuilds) nlist_->set_partial_rebuilds(true);
+  if (pme_params_.auto_skin && pme_params_.skin > 0.0)
+    nlist_->enable_auto_skin(pme_params_.auto_skin_interval);
   // Publish this run's provenance to the process-wide manifest embedded by
   // the metrics/trace/bench exporters (last constructed driver wins).
   obs::run_manifest() = manifest();
@@ -169,7 +174,10 @@ obs::RunManifest MatrixFreeBdSimulation::manifest() const {
   m.order = pme_params_.order;
   m.rmax = pme_params_.rmax;
   m.xi = pme_params_.xi;
-  m.skin = pme_params_.skin;
+  // The live skin: under auto-tuning the list's value drifts away from the
+  // configured seed skin.
+  m.skin = nlist_ ? nlist_->skin() : pme_params_.skin;
+  m.skin_auto = pme_params_.auto_skin;
   m.hw_name = model_hw_.name;
   m.hw_gflops = model_hw_.peak_dp_gflops;
   m.hw_bw_gbs = model_hw_.stream_bw_gbs;
@@ -288,8 +296,10 @@ void MatrixFreeBdSimulation::audit_drift() {
   const std::size_t width =
       d_block > 0 ? static_cast<std::size_t>(d_cols / d_block) : 0;
   const double nbr =
-      static_cast<double>(pme_->realspace_matrix().nnz_blocks() - n) /
+      static_cast<double>(pme_->realspace().logical_nnz_blocks() - n) /
       static_cast<double>(n);
+  const bool sym =
+      pme_->realspace().storage() == NearFieldStorage::symmetric;
   const double ns = static_cast<double>(d_single);
   const double nb = static_cast<double>(d_block);
 
@@ -314,8 +324,8 @@ void MatrixFreeBdSimulation::audit_drift() {
            nb * model.t_interpolation_block(order, n, width),
        obs::PhaseScaling::bandwidth},
       {"realspace",
-       ns * model.t_realspace(n, nbr) +
-           nb * model.t_realspace_block(n, nbr, width),
+       ns * model.t_realspace(n, nbr, sym) +
+           nb * model.t_realspace_block(n, nbr, width, sym),
        obs::PhaseScaling::bandwidth},
   };
   for (const auto& row : rows) {
@@ -340,7 +350,9 @@ BdStepModel MatrixFreeBdSimulation::model_step(
   const int iters = std::max(krylov_stats_.iterations, 1);
   return model_bd_step(host, accelerators, system_.size(), system_.box,
                        pme_params_.order, ep_target, config_.lambda_rpy,
-                       iters, effective_rebuild_interval(*nlist_));
+                       iters, effective_rebuild_interval(*nlist_),
+                       pme_params_.storage == NearFieldStorage::symmetric,
+                       effective_rebuild_fraction(*nlist_));
 }
 
 std::size_t MatrixFreeBdSimulation::mobility_bytes() const {

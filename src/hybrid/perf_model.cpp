@@ -1,5 +1,6 @@
 #include "hybrid/perf_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -157,20 +158,24 @@ double PmePerfModel::mean_neighbors(std::size_t n, double rmax, double box) {
   return 4.0 / 3.0 * std::numbers::pi * rmax * rmax * rmax * density;
 }
 
-double PmePerfModel::t_realspace(std::size_t n, double neighbors) const {
-  const double blocks = static_cast<double>(n) * (neighbors + 1.0);
-  const double bytes = blocks * (9.0 * 8.0 + 4.0) + 48.0 * n;
-  const double flops = blocks * 18.0;
-  return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
-                  flops / (hw_.peak_dp_gflops * 1e9));
+double PmePerfModel::t_realspace(std::size_t n, double neighbors,
+                                 bool symmetric) const {
+  return t_realspace_block(n, neighbors, 1, symmetric);
 }
 
 double PmePerfModel::t_realspace_block(std::size_t n, double neighbors,
-                                       std::size_t s) const {
-  const double blocks = static_cast<double>(n) * (neighbors + 1.0);
+                                       std::size_t s, bool symmetric) const {
+  const double logical = static_cast<double>(n) * (neighbors + 1.0);
+  // Half storage streams the diagonal plus half the off-diagonal blocks;
+  // the transpose scatter reads the output vector back (24 B/particle per
+  // column on top of the full-storage 48 B x-read + y-write).
+  const double stored =
+      symmetric ? static_cast<double>(n) * (0.5 * neighbors + 1.0) : logical;
+  const double vector_bytes = symmetric ? 72.0 : 48.0;
   const double sd = static_cast<double>(s);
-  const double bytes = blocks * (9.0 * 8.0 + 4.0) + 48.0 * n * sd;
-  const double flops = blocks * 18.0 * sd;
+  const double bytes =
+      stored * (9.0 * 8.0 + 4.0) + vector_bytes * static_cast<double>(n) * sd;
+  const double flops = logical * 18.0 * sd;
   return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
                   flops / (hw_.peak_dp_gflops * 1e9));
 }
@@ -187,26 +192,30 @@ double PmePerfModel::t_realspace_assembly(std::size_t n,
                   flops / (hw_.peak_dp_gflops * 1e9));
 }
 
-double PmePerfModel::t_neighbor_rebuild(std::size_t n, double neighbors) const {
+double PmePerfModel::t_neighbor_rebuild(std::size_t n, double neighbors,
+                                        double fraction) const {
   constexpr double kStencilOverVolume = 27.0 / (4.0 / 3.0 * std::numbers::pi);
+  const double f = std::clamp(fraction, 0.0, 1.0);
   const double candidates =
-      static_cast<double>(n) * neighbors * kStencilOverVolume;
+      static_cast<double>(n) * neighbors * kStencilOverVolume * f;
   // Candidate distance checks dominate the arithmetic; binning and the
   // per-row column sort dominate the traffic (cols written by the fill pass
-  // and rewritten by the sort).
+  // and rewritten by the sort).  Binning and the drift scan stay O(n) even
+  // when only a fraction of the rows is re-enumerated.
   const double flops = candidates * 20.0 + 30.0 * static_cast<double>(n);
   const double bytes = candidates * 24.0 +
-                       static_cast<double>(n) * (neighbors * 8.0 + 32.0);
+                       static_cast<double>(n) * (neighbors * 8.0 * f + 32.0);
   return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
                   flops / (hw_.peak_dp_gflops * 1e9));
 }
 
 double PmePerfModel::t_realspace_overhead(std::size_t n, double neighbors,
                                           std::size_t lambda,
-                                          double rebuild_interval) const {
+                                          double rebuild_interval,
+                                          double rebuild_fraction) const {
   if (lambda == 0 || rebuild_interval <= 0.0) return 0.0;
   return t_realspace_assembly(n, neighbors) / static_cast<double>(lambda) +
-         t_neighbor_rebuild(n, neighbors) / rebuild_interval;
+         t_neighbor_rebuild(n, neighbors, rebuild_fraction) / rebuild_interval;
 }
 
 double PmePerfModel::t_offload_transfer(std::size_t n) const {

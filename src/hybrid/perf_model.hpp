@@ -98,14 +98,20 @@ class PmePerfModel {
 
   /// Real-space SpMV time: BCSR traffic (76 B per 3×3 block plus the
   /// vectors) over bandwidth, with `neighbors` = average near-field
-  /// neighbors per particle.
-  double t_realspace(std::size_t n, double neighbors) const;
+  /// neighbors per particle.  With `symmetric` the matrix keeps only the
+  /// i ≤ j blocks — half the off-diagonal stream — while the output vector
+  /// is read back for the transpose scatter (72 B/particle of vector
+  /// traffic instead of 48 B); the flop count is unchanged (every logical
+  /// block is still applied).
+  double t_realspace(std::size_t n, double neighbors,
+                     bool symmetric = false) const;
 
   /// Multi-vector BCSR product over a width-s block: the matrix streams
   /// once while the s vector pairs stream per column; the flop count scales
-  /// linearly with s.  Reduces to t_realspace at s = 1.
-  double t_realspace_block(std::size_t n, double neighbors,
-                           std::size_t s) const;
+  /// linearly with s.  Reduces to t_realspace at s = 1.  `symmetric` halves
+  /// the matrix stream as in t_realspace.
+  double t_realspace_block(std::size_t n, double neighbors, std::size_t s,
+                           bool symmetric = false) const;
 
   /// In-place value refresh of the near-field BCSR matrix (one per mobility
   /// update): streams the fixed pattern (76 B/block read+write of the
@@ -117,17 +123,24 @@ class PmePerfModel {
   /// Skin-padded Verlet neighbor-list rebuild: counting-sort binning plus
   /// the 27-cell candidate sweep (≈ 27/(4π/3) ≈ 6.45 candidate distances
   /// per stored neighbor, ~20 flops each) and the CSR fill/sort traffic.
-  double t_neighbor_rebuild(std::size_t n, double neighbors) const;
+  /// `fraction` scales the candidate sweep and row fill to the rows
+  /// actually re-enumerated (partial rebuilds); binning stays O(n).
+  double t_neighbor_rebuild(std::size_t n, double neighbors,
+                            double fraction = 1.0) const;
 
   /// Amortized per-step overhead of the persistent real-space pipeline: one
   /// value refresh per mobility update (λ steps) plus one neighbor rebuild
   /// per `rebuild_interval` steps (the list's measured
   /// mean_rebuild_interval, or an estimate skin/(2·max step)).  Zero when
   /// either interval is unset — the pre-persistent model is the λ → ∞,
-  /// interval → ∞ limit.
+  /// interval → ∞ limit.  `rebuild_fraction` is the mean fraction of rows
+  /// re-enumerated per rebuild (NeighborList::mean_rebuild_fraction): 1 for
+  /// full rebuilds, < 1 when cell-granular partial rebuilds are on — it
+  /// scales the enumeration term of the rebuild cost (binning is O(n)
+  /// either way).
   double t_realspace_overhead(std::size_t n, double neighbors,
-                              std::size_t lambda,
-                              double rebuild_interval) const;
+                              std::size_t lambda, double rebuild_interval,
+                              double rebuild_fraction = 1.0) const;
 
   /// Average neighbor count for cutoff rmax in a box of width L.
   static double mean_neighbors(std::size_t n, double rmax, double box);

@@ -16,6 +16,11 @@ double effective_rebuild_interval(const NeighborList& list, double fallback) {
   return std::max(list.mean_rebuild_interval(), 1.0);
 }
 
+double effective_rebuild_fraction(const NeighborList& list, double fallback) {
+  if (list.build_count() == 0) return fallback;
+  return std::clamp(list.mean_rebuild_fraction(), 0.0, 1.0);
+}
+
 namespace {
 
 /// Couples (rmax, K) to ξ under a truncation-error budget: both half-sums
@@ -34,7 +39,8 @@ void derive_cutoffs(double xi, double box, double ep_target, double* rmax,
 HybridPlan tune_splitting(const Device& host, const Device& accelerator,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
-                          double rebuild_interval) {
+                          double rebuild_interval, bool symmetric,
+                          double rebuild_fraction) {
   const double s = std::sqrt(std::log(10.0 / ep_target));
   // ξ range: from "everything in real space" (rmax = L/2) to a real-space
   // cutoff of two particle diameters.
@@ -55,8 +61,9 @@ HybridPlan tune_splitting(const Device& host, const Device& accelerator,
     // of the persistent near-field structures (both CPU work, so both must
     // fit under the overlapped accelerator reciprocal sweep).
     const double t_real =
-        host.model.t_realspace(n, nbr) +
-        host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval);
+        host.model.t_realspace(n, nbr, symmetric) +
+        host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval,
+                                        rebuild_fraction);
     const double t_recip = accelerator.model.t_recip(mesh, order, n) +
                            accelerator.model.t_offload_transfer(n);
     // Host and accelerator overlap: the step takes the slower of the two.
@@ -169,8 +176,12 @@ BdStepModel model_bd_step(const Device& host,
                           const std::vector<Device>& accelerators,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
-                          int krylov_iterations, double rebuild_interval) {
+                          int krylov_iterations, double rebuild_interval,
+                          bool symmetric, double rebuild_fraction) {
   BdStepModel out;
+  // Per extra SpMM column: the x and y streams (plus the y read-back of the
+  // symmetric transpose scatter) while the matrix itself is read once.
+  const double vec_bytes = symmetric ? 72.0 : 48.0;
 
   // ---- CPU-only: balanced splitting on the host alone --------------------
   {
@@ -189,10 +200,10 @@ BdStepModel model_bd_step(const Device& host,
       // over λ steps.  The block terms reflect the batched reciprocal
       // pipeline (P and influence read once per block) and the reused BCSR
       // matrix in the multi-vector SpMM.
-      const double t_real = host.model.t_realspace(n, nbr);
+      const double t_real = host.model.t_realspace(n, nbr, symmetric);
       const double t_single = t_real + host.model.t_recip(mesh, order, n);
       const double t_real_block =
-          t_real + static_cast<double>(lambda - 1) * 48.0 *
+          t_real + static_cast<double>(lambda - 1) * vec_bytes *
                        static_cast<double>(n) /
                        (host.model.hardware().stream_bw_gbs * 1e9);
       const double t_block =
@@ -201,7 +212,8 @@ BdStepModel model_bd_step(const Device& host,
           t_single +
           static_cast<double>(krylov_iterations) * t_block /
               static_cast<double>(lambda) +
-          host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval);
+          host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval,
+                                          rebuild_fraction);
       if (t_step < best) best = t_step;
     }
     out.cpu_only = best;
@@ -211,7 +223,7 @@ BdStepModel model_bd_step(const Device& host,
   if (!accelerators.empty()) {
     const HybridPlan plan =
         tune_splitting(host, accelerators.front(), n, box, order, ep_target,
-                       lambda, rebuild_interval);
+                       lambda, rebuild_interval, symmetric, rebuild_fraction);
     // Line 9 (single vector, once per step): host real ∥ accelerator recip.
     const double t_line9 = plan.t_single;
     // Line 6 (block of λ columns × krylov_iterations): real-space block on
@@ -227,8 +239,8 @@ BdStepModel model_bd_step(const Device& host,
     // Multi-vector SpMM reuses the matrix: model as bandwidth-bound with the
     // matrix read once plus λ vector streams.
     const double t_real_block =
-        host.model.t_realspace(n, nbr) +
-        static_cast<double>(lambda - 1) * 48.0 * static_cast<double>(n) /
+        host.model.t_realspace(n, nbr, symmetric) +
+        static_cast<double>(lambda - 1) * vec_bytes * static_cast<double>(n) /
             (host.model.hardware().stream_bw_gbs * 1e9);
     const double t_line6 = std::max(t_real_block, t_recip_block);
     const double offloaded =

@@ -28,6 +28,14 @@ class NeighborList;
 double effective_rebuild_interval(const NeighborList& list,
                                   double fallback = 256.0);
 
+/// Measured mean fraction of neighbor rows re-enumerated per rebuild
+/// (NeighborList::mean_rebuild_fraction) once the list has rebuilt at least
+/// once, else `fallback`.  1 without partial rebuilds; < 1 when cell-granular
+/// partial rebuilds replace most full sweeps.  Feeds the rebuild_fraction
+/// parameter of tune_splitting / model_bd_step.
+double effective_rebuild_fraction(const NeighborList& list,
+                                  double fallback = 1.0);
+
 /// One device participating in the hybrid computation.
 struct Device {
   PmePerfModel model;
@@ -53,11 +61,17 @@ struct HybridPlan {
 /// mobility update (`lambda` steps) and one Verlet rebuild per
 /// `rebuild_interval` steps — which grows with rmax and therefore pulls the
 /// balanced ξ toward finer splittings; pass lambda = 0 (or a non-positive
-/// interval) for the legacy amortization-free model.
+/// interval) for the legacy amortization-free model.  `symmetric` models the
+/// half-stored near field (halved matrix stream pulls ξ back toward coarser
+/// splittings); `rebuild_fraction` is the measured partial-rebuild row
+/// fraction (effective_rebuild_fraction), shrinking the amortized rebuild
+/// term.
 HybridPlan tune_splitting(const Device& host, const Device& accelerator,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda = 16,
-                          double rebuild_interval = 256.0);
+                          double rebuild_interval = 256.0,
+                          bool symmetric = false,
+                          double rebuild_fraction = 1.0);
 
 /// Static partition of `columns` reciprocal-space column tasks over the
 /// devices, proportional to speed; returns per-device column counts
@@ -96,12 +110,15 @@ struct BdStepModel {
 
 /// `rebuild_interval` is the measured (or estimated) steps between Verlet
 /// list rebuilds, feeding the amortized real-space pipeline overhead; a
-/// non-positive value disables the term.
+/// non-positive value disables the term.  `symmetric` and `rebuild_fraction`
+/// as in tune_splitting.
 BdStepModel model_bd_step(const Device& host,
                           const std::vector<Device>& accelerators,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
                           int krylov_iterations,
-                          double rebuild_interval = 256.0);
+                          double rebuild_interval = 256.0,
+                          bool symmetric = false,
+                          double rebuild_fraction = 1.0);
 
 }  // namespace hbd

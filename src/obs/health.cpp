@@ -96,6 +96,8 @@ void RunManifest::write_json(JsonWriter& w) const {
   w.field("rmax", rmax);
   w.field("xi", xi);
   w.field("skin", skin);
+  w.key("skin_auto");
+  w.value(skin_auto);
   w.end_object();
   w.key("hardware");
   w.begin_object();

@@ -113,6 +113,9 @@ struct RunManifest {
   std::uint64_t mesh = 0;
   int order = 0;
   double rmax = 0.0, xi = 0.0, skin = 0.0;
+  /// Skin auto-tuning active: `skin` is the live (tuned) value at manifest
+  /// time, not the configured seed value.
+  bool skin_auto = false;
 
   // Performance-model hardware baseline (HardwareParams headline rates).
   std::string hw_name;

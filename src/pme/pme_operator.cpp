@@ -16,14 +16,21 @@ PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
       radius_(radius),
       params_(params),
       real_(neighbors ? RealspaceOperator(box, radius, params.xi, params.rmax,
-                                          std::move(neighbors))
+                                          std::move(neighbors), params.storage)
                       : RealspaceOperator(box, radius, params.xi, params.rmax,
-                                          params.skin)),
+                                          params.skin, params.storage)),
       interp_(pos, box, params.mesh, params.order, params.precompute_interp,
               params.interp),
       influence_(params.mesh, box, radius, params.xi, params.order,
                  params.interp == InterpKind::bspline),
       fft_(params.mesh, params.mesh, params.mesh) {
+  // The partial-rebuild / auto-skin knobs belong to whoever owns the list;
+  // when the operator constructed its own, the params configure it here.
+  if (real_.shared_neighbors().use_count() == 1) {
+    if (params.partial_rebuilds) real_.neighbors().set_partial_rebuilds(true);
+    if (params.auto_skin && params.skin > 0.0)
+      real_.neighbors().enable_auto_skin(params.auto_skin_interval);
+  }
   real_.refresh(pos);
   const std::size_t m3 = params.mesh * params.mesh * params.mesh;
   for (auto& m : mesh_) m.resize(m3);
@@ -78,11 +85,11 @@ void PmeOperator::ensure_batch_capacity(std::size_t s) {
 
 void PmeOperator::apply_real(std::span<const double> f,
                              std::span<double> u) const {
-  real_.matrix().multiply(f, u);
+  real_.apply(f, u);
 }
 
 void PmeOperator::apply_real_block(const Matrix& f, Matrix& u) const {
-  real_.matrix().multiply_block(f, u);
+  real_.apply_block(f, u);
 }
 
 void PmeOperator::apply_recip(std::span<const double> f,
@@ -130,7 +137,7 @@ void PmeOperator::apply(std::span<const double> f, std::span<double> u) {
   {
     HBD_TRACE_SCOPE("pme.real.spmv");
     ScopedPhase t(&timers_, "realspace");
-    real_.matrix().multiply(f, {scratch_.data(), scratch_.size()});
+    real_.apply(f, {scratch_.data(), scratch_.size()});
   }
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < 3 * n_; ++i) u[i] += scratch_[i];
@@ -186,7 +193,7 @@ void PmeOperator::apply_block(const Matrix& f, Matrix& u) {
   {
     HBD_TRACE_SCOPE("pme.real.spmv");
     ScopedPhase t(&timers_, "realspace");
-    real_.matrix().multiply_block(f, u);
+    real_.apply_block(f, u);
   }
   // Reciprocal: all s columns in one batched pass per phase.
   recip_block(f, u, /*accumulate=*/true);
@@ -197,8 +204,7 @@ std::size_t PmeOperator::bytes() const {
   return 3 * m3 * sizeof(double) + 3 * fft_.complex_size() * sizeof(Complex) +
          batch_mesh_.size() * sizeof(double) +
          batch_spec_.size() * sizeof(Complex) + scratch_.size() * sizeof(double) +
-         interp_.bytes() + influence_.bytes() +
-         real_.matrix().nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t)) +
+         interp_.bytes() + influence_.bytes() + real_.bytes() +
          real_.neighbors().bytes();
 }
 

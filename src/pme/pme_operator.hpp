@@ -39,6 +39,17 @@ struct PmeParams {
   bool precompute_interp = true;  ///< store P vs recompute on the fly
   /// SPME B-splines (default) or original-PME Lagrangian interpolation.
   InterpKind interp = InterpKind::bspline;
+  /// Near-field storage: full BCSR (default) or symmetric half storage
+  /// with the colored deterministic kernels (half the SpMV/SpMM traffic).
+  NearFieldStorage storage = NearFieldStorage::full;
+  /// Cell-granular partial neighbor rebuilds (drift threshold skin/3).
+  /// Applied to the operator-owned list; a shared list is configured by
+  /// its owner.
+  bool partial_rebuilds = false;
+  /// Skin auto-tuning towards `auto_skin_interval` updates per full
+  /// rebuild (NeighborList::enable_auto_skin).  Same ownership caveat.
+  bool auto_skin = false;
+  double auto_skin_interval = 64.0;
 };
 
 class PmeOperator {
@@ -106,6 +117,8 @@ class PmeOperator {
   /// Resident bytes of the operator (meshes + P + influence + M_real).
   std::size_t bytes() const;
 
+  /// Full-stored near-field matrix (NearFieldStorage::full only; symmetric
+  /// consumers go through realspace()).
   const Bcsr3Matrix& realspace_matrix() const { return real_.matrix(); }
   const RealspaceOperator& realspace() const { return real_; }
   const InterpMatrix& interp_matrix() const { return interp_; }

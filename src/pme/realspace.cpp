@@ -1,5 +1,6 @@
 #include "pme/realspace.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -9,17 +10,21 @@
 namespace hbd {
 
 RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
-                                     double rmax, double skin)
+                                     double rmax, double skin,
+                                     NearFieldStorage storage)
     : RealspaceOperator(box, radius, xi, rmax,
-                        std::make_shared<NeighborList>(box, rmax, skin)) {}
+                        std::make_shared<NeighborList>(box, rmax, skin),
+                        storage) {}
 
 RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
                                      double rmax,
-                                     std::shared_ptr<NeighborList> neighbors)
+                                     std::shared_ptr<NeighborList> neighbors,
+                                     NearFieldStorage storage)
     : box_(box),
       radius_(radius),
       xi_(xi),
       rmax_(rmax),
+      storage_(storage),
       neighbors_(std::move(neighbors)) {
   HBD_CHECK_MSG(rmax <= 0.5 * box,
                 "real-space cutoff must not exceed half the box width");
@@ -38,53 +43,120 @@ void RealspaceOperator::refresh(std::span<const Vec3> pos) {
     HBD_TRACE_SCOPE("realspace.pattern");
     rebuild_pattern();
     pattern_generation_ = neighbors_->build_count();
-    HBD_GAUGE_SET("realspace.nnz_blocks", matrix_.nnz_blocks());
+    HBD_GAUGE_SET("realspace.nnz_blocks", logical_nnz_blocks());
+    HBD_GAUGE_SET("realspace.stored_blocks", stored_nnz_blocks());
   }
   {
     HBD_TRACE_SCOPE("realspace.values");
     refresh_values(pos);
   }
+  ++value_refreshes_;
+  // Pattern-reuse ratio: value refreshes amortized per pattern build, the
+  // near-field analogue of the list's rebuild interval.
+  if (pattern_builds_ > 0)
+    HBD_GAUGE_SET("realspace.pattern_reuse",
+                  static_cast<double>(value_refreshes_) /
+                      static_cast<double>(pattern_builds_));
 }
 
 void RealspaceOperator::rebuild_pattern() {
   const std::size_t n = neighbors_->particles();
   const auto list_ptr = neighbors_->row_ptr();
   const auto list_cols = neighbors_->cols();
+  const bool sym = storage_ == NearFieldStorage::symmetric;
 
   row_counts_.resize(n);
 #pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < n; ++i)
-    row_counts_[i] = list_ptr[i + 1] - list_ptr[i] + 1;  // + diagonal
-  matrix_.resize_pattern(n, row_counts_);
-
-  // Merge the diagonal into each row's (already sorted) neighbor columns.
-  const auto mat_ptr = matrix_.row_ptr();
-  auto mat_cols = matrix_.col_idx_mut();
-#pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t t = mat_ptr[i];
-    std::size_t s = list_ptr[i];
-    const std::uint32_t diag = static_cast<std::uint32_t>(i);
-    while (s < list_ptr[i + 1] && list_cols[s] < diag)
-      mat_cols[t++] = list_cols[s++];
-    mat_cols[t++] = diag;
-    while (s < list_ptr[i + 1]) mat_cols[t++] = list_cols[s++];
+    if (sym) {
+      // Upper triangle only: the diagonal plus the j > i suffix of the
+      // (sorted) list row.
+      const auto row = list_cols.subspan(list_ptr[i],
+                                         list_ptr[i + 1] - list_ptr[i]);
+      const auto split = std::upper_bound(row.begin(), row.end(),
+                                          static_cast<std::uint32_t>(i));
+      row_counts_[i] = 1 + static_cast<std::size_t>(row.end() - split);
+    } else {
+      row_counts_[i] = list_ptr[i + 1] - list_ptr[i] + 1;  // + diagonal
+    }
+  }
+
+  if (sym) {
+    sym_.resize_pattern(n, row_counts_);
+    const auto mat_ptr = sym_.row_ptr();
+    auto mat_cols = sym_.col_idx_mut();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t t = mat_ptr[i];
+      mat_cols[t++] = static_cast<std::uint32_t>(i);
+      std::size_t s = list_ptr[i + 1] - (mat_ptr[i + 1] - mat_ptr[i] - 1);
+      while (s < list_ptr[i + 1]) mat_cols[t++] = list_cols[s++];
+    }
+    sym_.finalize_pattern();
+  } else {
+    matrix_.resize_pattern(n, row_counts_);
+    // Merge the diagonal into each row's (already sorted) neighbor columns.
+    const auto mat_ptr = matrix_.row_ptr();
+    auto mat_cols = matrix_.col_idx_mut();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t t = mat_ptr[i];
+      std::size_t s = list_ptr[i];
+      const std::uint32_t diag = static_cast<std::uint32_t>(i);
+      while (s < list_ptr[i + 1] && list_cols[s] < diag)
+        mat_cols[t++] = list_cols[s++];
+      mat_cols[t++] = diag;
+      while (s < list_ptr[i + 1]) mat_cols[t++] = list_cols[s++];
+    }
   }
   ++pattern_builds_;
   HBD_COUNTER_ADD("realspace.pattern_builds", 1);
 }
 
+void RealspaceOperator::pair_block(const Vec3& rij, double r2,
+                                   double* b) const {
+  if (r2 > rmax_ * rmax_) {
+    // Skin-shell pair: listed for pattern stability, contributes 0.
+    for (int k = 0; k < 9; ++k) b[k] = 0.0;
+    return;
+  }
+  const double r = std::sqrt(r2);
+  PairCoeffs c = beenakker_real(r, radius_, xi_);
+  if (r < 2.0 * radius_) {
+    const PairCoeffs corr = rpy_overlap_correction(r, radius_);
+    c.f += corr.f;
+    c.g += corr.g;
+  }
+  pair_tensor(rij, c, b);
+}
+
 void RealspaceOperator::refresh_values(std::span<const Vec3> pos) {
   const std::size_t n = neighbors_->particles();
-  const double cut2 = rmax_ * rmax_;
   const double self = beenakker_self(radius_, xi_);
-  const auto mat_ptr = matrix_.row_ptr();
-  const auto mat_cols = matrix_.col_idx();
-  auto values = matrix_.values_mut();
+  const bool sym = storage_ == NearFieldStorage::symmetric;
+  const auto mat_ptr = sym ? sym_.row_ptr() : matrix_.row_ptr();
+  const auto mat_cols =
+      sym ? sym_.col_idx() : std::span<const std::uint32_t>(matrix_.col_idx());
+  auto values = sym ? sym_.values_mut() : matrix_.values_mut();
+
+  // Fused fast path: immediately after a full list rebuild the list's
+  // cached displacements are exactly minimum_image(pos_i, pos_j), so the
+  // value pass performs no geometry — pattern + values from one sweep.
+  // (Identical bitwise either way; minimum_image is deterministic.)
+  const bool cached =
+      neighbors_->last_rebuild() == NeighborList::Rebuild::full;
+  const auto list_ptr = neighbors_->row_ptr();
+  const auto list_cols = neighbors_->cols();
+  const auto list_rij = neighbors_->pair_displacements();
 
 #pragma omp parallel for schedule(dynamic, 32)
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 pi = pos[i];
+    // List cursor aligned with the matrix row: the matrix row is the list
+    // row with the diagonal merged in (symmetric mode keeps only the j > i
+    // suffix), so non-diagonal matrix slots map to consecutive list slots.
+    std::size_t s = list_ptr[i];
+    if (sym) s = list_ptr[i + 1] - (mat_ptr[i + 1] - mat_ptr[i] - 1);
     for (std::size_t t = mat_ptr[i]; t < mat_ptr[i + 1]; ++t) {
       double* b = values.data() + 9 * t;
       const std::size_t j = mat_cols[t];
@@ -97,23 +169,63 @@ void RealspaceOperator::refresh_values(std::span<const Vec3> pos) {
         b[8] = self;
         continue;
       }
-      const Vec3 rij = minimum_image(pi, pos[j], box_);
-      const double r2 = norm2(rij);
-      if (r2 > cut2) {
-        // Skin-shell pair: listed for pattern stability, contributes 0.
-        for (int k = 0; k < 9; ++k) b[k] = 0.0;
-        continue;
+      if (cached) {
+        const Vec3 rij = list_rij[s];
+        pair_block(rij, norm2(rij), b);
+      } else {
+        const Vec3 rij = minimum_image(pi, pos[j], box_);
+        pair_block(rij, norm2(rij), b);
       }
-      const double r = std::sqrt(r2);
-      PairCoeffs c = beenakker_real(r, radius_, xi_);
-      if (r < 2.0 * radius_) {
-        const PairCoeffs corr = rpy_overlap_correction(r, radius_);
-        c.f += corr.f;
-        c.g += corr.g;
-      }
-      pair_tensor(rij, c, b);
+      ++s;
     }
   }
+}
+
+void RealspaceOperator::apply(std::span<const double> f,
+                              std::span<double> u) const {
+  if (storage_ == NearFieldStorage::symmetric)
+    sym_.multiply(f, u);
+  else
+    matrix_.multiply(f, u);
+}
+
+void RealspaceOperator::apply_block(const Matrix& f, Matrix& u) const {
+  if (storage_ == NearFieldStorage::symmetric)
+    sym_.multiply_block(f, u);
+  else
+    matrix_.multiply_block(f, u);
+}
+
+const Bcsr3Matrix& RealspaceOperator::matrix() const {
+  HBD_CHECK_MSG(storage_ == NearFieldStorage::full,
+                "matrix() requires full storage; use sym_matrix()");
+  return matrix_;
+}
+
+const SymBcsr3Matrix& RealspaceOperator::sym_matrix() const {
+  HBD_CHECK_MSG(storage_ == NearFieldStorage::symmetric,
+                "sym_matrix() requires symmetric storage; use matrix()");
+  return sym_;
+}
+
+Bcsr3Matrix RealspaceOperator::take_matrix() && {
+  if (storage_ == NearFieldStorage::symmetric) return sym_.to_full();
+  return std::move(matrix_);
+}
+
+Matrix RealspaceOperator::to_dense() const {
+  return storage_ == NearFieldStorage::symmetric ? sym_.to_dense()
+                                                 : matrix_.to_dense();
+}
+
+std::size_t RealspaceOperator::logical_nnz_blocks() const {
+  return storage_ == NearFieldStorage::symmetric ? sym_.logical_blocks()
+                                                 : matrix_.nnz_blocks();
+}
+
+std::size_t RealspaceOperator::stored_nnz_blocks() const {
+  return storage_ == NearFieldStorage::symmetric ? sym_.stored_blocks()
+                                                 : matrix_.nnz_blocks();
 }
 
 Bcsr3Matrix build_realspace_operator(std::span<const Vec3> pos, double box,

@@ -4,6 +4,13 @@
 // format with 3×3 blocks.  Diagonal blocks carry the Ewald self term, so
 // M̃ = M_real_sparse + M_recip(PME).  Overlapping pairs (r < 2a) include the
 // ξ-independent Rotne–Prager overlap correction.
+//
+// M^real is symmetric (m_ij = m_jiᵀ), so the operator supports two storage
+// modes: the classic full BCSR (both triangles, the bitwise-stable default)
+// and symmetric half storage, which keeps only the i ≤ j blocks and applies
+// each off-diagonal block and its transpose in one colored, deterministic
+// pass — half the matrix traffic of the SpMV/SpMM kernels that bound
+// throughput under the Eq. 10 model.
 #pragma once
 
 #include <memory>
@@ -12,37 +19,74 @@
 
 #include "common/neighbor_list.hpp"
 #include "common/vec3.hpp"
+#include "linalg/dense_matrix.hpp"
 #include "sparse/bcsr3.hpp"
+#include "sparse/sym_bcsr3.hpp"
 
 namespace hbd {
 
+/// How the near-field BCSR operator is stored.
+enum class NearFieldStorage {
+  full,       ///< both triangles; straight row-parallel kernels
+  symmetric,  ///< upper triangle only; colored transpose-accumulate kernels
+};
+
 /// Persistent real-space operator: owns (or shares) a skin-padded
-/// NeighborList and a Bcsr3Matrix whose sparsity pattern mirrors the list
+/// NeighborList and a BCSR matrix whose sparsity pattern mirrors the list
 /// plus the diagonal.  refresh(pos) revalidates the list and recomputes the
 /// 3×3 blocks in place; when the list did not rebuild, only the values are
-/// rewritten into the existing pattern — two-pass count/fill assembly with
-/// no staging containers and no allocation after the first build.  Listed
-/// pairs in the skin shell (r_max < r ≤ r_max + skin) hold zero blocks, so
-/// the operator is exactly the bare-cutoff sum while the pattern survives
-/// sub-half-skin motion.
+/// rewritten into the existing pattern — no staging containers and no
+/// allocation after the first build.  After a full list rebuild the values
+/// reuse the list's cached pair displacements, so pattern + values cost a
+/// single geometry sweep.  Listed pairs in the skin shell
+/// (r_max < r ≤ r_max + skin) hold zero blocks, so the operator is exactly
+/// the bare-cutoff sum while the pattern survives sub-threshold motion.
 class RealspaceOperator {
  public:
   /// Owns a private NeighborList with the given skin (0: pattern rebuilt on
   /// any motion, matrix identical to the one-shot build).
   RealspaceOperator(double box, double radius, double xi, double rmax,
-                    double skin = 0.0);
+                    double skin = 0.0,
+                    NearFieldStorage storage = NearFieldStorage::full);
 
   /// Shares `neighbors` with other consumers (steric forces, diagnostics).
   /// Its cutoff must be ≥ rmax and its box must match.
   RealspaceOperator(double box, double radius, double xi, double rmax,
-                    std::shared_ptr<NeighborList> neighbors);
+                    std::shared_ptr<NeighborList> neighbors,
+                    NearFieldStorage storage = NearFieldStorage::full);
 
   /// Revalidates the neighbor list for `pos` and recomputes the matrix
   /// values in place (pattern rebuilt only when the list rebuilt).
   void refresh(std::span<const Vec3> pos);
 
-  const Bcsr3Matrix& matrix() const { return matrix_; }
-  Bcsr3Matrix take_matrix() && { return std::move(matrix_); }
+  NearFieldStorage storage() const { return storage_; }
+
+  /// u = M_real f (includes the self term); storage-mode dispatching.
+  void apply(std::span<const double> f, std::span<double> u) const;
+  /// U = M_real F for row-major 3n×s blocks.
+  void apply_block(const Matrix& f, Matrix& u) const;
+
+  /// Full-stored matrix — valid in NearFieldStorage::full mode only.
+  const Bcsr3Matrix& matrix() const;
+  /// Half-stored matrix — valid in NearFieldStorage::symmetric mode only.
+  const SymBcsr3Matrix& sym_matrix() const;
+
+  /// Extracts a full-stored copy of the operator, consuming *this.  Both
+  /// storage modes round-trip: symmetric storage mirrors its upper blocks.
+  Bcsr3Matrix take_matrix() &&;
+
+  /// Dense 3n×3n copy for testing, either storage mode.
+  Matrix to_dense() const;
+
+  /// Blocks of the logical operator (what a full-stored matrix would hold).
+  std::size_t logical_nnz_blocks() const;
+  /// Blocks physically stored (half of the off-diagonal in symmetric mode).
+  std::size_t stored_nnz_blocks() const;
+  /// Resident bytes of the stored matrix (values + column indices).
+  std::size_t bytes() const {
+    return stored_nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t));
+  }
+
   const NeighborList& neighbors() const { return *neighbors_; }
   NeighborList& neighbors() { return *neighbors_; }
   const std::shared_ptr<NeighborList>& shared_neighbors() const {
@@ -51,17 +95,26 @@ class RealspaceOperator {
   double rmax() const { return rmax_; }
   /// Number of sparsity-pattern (re)builds — value-only refreshes excluded.
   std::size_t pattern_builds() const { return pattern_builds_; }
+  /// Total refresh(pos) calls — with pattern_builds() this yields the
+  /// pattern-reuse ratio the near-field telemetry reports.
+  std::size_t value_refreshes() const { return value_refreshes_; }
 
  private:
   void rebuild_pattern();
   void refresh_values(std::span<const Vec3> pos);
+  /// Computes the 3×3 block for one pair at displacement rij (r2 = |rij|²),
+  /// or zero when the pair lies in the skin shell.
+  void pair_block(const Vec3& rij, double r2, double* b) const;
 
   double box_, radius_, xi_, rmax_;
+  NearFieldStorage storage_;
   std::shared_ptr<NeighborList> neighbors_;
-  Bcsr3Matrix matrix_;
+  Bcsr3Matrix matrix_;      // full mode
+  SymBcsr3Matrix sym_;      // symmetric mode
   std::vector<std::size_t> row_counts_;   // pattern-build scratch
   std::uint64_t pattern_generation_ = 0;  // neighbors_->build_count() mirrored
   std::size_t pattern_builds_ = 0;
+  std::size_t value_refreshes_ = 0;
 };
 
 /// Builds the sparse real-space operator for particles at `pos` in a cubic

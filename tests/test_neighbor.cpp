@@ -16,6 +16,7 @@
 #include "core/system.hpp"
 #include "ewald/beenakker.hpp"
 #include "hybrid/perf_model.hpp"
+#include "hybrid/scheduler.hpp"
 #include "pme/pme_operator.hpp"
 #include "pme/realspace.hpp"
 
@@ -151,6 +152,92 @@ TEST(NeighborList, ZeroSkinRebuildsOnAnyMotion) {
   EXPECT_EQ(list.build_count(), 2u);
 }
 
+// ---- Partial rebuilds and skin auto-tuning ----------------------------------
+
+/// Indices of the particles inside a thin horizontal slab — the
+/// sedimentation-like inhomogeneous displacement fields below settle only
+/// this subset, so drift violations concentrate in a few cells.
+std::vector<std::size_t> slab_indices(std::span<const Vec3> pos, double lo,
+                                      double hi) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    if (pos[i].z > lo && pos[i].z < hi) idx.push_back(i);
+  return idx;
+}
+
+TEST(NeighborList, PartialRebuildInhomogeneousDriftStaysExact) {
+  Xoshiro256 rng(53);
+  const auto sys = suspension_at_volume_fraction(400, 0.2, 1.0, rng);
+  auto pos = sys.wrapped_positions();
+  const double cutoff = 2.5, skin = 0.6;
+
+  NeighborList list(sys.box, cutoff, skin);
+  list.set_partial_rebuilds(true);
+  EXPECT_TRUE(list.partial_rebuilds());
+  list.update(pos);
+
+  const auto movers =
+      slab_indices(pos, 0.30 * sys.box, 0.38 * sys.box);
+  ASSERT_FALSE(movers.empty());
+  for (int step = 0; step < 24; ++step) {
+    // The slab settles past the skin/3 threshold every few steps while the
+    // bulk jitters well below it.
+    for (std::size_t i : movers) pos[i].z -= 0.09 * skin;
+    jitter(pos, 0.005 * skin, rng);
+    list.update(pos);
+    ASSERT_EQ(list_pairs(list, pos, cutoff),
+              brute_force_pairs(pos, sys.box, cutoff));
+  }
+  EXPECT_GT(list.partial_build_count(), 0u);
+  EXPECT_LT(list.mean_rebuild_fraction(), 1.0);
+  EXPECT_LT(effective_rebuild_fraction(list), 1.0);
+
+  // The symmetric CSR patch preserved sorted columns and both-direction
+  // storage.
+  const auto ptr = list.row_ptr();
+  const auto cols = list.cols();
+  for (std::size_t i = 0; i < list.particles(); ++i) {
+    EXPECT_TRUE(
+        std::is_sorted(cols.begin() + ptr[i], cols.begin() + ptr[i + 1]));
+    for (std::size_t t = ptr[i]; t < ptr[i + 1]; ++t) {
+      const std::size_t j = cols[t];
+      EXPECT_NE(j, i);
+      const auto jb = cols.begin() + ptr[j], je = cols.begin() + ptr[j + 1];
+      EXPECT_TRUE(std::binary_search(jb, je, static_cast<std::uint32_t>(i)));
+    }
+  }
+}
+
+TEST(NeighborList, AutoSkinTunesWithinClampsAndStaysExact) {
+  Xoshiro256 rng(61);
+  const auto sys = suspension_at_volume_fraction(300, 0.2, 1.0, rng);
+  auto pos = sys.wrapped_positions();
+  const double cutoff = 2.5, skin0 = 0.3;
+
+  NeighborList list(sys.box, cutoff, skin0);
+  list.enable_auto_skin(/*target_interval=*/25.0);
+  EXPECT_TRUE(list.auto_skin());
+  list.update(pos);
+
+  for (int step = 0; step < 400; ++step) {
+    jitter(pos, 0.02, rng);
+    list.update(pos);
+    if (step % 16 == 0) {
+      ASSERT_EQ(list_pairs(list, pos, cutoff),
+                brute_force_pairs(pos, sys.box, cutoff));
+    }
+  }
+  // The measured drift re-targeted the skin away from the seed value but
+  // inside the documented clamps; the list kept rebuilding (and stayed
+  // exact at the bare cutoff throughout).
+  EXPECT_NE(list.skin(), skin0);
+  EXPECT_GE(list.skin(), 0.25 * skin0);
+  EXPECT_LE(list.skin(), 4.0 * skin0);
+  EXPECT_GT(list.full_build_count(), 1u);
+  ASSERT_EQ(list_pairs(list, pos, cutoff),
+            brute_force_pairs(pos, sys.box, cutoff));
+}
+
 // ---- Real-space operator refresh -------------------------------------------
 
 TEST(RealspaceOperator, MatchesBruteForceDense) {
@@ -258,6 +345,97 @@ TEST(RealspaceOperator, SkinShellPairsHoldZeroBlocks) {
       EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
 }
 
+TEST(RealspaceOperator, SymmetricStorageMatchesFullWithinEpsilon) {
+  Xoshiro256 rng(67);
+  const auto sys = suspension_at_volume_fraction(150, 0.2, 1.0, rng);
+  auto pos = sys.wrapped_positions();
+  const double xi = 0.6, skin = 0.5;
+  const double rmax = std::min(3.0, 0.45 * sys.box);
+
+  RealspaceOperator full_op(sys.box, sys.radius, xi, rmax, skin,
+                            NearFieldStorage::full);
+  RealspaceOperator sym_op(sys.box, sys.radius, xi, rmax, skin,
+                           NearFieldStorage::symmetric);
+  EXPECT_EQ(sym_op.storage(), NearFieldStorage::symmetric);
+  std::vector<double> f(3 * pos.size());
+  fill_gaussian(rng, f);
+  std::vector<double> uf(f.size()), us(f.size());
+
+  for (int step = 0; step < 4; ++step) {
+    full_op.refresh(pos);
+    sym_op.refresh(pos);
+    // Same logical operator, roughly half the stored blocks.
+    EXPECT_EQ(sym_op.logical_nnz_blocks(), full_op.logical_nnz_blocks());
+    EXPECT_LT(sym_op.stored_nnz_blocks(), full_op.stored_nnz_blocks());
+    EXPECT_LT(sym_op.bytes(), full_op.bytes());
+
+    full_op.apply(f, uf);
+    sym_op.apply(f, us);
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = 0; k < f.size(); ++k) {
+      num += (us[k] - uf[k]) * (us[k] - uf[k]);
+      den += uf[k] * uf[k];
+    }
+    EXPECT_LE(std::sqrt(num), 1e-13 * std::sqrt(den));
+    jitter(pos, 0.1 * skin, rng);
+  }
+
+  // Dense round trips agree bitwise: the symmetric mode mirrors its upper
+  // blocks, and the full assembly computes the mirror pair from the negated
+  // displacement (an exactly symmetric tensor).
+  full_op.refresh(pos);
+  sym_op.refresh(pos);
+  const Matrix df = full_op.to_dense();
+  const Matrix ds = sym_op.to_dense();
+  for (std::size_t r = 0; r < df.rows(); ++r)
+    for (std::size_t c = 0; c < df.cols(); ++c)
+      EXPECT_EQ(ds(r, c), df(r, c));
+
+  // take_matrix() && round-trips symmetric storage to a full BCSR copy.
+  Bcsr3Matrix back = std::move(sym_op).take_matrix();
+  EXPECT_EQ(back.nnz_blocks(), full_op.matrix().nnz_blocks());
+  const Matrix db = back.to_dense();
+  for (std::size_t r = 0; r < df.rows(); ++r)
+    for (std::size_t c = 0; c < df.cols(); ++c)
+      EXPECT_EQ(db(r, c), df(r, c));
+}
+
+TEST(RealspaceOperator, PartialRebuildTrajectoryBitwiseMatchesFull) {
+  // Two full-stored operators over identical trajectories — one list runs
+  // cell-granular partial rebuilds, the reference rebuilds from scratch.
+  // Their patterns may keep different skin-shell pairs, but those hold
+  // exactly-zero blocks, which cannot perturb the row-serial accumulation
+  // of the full kernel: the applies must agree bitwise at every step.
+  Xoshiro256 rng(59);
+  const auto sys = suspension_at_volume_fraction(200, 0.2, 1.0, rng);
+  auto pos = sys.wrapped_positions();
+  const double xi = 0.6, skin = 0.6;
+  const double rmax = std::min(2.5, 0.45 * sys.box);
+
+  auto full_list = std::make_shared<NeighborList>(sys.box, rmax, skin);
+  auto part_list = std::make_shared<NeighborList>(sys.box, rmax, skin);
+  part_list->set_partial_rebuilds(true);
+  RealspaceOperator full_op(sys.box, sys.radius, xi, rmax, full_list);
+  RealspaceOperator part_op(sys.box, sys.radius, xi, rmax, part_list);
+
+  std::vector<double> f(3 * pos.size());
+  fill_gaussian(rng, f);
+  std::vector<double> uf(f.size()), up(f.size());
+
+  const auto movers =
+      slab_indices(pos, 0.30 * sys.box, 0.38 * sys.box);
+  ASSERT_FALSE(movers.empty());
+  for (int step = 0; step < 12; ++step) {
+    for (std::size_t i : movers) pos[i].z -= 0.09 * skin;
+    full_op.refresh(pos);
+    part_op.refresh(pos);
+    full_op.apply(f, uf);
+    part_op.apply(f, up);
+    for (std::size_t k = 0; k < f.size(); ++k) ASSERT_EQ(uf[k], up[k]);
+  }
+  EXPECT_GT(part_list->partial_build_count(), 0u);
+}
+
 TEST(PmeOperator, UpdateMatchesFreshOperator) {
   Xoshiro256 rng(37);
   const auto sys = suspension_at_volume_fraction(120, 0.2, 1.0, rng);
@@ -279,6 +457,45 @@ TEST(PmeOperator, UpdateMatchesFreshOperator) {
   fresh.apply(f, u2);
   for (std::size_t k = 0; k < u1.size(); ++k)
     EXPECT_NEAR(u1[k], u2[k], 1e-12);
+}
+
+TEST(PmeOperator, SymmetricStorageMatchesFullThroughPipeline) {
+  Xoshiro256 rng(71);
+  const auto sys = suspension_at_volume_fraction(120, 0.2, 1.0, rng);
+  auto pos = sys.wrapped_positions();
+  PmeParams params;
+  params.rmax = std::min(4.0, 0.49 * sys.box);
+  params.xi = std::sqrt(std::log(1e4)) / params.rmax;
+  params.skin = 0.5;
+
+  PmeParams sym_params = params;
+  sym_params.storage = NearFieldStorage::symmetric;
+  sym_params.partial_rebuilds = true;
+  sym_params.auto_skin = true;
+
+  PmeOperator full_pme(pos, sys.box, sys.radius, params);
+  PmeOperator sym_pme(pos, sys.box, sys.radius, sym_params);
+  // The operator owns its list here, so the params configured it.
+  EXPECT_TRUE(sym_pme.realspace().neighbors().partial_rebuilds());
+  EXPECT_TRUE(sym_pme.realspace().neighbors().auto_skin());
+  EXPECT_FALSE(full_pme.realspace().neighbors().partial_rebuilds());
+
+  std::vector<double> f(3 * pos.size()), uf(3 * pos.size()),
+      us(3 * pos.size());
+  fill_gaussian(rng, f);
+  for (int step = 0; step < 3; ++step) {
+    full_pme.apply(f, uf);
+    sym_pme.apply(f, us);
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = 0; k < f.size(); ++k) {
+      num += (us[k] - uf[k]) * (us[k] - uf[k]);
+      den += uf[k] * uf[k];
+    }
+    EXPECT_LE(std::sqrt(num), 1e-12 * std::sqrt(den));
+    jitter(pos, 0.1, rng);
+    full_pme.update(pos);
+    sym_pme.update(pos);
+  }
 }
 
 // ---- Shared-list consumers --------------------------------------------------
@@ -333,6 +550,33 @@ TEST(PerfModel, RealspaceOverheadAmortizes) {
   // The amortized pipeline overhead stays below the per-step SpMV it rides
   // on for realistic intervals — the premise of the persistent design.
   EXPECT_LT(t16, model.t_realspace(n, nbr));
+}
+
+TEST(PerfModel, SymmetricStorageAndPartialRebuildsReduceModeledCost) {
+  const PmePerfModel model(westmere_ep());
+  const std::size_t n = 100000;
+  const double nbr = 40.0;
+
+  // Half storage: ~1.8x less traffic at this density on bandwidth-bound
+  // hardware, never slower; flop count (logical blocks) unchanged, so the
+  // block product converges to the same flop bound at large widths.
+  EXPECT_LT(model.t_realspace(n, nbr, /*symmetric=*/true),
+            model.t_realspace(n, nbr));
+  EXPECT_GT(model.t_realspace(n, nbr) / model.t_realspace(n, nbr, true), 1.5);
+  EXPECT_DOUBLE_EQ(model.t_realspace(n, nbr),
+                   model.t_realspace_block(n, nbr, 1));
+  EXPECT_DOUBLE_EQ(model.t_realspace(n, nbr, true),
+                   model.t_realspace_block(n, nbr, 1, true));
+
+  // Partial rebuilds shrink the re-enumeration term but not the O(n)
+  // binning floor.
+  EXPECT_LT(model.t_neighbor_rebuild(n, nbr, 0.2),
+            model.t_neighbor_rebuild(n, nbr));
+  EXPECT_GT(model.t_neighbor_rebuild(n, nbr, 0.0), 0.0);
+  EXPECT_LT(model.t_realspace_overhead(n, nbr, 16, 256.0, 0.2),
+            model.t_realspace_overhead(n, nbr, 16, 256.0));
+  EXPECT_DOUBLE_EQ(model.t_neighbor_rebuild(n, nbr, 1.0),
+                   model.t_neighbor_rebuild(n, nbr));
 }
 
 }  // namespace

@@ -10,9 +10,11 @@ Usage:
 Throughput: compares the p50 of each metric between the committed baseline
 report and a freshly measured candidate (both in the shared BENCH_*.json
 schema).  Timing metrics ("t_*") must not be slower than baseline by more
-than the threshold fraction; ratio metrics containing "speedup" must not be
-smaller by more than the threshold.  Without --metric, every timing and
-speedup key shared by both reports is gated.
+than the threshold fraction; ratio metrics containing "speedup" or
+"reduction" (e.g. the modeled SpMV traffic reduction of the half-stored
+near field) must not be smaller by more than the threshold.  Without
+--metric, every timing, speedup, and reduction key shared by both reports
+is gated.
 
 Accuracy: --health reads an HBD_HEALTH report and fails when the maximum
 probed PME error e_p exceeds --ep-max, or when any Krylov update failed to
@@ -51,7 +53,8 @@ def gated_metrics(baseline, candidate, requested):
     shared = set(baseline.get("percentiles", {})) & set(
         candidate.get("percentiles", {}))
     return sorted(k for k in shared
-                  if k.startswith("t_") or "speedup" in k)
+                  if k.startswith("t_") or "speedup" in k
+                  or "reduction" in k)
 
 
 def check_throughput(args, failures):
@@ -63,7 +66,7 @@ def check_throughput(args, failures):
     for key in metrics:
         base = p50(baseline, key, args.baseline)
         cand = p50(candidate, key, args.candidate)
-        higher_better = "speedup" in key
+        higher_better = "speedup" in key or "reduction" in key
         if base <= 0:
             print(f"  skip {key}: non-positive baseline {base:g}")
             continue
