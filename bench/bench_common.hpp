@@ -6,6 +6,7 @@
 // paper-scale sweeps (up to 500 000 particles — hours on one core).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -64,6 +65,16 @@ double time_median3(F&& f) {
   if (b > c) std::swap(b, c);
   if (a > b) std::swap(a, b);
   return b;
+}
+
+/// Min-of-N-windows timing for short throughput kernels: on shared/noisy
+/// machines the minimum over repeated windows estimates the interference-free
+/// capability far more stably than a mean or median.
+template <class F>
+double time_min(F&& f, int windows = 5) {
+  double best = time_once(f);
+  for (int w = 1; w < windows; ++w) best = std::min(best, time_once(f));
+  return best;
 }
 
 }  // namespace hbd::bench

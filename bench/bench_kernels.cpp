@@ -80,6 +80,26 @@ void BM_BcsrSpmvBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_BcsrSpmvBlock)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_SymSpmvPrecision(benchmark::State& state) {
+  // Half-stored SpMV with FP64 vs FP32 block values (arg is the value
+  // width in bits); accumulation is double in both arms.
+  const std::size_t n = 5000;
+  const Precision prec =
+      state.range(0) == 32 ? Precision::fp32 : Precision::fp64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  RealspaceOperator op(sys.box, 1.0, 0.6, std::min(4.0, 0.49 * sys.box), 0.0,
+                       NearFieldStorage::symmetric, prec);
+  op.refresh(wrapped);
+  std::vector<double> x(3 * n, 1.0), y(3 * n);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["matrix_bytes"] = static_cast<double>(op.bytes());
+}
+BENCHMARK(BM_SymSpmvPrecision)->Arg(64)->Arg(32);
+
 void BM_SpreadPrecomputed(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t mesh = 64;
@@ -94,6 +114,26 @@ void BM_SpreadPrecomputed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpreadPrecomputed)->Arg(1000)->Arg(10000);
+
+void BM_SpreadPrecision(benchmark::State& state) {
+  // Precomputed spreading with FP64 vs FP32 stored weights (arg is the
+  // value width in bits); mesh accumulation is double in both arms.
+  const std::size_t n = 10000;
+  const std::size_t mesh = 64;
+  const Precision prec =
+      state.range(0) == 32 ? Precision::fp32 : Precision::fp64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  InterpMatrix p(wrapped, sys.box, mesh, 6, /*precompute=*/true,
+                 InterpKind::bspline, prec);
+  std::vector<double> f(3 * n, 1.0);
+  aligned_vector<double> fx(mesh * mesh * mesh), fy(fx.size()), fz(fx.size());
+  for (auto _ : state) {
+    p.spread(f, fx.data(), fy.data(), fz.data());
+    benchmark::DoNotOptimize(fx.data());
+  }
+}
+BENCHMARK(BM_SpreadPrecision)->Arg(64)->Arg(32);
 
 void BM_SpreadOnTheFly(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -124,6 +164,24 @@ void BM_Interpolate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Interpolate)->Arg(1000)->Arg(10000);
+
+void BM_InterpolatePrecision(benchmark::State& state) {
+  const std::size_t n = 10000;
+  const std::size_t mesh = 64;
+  const Precision prec =
+      state.range(0) == 32 ? Precision::fp32 : Precision::fp64;
+  const ParticleSystem sys = benchmark_suspension(n);
+  const auto wrapped = sys.wrapped_positions();
+  InterpMatrix p(wrapped, sys.box, mesh, 6, /*precompute=*/true,
+                 InterpKind::bspline, prec);
+  aligned_vector<double> ux(mesh * mesh * mesh, 1.0), uy(ux), uz(ux);
+  std::vector<double> u(3 * n);
+  for (auto _ : state) {
+    p.interpolate(ux.data(), uy.data(), uz.data(), u);
+    benchmark::DoNotOptimize(u.data());
+  }
+}
+BENCHMARK(BM_InterpolatePrecision)->Arg(64)->Arg(32);
 
 void BM_InfluenceApply(benchmark::State& state) {
   const std::size_t mesh = static_cast<std::size_t>(state.range(0));

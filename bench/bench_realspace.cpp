@@ -19,7 +19,9 @@
 #include "bench_common.hpp"
 #include "common/cell_list.hpp"
 #include "common/neighbor_list.hpp"
+#include "common/precision.hpp"
 #include "ewald/beenakker.hpp"
+#include "linalg/blas.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "obs/json.hpp"
 #include "pme/realspace.hpp"
@@ -78,6 +80,14 @@ struct Result {
   double t_spmm_full;
   double t_spmm_sym;
   double traffic_reduction;  // modeled SpMV bytes, full / symmetric
+  // FP32-store (FP64-accumulate) symmetric kernels vs the FP64 baseline.
+  double t_spmv_sym32;
+  double t_spmm_sym32;
+  double fp32_traffic_reduction;  // modeled SpMV bytes, fp64 sym / fp32 sym
+  double fp32_ep;                 // measured storage-rounding relative error
+  // Hybrid coloring: only high-degree rows colored, rest streamed.
+  double t_spmv_hybrid;
+  double hybrid_colored_fraction;
   // Cell-granular partial rebuild vs from-scratch list rebuild.
   double t_list_full;
   double t_list_partial;
@@ -135,10 +145,10 @@ int main(int argc, char** argv) {
     std::vector<double> f(3 * n), u(3 * n);
     fill_gaussian(vrng, f);
     constexpr int kReps = 8;
-    const double t_spmv_full = time_median3([&] {
+    const double t_spmv_full = time_min([&] {
       for (int r = 0; r < kReps; ++r) op.apply(f, u);
     });
-    const double t_spmv_sym = time_median3([&] {
+    const double t_spmv_sym = time_min([&] {
       for (int r = 0; r < kReps; ++r) sym_op.apply(f, u);
     });
     constexpr std::size_t kWidth = 8;
@@ -146,9 +156,9 @@ int main(int argc, char** argv) {
     for (std::size_t k = 0; k < fb.rows() * fb.cols(); ++k)
       fb.data()[k] = 2.0 * vrng.next_double() - 1.0;
     const double t_spmm_full =
-        time_median3([&] { op.apply_block(fb, ub); });
+        time_min([&] { op.apply_block(fb, ub); });
     const double t_spmm_sym =
-        time_median3([&] { sym_op.apply_block(fb, ub); });
+        time_min([&] { sym_op.apply_block(fb, ub); });
     // Modeled single-vector traffic from the actual stored structures
     // (76 B/block; the symmetric kernel reads the output back for the
     // transpose scatter).
@@ -157,6 +167,42 @@ int main(int argc, char** argv) {
     const double traffic_sym =
         static_cast<double>(sym_op.stored_nnz_blocks()) * 76.0 + 72.0 * 3 * n;
     const double traffic_reduction = traffic_full / traffic_sym;
+
+    // ---- FP32 storage, FP64 accumulation -----------------------------------
+    RealspaceOperator sym32_op(sys.box, sys.radius, xi, rmax, skin,
+                               NearFieldStorage::symmetric, Precision::fp32);
+    sym32_op.refresh(pos);
+    const double t_spmv_sym32 = time_min([&] {
+      for (int r = 0; r < kReps; ++r) sym32_op.apply(f, u);
+    });
+    const double t_spmm_sym32 =
+        time_min([&] { sym32_op.apply_block(fb, ub); });
+    const double traffic_sym32 =
+        static_cast<double>(sym32_op.stored_nnz_blocks()) * 40.0 +
+        72.0 * 3 * n;
+    const double fp32_traffic_reduction = traffic_sym / traffic_sym32;
+    // Measured rounding error of the fp32 store against the fp64 kernel.
+    std::vector<double> u64(3 * n), u32(3 * n);
+    sym_op.apply(f, u64);
+    sym32_op.apply(f, u32);
+    std::vector<double> du(3 * n);
+    for (std::size_t k = 0; k < 3 * n; ++k) du[k] = u32[k] - u64[k];
+    const double fp32_ep = nrm2(du) / nrm2(u64);
+
+    // ---- Hybrid coloring (high-degree rows only) ---------------------------
+    // Threshold at the mean degree: roughly half the rows keep the colored
+    // scatter, the low-degree half streams duplicated row-locally.
+    const double nbr_mean =
+        static_cast<double>(sym_op.logical_nnz_blocks() - n) /
+        static_cast<double>(n);
+    RealspaceOperator hyb_op(sys.box, sys.radius, xi, rmax, skin,
+                             NearFieldStorage::symmetric, Precision::fp64,
+                             static_cast<std::size_t>(nbr_mean));
+    hyb_op.refresh(pos);
+    const double t_spmv_hybrid = time_min([&] {
+      for (int r = 0; r < kReps; ++r) hyb_op.apply(f, u);
+    });
+    const double hybrid_cf = hyb_op.colored_fraction();
 
     // ---- Partial vs full list rebuild --------------------------------------
     // A thin slab settles past the drift threshold each repetition
@@ -189,7 +235,9 @@ int main(int argc, char** argv) {
 
     results.push_back({n, t_seed, t_rebuild, t_refresh, t_spmv_full,
                        t_spmv_sym, t_spmm_full, t_spmm_sym, traffic_reduction,
-                       t_list_full, t_list_partial});
+                       t_spmv_sym32, t_spmm_sym32, fp32_traffic_reduction,
+                       fp32_ep, t_spmv_hybrid, hybrid_cf, t_list_full,
+                       t_list_partial});
     std::printf("%7zu | %10.5f %10.5f %10.5f | %8.2fx %8.2fx\n", n, t_seed,
                 t_rebuild, t_refresh, t_seed / t_rebuild, t_seed / t_refresh);
     std::printf(
@@ -197,6 +245,14 @@ int main(int argc, char** argv) {
         "spmm %.5f/%.5f (%.2fx)\n",
         t_spmv_full, t_spmv_sym, t_spmv_full / t_spmv_sym, traffic_reduction,
         t_spmm_full, t_spmm_sym, t_spmm_full / t_spmm_sym);
+    std::printf(
+        "        | fp32 spmv/spmm %.5f/%.5f (%.2fx/%.2fx, traffic %.2fx, "
+        "e_p %.2e)\n",
+        t_spmv_sym32, t_spmm_sym32, t_spmv_sym / t_spmv_sym32,
+        t_spmm_sym / t_spmm_sym32, fp32_traffic_reduction, fp32_ep);
+    std::printf(
+        "        | hybrid spmv %.5f (%.2fx vs colored, fraction %.2f)\n",
+        t_spmv_hybrid, t_spmv_sym / t_spmv_hybrid, hybrid_cf);
     std::printf("        | list rebuild full/partial %.5f/%.5f (%.2fx)\n",
                 t_list_full, t_list_partial, t_list_full / t_list_partial);
   }
@@ -219,6 +275,15 @@ int main(int argc, char** argv) {
          {"t_spmm_full_s", r.t_spmm_full},
          {"t_spmm_sym_s", r.t_spmm_sym},
          {"spmm_speedup", r.t_spmm_full / r.t_spmm_sym},
+         {"t_spmv_sym32_s", r.t_spmv_sym32},
+         {"fp32_spmv_speedup", r.t_spmv_sym / r.t_spmv_sym32},
+         {"t_spmm_sym32_s", r.t_spmm_sym32},
+         {"fp32_spmm_speedup", r.t_spmm_sym / r.t_spmm_sym32},
+         {"fp32_traffic_reduction", r.fp32_traffic_reduction},
+         {"fp32_ep", r.fp32_ep},
+         {"t_spmv_hybrid_s", r.t_spmv_hybrid},
+         {"hybrid_spmv_speedup", r.t_spmv_sym / r.t_spmv_hybrid},
+         {"hybrid_colored_fraction", r.hybrid_colored_fraction},
          {"t_list_rebuild_s", r.t_list_full},
          {"t_list_partial_s", r.t_list_partial},
          {"partial_rebuild_speedup", r.t_list_full / r.t_list_partial}});

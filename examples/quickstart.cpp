@@ -7,6 +7,7 @@
 // Reduced units: particle radius a = 1, kB T = 1, single-particle mobility
 // μ0 = 1, so the bare diffusion coefficient D0 = 1.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/diffusion.hpp"
@@ -26,9 +27,16 @@ int main() {
               system.volume_fraction(), system.size());
 
   // 2. Pick PME parameters for a relative mobility error of ~1e-3.
-  const PmeParams pme = choose_pme_params(system.box, system.radius, 1e-3);
-  std::printf("PME: mesh K=%zu, spline order p=%d, rmax=%.2f, alpha=%.3f\n",
-              pme.mesh, pme.order, pme.rmax, pme.xi);
+  //    HBD_FP32=1 switches the near-field/interpolation storage to FP32
+  //    (accumulation stays FP64); HBD_FP32=0 forces FP64 even in a
+  //    -DHBD_FP32_DEFAULT=ON build.  The e_p health probes gate the error.
+  PmeParams pme = choose_pme_params(system.box, system.radius, 1e-3);
+  if (const char* fp32 = std::getenv("HBD_FP32"))
+    pme.precision = fp32[0] != '0' ? Precision::fp32 : Precision::fp64;
+  std::printf("PME: mesh K=%zu, spline order p=%d, rmax=%.2f, alpha=%.3f, "
+              "precision=%s\n",
+              pme.mesh, pme.order, pme.rmax, pme.xi,
+              precision_name(pme.precision));
 
   // 3. Steric repulsion keeps particles from overlapping.
   auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);

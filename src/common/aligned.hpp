@@ -1,7 +1,9 @@
 // Cache-line / SIMD aligned storage for numerical kernels.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
@@ -48,4 +50,17 @@ struct AlignedAllocator {
 template <class T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
 
+inline bool is_aligned(const void* p,
+                       std::size_t alignment = kAlignment) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) % alignment) == 0;
+}
+
 }  // namespace hbd
+
+// Debug-build check that a buffer handed to a SIMD kernel really starts on a
+// cache-line boundary.  Compiles out in release builds.
+#ifndef NDEBUG
+#define HBD_ASSERT_ALIGNED(ptr) assert(::hbd::is_aligned(ptr))
+#else
+#define HBD_ASSERT_ALIGNED(ptr) ((void)0)
+#endif

@@ -1,0 +1,28 @@
+// Runtime storage-precision selector for the memory-bound kernels.
+//
+// The real-space SpMV/SpMM and the interpolation matrix are bandwidth bound
+// (Eq. 10 of the paper), so the value *stream* can be narrowed to FP32 while
+// every accumulator stays FP64.  `Precision` selects which instantiation of
+// the Real-templated containers an operator builds; it never changes the
+// arithmetic type of partial sums.
+#pragma once
+
+#include <cstddef>
+
+namespace hbd {
+
+enum class Precision {
+  fp64,  // double storage — bitwise identical to the historical path
+  fp32,  // float storage, double accumulation (mixed precision)
+};
+
+/// Bytes per stored matrix/interpolation value for a given precision.
+inline constexpr std::size_t value_bytes(Precision p) {
+  return p == Precision::fp32 ? sizeof(float) : sizeof(double);
+}
+
+inline constexpr const char* precision_name(Precision p) {
+  return p == Precision::fp32 ? "fp32" : "fp64";
+}
+
+}  // namespace hbd

@@ -1,0 +1,280 @@
+// Explicit SIMD kernels for the bandwidth-bound inner loops.
+//
+// Two entry points cover every hot loop in the near field and the
+// interpolation matrix:
+//
+//   axpy        dst[q] += w * src[q]                    (spread / interpolate)
+//   block3_fma  y_r[k] += b[3r+c] * x_c[k], r,c in 0..2 (3x3 block SpMM)
+//   block3t_fma transpose variant, b indexed column-major
+//
+// Storage values may be float (mixed precision) but every multiply-add is
+// carried out in double: Real operands are widened before the FMA, so the
+// accumulator never sees a float rounding step.
+//
+// Bitwise contract: the AVX2 bodies and the `scalar` namespace bodies perform
+// the *same* per-element operation chain —
+//
+//   axpy:   dst = fma(w, src, dst)
+//   block3: y   = y + fma(b2, v2, fma(b0, v0, b1 * v1))
+//
+// which is exactly the contraction gcc emits for the previous `#pragma omp
+// simd` loops at -O3 -march=native, so the FP64 results are unchanged from
+// the auto-vectorized kernels, identical between SIMD and scalar builds, and
+// independent of vector width (no cross-lane reductions anywhere).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#if defined(HBD_SIMD_ENABLED) && HBD_SIMD_ENABLED && defined(__AVX2__) && \
+    defined(__FMA__)
+#define HBD_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define HBD_SIMD_AVX2 0
+#endif
+
+namespace hbd::simd {
+
+constexpr bool enabled() { return HBD_SIMD_AVX2 != 0; }
+constexpr const char* isa() { return HBD_SIMD_AVX2 ? "avx2+fma" : "scalar"; }
+
+/// Widens one 9-value 3x3 block to double in a single pass.  float→double
+/// conversion is exact, so consuming the widened copy is bitwise identical
+/// to converting each operand at its use site — it just does the conversion
+/// 2 packed ops instead of up to 18 scalar ones per block.
+inline void widen9(const float* b, double* bd) {
+#if HBD_SIMD_AVX2
+  _mm256_storeu_pd(bd, _mm256_cvtps_pd(_mm_loadu_ps(b)));
+  _mm256_storeu_pd(bd + 4, _mm256_cvtps_pd(_mm_loadu_ps(b + 4)));
+#else
+  for (int k = 0; k < 8; ++k) bd[k] = double(b[k]);
+#endif
+  bd[8] = double(b[8]);
+}
+
+/// Returns a double view of a 3x3 block: the block itself when stored FP64,
+/// the widened copy in `scratch` (caller-provided double[9]) when FP32.
+template <class Real>
+inline const double* load_block9(const Real* b, double* scratch) {
+  if constexpr (std::is_same_v<Real, double>) {
+    (void)scratch;
+    return b;
+  } else {
+    widen9(b, scratch);
+    return scratch;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Portable reference bodies.  These are also the tails of the AVX2 loops, so
+// remainder elements follow the identical operation chain.
+namespace scalar {
+
+inline void axpy(double* dst, double w, const double* src, std::size_t n) {
+  for (std::size_t q = 0; q < n; ++q) dst[q] = std::fma(w, src[q], dst[q]);
+}
+
+/// y_r[k] += b[3r+0]*x0[k] + b[3r+1]*x1[k] + b[3r+2]*x2[k]
+template <class Real>
+inline void block3_fma(const Real* b, const double* x0, const double* x1,
+                       const double* x2, double* y0, double* y1, double* y2,
+                       std::size_t n) {
+  const double b00 = double(b[0]), b01 = double(b[1]), b02 = double(b[2]);
+  const double b10 = double(b[3]), b11 = double(b[4]), b12 = double(b[5]);
+  const double b20 = double(b[6]), b21 = double(b[7]), b22 = double(b[8]);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v0 = x0[k], v1 = x1[k], v2 = x2[k];
+    y0[k] = y0[k] + std::fma(b02, v2, std::fma(b00, v0, b01 * v1));
+    y1[k] = y1[k] + std::fma(b12, v2, std::fma(b10, v0, b11 * v1));
+    y2[k] = y2[k] + std::fma(b22, v2, std::fma(b20, v0, b21 * v1));
+  }
+}
+
+/// Transpose scatter: y_c[k] += b[c]*x0[k] + b[3+c]*x1[k] + b[6+c]*x2[k]
+template <class Real>
+inline void block3t_fma(const Real* b, const double* x0, const double* x1,
+                        const double* x2, double* y0, double* y1, double* y2,
+                        std::size_t n) {
+  const double b00 = double(b[0]), b10 = double(b[3]), b20 = double(b[6]);
+  const double b01 = double(b[1]), b11 = double(b[4]), b21 = double(b[7]);
+  const double b02 = double(b[2]), b12 = double(b[5]), b22 = double(b[8]);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v0 = x0[k], v1 = x1[k], v2 = x2[k];
+    y0[k] = y0[k] + std::fma(b20, v2, std::fma(b00, v0, b10 * v1));
+    y1[k] = y1[k] + std::fma(b21, v2, std::fma(b01, v0, b11 * v1));
+    y2[k] = y2[k] + std::fma(b22, v2, std::fma(b02, v0, b12 * v1));
+  }
+}
+
+}  // namespace scalar
+
+#if HBD_SIMD_AVX2
+
+inline void axpy(double* dst, double w, const double* src, std::size_t n) {
+  const __m256d W = _mm256_set1_pd(w);
+  std::size_t q = 0;
+  for (; q + 4 <= n; q += 4) {
+    const __m256d S = _mm256_loadu_pd(src + q);
+    const __m256d D = _mm256_loadu_pd(dst + q);
+    _mm256_storeu_pd(dst + q, _mm256_fmadd_pd(W, S, D));
+  }
+  for (; q < n; ++q) dst[q] = std::fma(w, src[q], dst[q]);
+}
+
+namespace detail {
+// One row of the 3x3 block update, matching the scalar chain
+// y + fma(c2, v2, fma(c0, v0, c1 * v1)) lane-for-lane.
+inline __m256d row_fma(__m256d y, __m256d c0, __m256d c1, __m256d c2,
+                       __m256d v0, __m256d v1, __m256d v2) {
+  return _mm256_add_pd(
+      y, _mm256_fmadd_pd(c2, v2, _mm256_fmadd_pd(c0, v0, _mm256_mul_pd(c1, v1))));
+}
+}  // namespace detail
+
+template <class Real>
+inline void block3_fma(const Real* b, const double* x0, const double* x1,
+                       const double* x2, double* y0, double* y1, double* y2,
+                       std::size_t n) {
+  double bw[9];
+  const double* bd = load_block9(b, bw);
+  const __m256d B00 = _mm256_set1_pd(bd[0]);
+  const __m256d B01 = _mm256_set1_pd(bd[1]);
+  const __m256d B02 = _mm256_set1_pd(bd[2]);
+  const __m256d B10 = _mm256_set1_pd(bd[3]);
+  const __m256d B11 = _mm256_set1_pd(bd[4]);
+  const __m256d B12 = _mm256_set1_pd(bd[5]);
+  const __m256d B20 = _mm256_set1_pd(bd[6]);
+  const __m256d B21 = _mm256_set1_pd(bd[7]);
+  const __m256d B22 = _mm256_set1_pd(bd[8]);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d V0 = _mm256_loadu_pd(x0 + k);
+    const __m256d V1 = _mm256_loadu_pd(x1 + k);
+    const __m256d V2 = _mm256_loadu_pd(x2 + k);
+    _mm256_storeu_pd(
+        y0 + k, detail::row_fma(_mm256_loadu_pd(y0 + k), B00, B01, B02, V0, V1, V2));
+    _mm256_storeu_pd(
+        y1 + k, detail::row_fma(_mm256_loadu_pd(y1 + k), B10, B11, B12, V0, V1, V2));
+    _mm256_storeu_pd(
+        y2 + k, detail::row_fma(_mm256_loadu_pd(y2 + k), B20, B21, B22, V0, V1, V2));
+  }
+  if (k < n)
+    scalar::block3_fma(bd, x0 + k, x1 + k, x2 + k, y0 + k, y1 + k, y2 + k,
+                       n - k);
+}
+
+/// One block row of the single-vector symmetric SpMV with float-stored
+/// blocks: for each of the row's `count` stored blocks (values contiguous at
+/// `vrow`, schedule-order layout) it accumulates the forward product
+/// y_i += B x_j and scatters the transpose contribution y_j += Bᵀ x_i
+/// (off-diagonal blocks only).  Each 3-value block row is widened with one
+/// overlapping 4-wide load + packed convert — the load from b+6 runs one
+/// float past the block, which the container's value padding makes safe.
+/// Keeping the block in row form needs no shuffles at all: rows feed the
+/// transpose scatter directly, and the forward product runs three row-wise
+/// FMA chains against a masked x_j (lane 3 is zero, so the over-read lane
+/// contributes exactly 0) with one horizontal reduction per block row.
+/// Every FMA runs on doubles, so the accumulator never sees a float
+/// rounding step.  Only the FP32 path uses this kernel — the FP64 scalar
+/// chain is left untouched to keep its historical bitwise behaviour.  The
+/// summation order differs from the scalar fallback by at most the usual
+/// FP64 reassociation (~1e-16 relative), far below the FP32 storage error
+/// it accompanies.
+inline void sym_row_spmv_f(const float* vrow, const std::uint32_t* cols,
+                           std::size_t count, std::size_t i, const double* x,
+                           double* y) {
+  const __m256i mask3 = _mm256_set_epi64x(0, -1, -1, -1);
+  const __m256d Xi0 = _mm256_broadcast_sd(x + 3 * i);
+  const __m256d Xi1 = _mm256_broadcast_sd(x + 3 * i + 1);
+  const __m256d Xi2 = _mm256_broadcast_sd(x + 3 * i + 2);
+  __m256d accR0 = _mm256_setzero_pd();
+  __m256d accR1 = _mm256_setzero_pd();
+  __m256d accR2 = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < count; ++k) {
+    const float* b = vrow + 9 * k;
+    const std::size_t j = cols[k];
+    const __m256d R0 = _mm256_cvtps_pd(_mm_loadu_ps(b));      // b0 b1 b2 (b3)
+    const __m256d R1 = _mm256_cvtps_pd(_mm_loadu_ps(b + 3));  // b3 b4 b5 (b6)
+    const __m256d R2 = _mm256_cvtps_pd(_mm_loadu_ps(b + 6));  // b6 b7 b8 (pad)
+    const __m256d Xj = _mm256_maskload_pd(x + 3 * j, mask3);  // xj0 xj1 xj2 0
+    accR0 = _mm256_fmadd_pd(R0, Xj, accR0);
+    accR1 = _mm256_fmadd_pd(R1, Xj, accR1);
+    accR2 = _mm256_fmadd_pd(R2, Xj, accR2);
+    if (j != i) {
+      // y_j += Bᵀ x_i = xi0·row0 + xi1·row1 + xi2·row2; lane 3 is garbage
+      // but the masked store never writes it.
+      double* yj = y + 3 * j;
+      __m256d Yj = _mm256_maskload_pd(yj, mask3);
+      Yj = _mm256_fmadd_pd(R0, Xi0, Yj);
+      Yj = _mm256_fmadd_pd(R1, Xi1, Yj);
+      Yj = _mm256_fmadd_pd(R2, Xi2, Yj);
+      _mm256_maskstore_pd(yj, mask3, Yj);
+    }
+  }
+  alignas(32) double r0[4], r1[4], r2[4];
+  _mm256_store_pd(r0, accR0);
+  _mm256_store_pd(r1, accR1);
+  _mm256_store_pd(r2, accR2);
+  y[3 * i] += r0[0] + r0[1] + r0[2];
+  y[3 * i + 1] += r1[0] + r1[1] + r1[2];
+  y[3 * i + 2] += r2[0] + r2[1] + r2[2];
+}
+
+template <class Real>
+inline void block3t_fma(const Real* b, const double* x0, const double* x1,
+                        const double* x2, double* y0, double* y1, double* y2,
+                        std::size_t n) {
+  double bw[9];
+  const double* bd = load_block9(b, bw);
+  const __m256d B00 = _mm256_set1_pd(bd[0]);
+  const __m256d B10 = _mm256_set1_pd(bd[3]);
+  const __m256d B20 = _mm256_set1_pd(bd[6]);
+  const __m256d B01 = _mm256_set1_pd(bd[1]);
+  const __m256d B11 = _mm256_set1_pd(bd[4]);
+  const __m256d B21 = _mm256_set1_pd(bd[7]);
+  const __m256d B02 = _mm256_set1_pd(bd[2]);
+  const __m256d B12 = _mm256_set1_pd(bd[5]);
+  const __m256d B22 = _mm256_set1_pd(bd[8]);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d V0 = _mm256_loadu_pd(x0 + k);
+    const __m256d V1 = _mm256_loadu_pd(x1 + k);
+    const __m256d V2 = _mm256_loadu_pd(x2 + k);
+    _mm256_storeu_pd(
+        y0 + k, detail::row_fma(_mm256_loadu_pd(y0 + k), B00, B10, B20, V0, V1, V2));
+    _mm256_storeu_pd(
+        y1 + k, detail::row_fma(_mm256_loadu_pd(y1 + k), B01, B11, B21, V0, V1, V2));
+    _mm256_storeu_pd(
+        y2 + k, detail::row_fma(_mm256_loadu_pd(y2 + k), B02, B12, B22, V0, V1, V2));
+  }
+  if (k < n)
+    scalar::block3t_fma(bd, x0 + k, x1 + k, x2 + k, y0 + k, y1 + k, y2 + k,
+                        n - k);
+}
+
+#else  // !HBD_SIMD_AVX2
+
+inline void axpy(double* dst, double w, const double* src, std::size_t n) {
+  scalar::axpy(dst, w, src, n);
+}
+
+template <class Real>
+inline void block3_fma(const Real* b, const double* x0, const double* x1,
+                       const double* x2, double* y0, double* y1, double* y2,
+                       std::size_t n) {
+  scalar::block3_fma(b, x0, x1, x2, y0, y1, y2, n);
+}
+
+template <class Real>
+inline void block3t_fma(const Real* b, const double* x0, const double* x1,
+                        const double* x2, double* y0, double* y1, double* y2,
+                        std::size_t n) {
+  scalar::block3t_fma(b, x0, x1, x2, y0, y1, y2, n);
+}
+
+#endif  // HBD_SIMD_AVX2
+
+}  // namespace hbd::simd

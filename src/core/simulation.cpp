@@ -155,6 +155,13 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
   if (pme_params_.partial_rebuilds) nlist_->set_partial_rebuilds(true);
   if (pme_params_.auto_skin && pme_params_.skin > 0.0)
     nlist_->enable_auto_skin(pme_params_.auto_skin_interval);
+  // FP32-store runs are gated by the e_p accuracy probes (ISSUE: storage
+  // rounding must stay visible), so probing defaults on for them even when
+  // no HBD_HEALTH export path was requested.
+  if constexpr (obs::kEnabled) {
+    if (pme_params_.precision == Precision::fp32)
+      health_.set_probes_enabled(true);
+  }
   // Publish this run's provenance to the process-wide manifest embedded by
   // the metrics/trace/bench exporters (last constructed driver wins).
   obs::run_manifest() = manifest();
@@ -178,6 +185,9 @@ obs::RunManifest MatrixFreeBdSimulation::manifest() const {
   // configured seed skin.
   m.skin = nlist_ ? nlist_->skin() : pme_params_.skin;
   m.skin_auto = pme_params_.auto_skin;
+  m.precision = precision_name(pme_params_.precision);
+  // 1.0 until the operator exists (every row colored / no hybrid split).
+  m.colored_fraction = pme_ ? pme_->realspace().colored_fraction() : 1.0;
   m.hw_name = model_hw_.name;
   m.hw_gflops = model_hw_.peak_dp_gflops;
   m.hw_bw_gbs = model_hw_.stream_bw_gbs;
@@ -290,7 +300,8 @@ void MatrixFreeBdSimulation::audit_drift() {
   // Predictions from the base model over the window's actual work: d_single
   // single sweeps plus d_block batched applies of the mean observed width,
   // with the neighbor count measured from the near-field matrix itself.
-  const PmePerfModel model(model_hw_);
+  const PmePerfModel model(
+      model_hw_, static_cast<double>(value_bytes(pme_params_.precision)));
   const std::size_t mesh = pme_->params().mesh;
   const int order = pme_->params().order;
   const std::size_t width =
@@ -346,7 +357,10 @@ HardwareParams MatrixFreeBdSimulation::effective_hardware() const {
 
 BdStepModel MatrixFreeBdSimulation::model_step(
     const std::vector<Device>& accelerators, double ep_target) const {
-  const Device host{PmePerfModel(effective_hardware()), /*is_host=*/true};
+  const Device host{
+      PmePerfModel(effective_hardware(),
+                   static_cast<double>(value_bytes(pme_params_.precision))),
+      /*is_host=*/true};
   const int iters = std::max(krylov_stats_.iterations, 1);
   return model_bd_step(host, accelerators, system_.size(), system_.box,
                        pme_params_.order, ep_target, config_.lambda_rpy,

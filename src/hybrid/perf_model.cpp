@@ -81,7 +81,7 @@ double PmePerfModel::t_spreading(std::size_t mesh, int order,
                                  std::size_t n) const {
   const double k3 = std::pow(static_cast<double>(mesh), 3);
   const double p3 = std::pow(static_cast<double>(order), 3);
-  const double bytes = 24.0 * k3 + 36.0 * p3 * static_cast<double>(n);
+  const double bytes = 24.0 * k3 + (28.0 + vb_) * p3 * static_cast<double>(n);
   return bytes / (hw_.stream_bw_gbs * 1e9);
 }
 
@@ -105,7 +105,8 @@ double PmePerfModel::t_influence(std::size_t mesh) const {
 
 double PmePerfModel::t_interpolation(int order, std::size_t n) const {
   const double p3 = std::pow(static_cast<double>(order), 3);
-  return 36.0 * p3 * static_cast<double>(n) / (hw_.stream_bw_gbs * 1e9);
+  return (28.0 + vb_) * p3 * static_cast<double>(n) /
+         (hw_.stream_bw_gbs * 1e9);
 }
 
 double PmePerfModel::t_recip(std::size_t mesh, int order,
@@ -120,7 +121,7 @@ double PmePerfModel::t_spreading_block(std::size_t mesh, int order,
   const double p3 = std::pow(static_cast<double>(order), 3);
   const double sd = static_cast<double>(s);
   const double bytes =
-      24.0 * sd * k3 + (12.0 + 24.0 * sd) * p3 * static_cast<double>(n);
+      24.0 * sd * k3 + (4.0 + vb_ + 24.0 * sd) * p3 * static_cast<double>(n);
   return bytes / (hw_.stream_bw_gbs * 1e9);
 }
 
@@ -141,8 +142,8 @@ double PmePerfModel::t_influence_block(std::size_t mesh, std::size_t s) const {
 double PmePerfModel::t_interpolation_block(int order, std::size_t n,
                                            std::size_t s) const {
   const double p3 = std::pow(static_cast<double>(order), 3);
-  const double bytes =
-      (12.0 + 24.0 * static_cast<double>(s)) * p3 * static_cast<double>(n);
+  const double bytes = (4.0 + vb_ + 24.0 * static_cast<double>(s)) * p3 *
+                       static_cast<double>(n);
   return bytes / (hw_.stream_bw_gbs * 1e9);
 }
 
@@ -174,7 +175,7 @@ double PmePerfModel::t_realspace_block(std::size_t n, double neighbors,
   const double vector_bytes = symmetric ? 72.0 : 48.0;
   const double sd = static_cast<double>(s);
   const double bytes =
-      stored * (9.0 * 8.0 + 4.0) + vector_bytes * static_cast<double>(n) * sd;
+      stored * (9.0 * vb_ + 4.0) + vector_bytes * static_cast<double>(n) * sd;
   const double flops = logical * 18.0 * sd;
   return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
                   flops / (hw_.peak_dp_gflops * 1e9));
@@ -183,9 +184,9 @@ double PmePerfModel::t_realspace_block(std::size_t n, double neighbors,
 double PmePerfModel::t_realspace_assembly(std::size_t n,
                                           double neighbors) const {
   const double blocks = static_cast<double>(n) * (neighbors + 1.0);
-  // Write 72 B of values per block, read the 4 B column index and the 24 B
-  // neighbor position; positions of the row owners stream once.
-  const double bytes = blocks * (72.0 + 4.0 + 24.0) + 24.0 * n;
+  // Write 9·vb B of values per block, read the 4 B column index and the
+  // 24 B neighbor position; positions of the row owners stream once.
+  const double bytes = blocks * (9.0 * vb_ + 4.0 + 24.0) + 24.0 * n;
   // Minimum image + distance, erfc/exp pair coefficients, 3×3 outer product.
   const double flops = blocks * 200.0;
   return std::max(bytes / (hw_.stream_bw_gbs * 1e9),
@@ -223,10 +224,12 @@ double PmePerfModel::t_offload_transfer(std::size_t n) const {
   return 2.0 * 24.0 * static_cast<double>(n) / (hw_.pcie_bw_gbs * 1e9);
 }
 
-double PmePerfModel::bytes_recip(std::size_t mesh, int order, std::size_t n) {
+double PmePerfModel::bytes_recip(std::size_t mesh, int order, std::size_t n,
+                                 double value_bytes) {
   const double k3 = std::pow(static_cast<double>(mesh), 3);
   const double p3 = std::pow(static_cast<double>(order), 3);
-  return 24.0 * k3 + 12.0 * p3 * static_cast<double>(n) + 8.0 * k3 / 2.0;
+  return 24.0 * k3 + (4.0 + value_bytes) * p3 * static_cast<double>(n) +
+         8.0 * k3 / 2.0;
 }
 
 double PmePerfModel::bytes_dense(std::size_t n) {

@@ -52,14 +52,23 @@ HardwareParams recalibrated(HardwareParams hw, double bandwidth_scale,
 HardwareParams xeon_phi_knc();
 
 /// Per-phase execution-time model of one reciprocal-space PME application.
+///
+/// `value_bytes` is the storage width of the near-field block values and the
+/// interpolation weights (sizeof(Real)): 8 for FP64 storage, 4 for the FP32
+/// storage mode.  It scales the value streams of the bandwidth-bound terms —
+/// the mesh, spectra, and particle vectors stay FP64 regardless.
 class PmePerfModel {
  public:
-  explicit PmePerfModel(HardwareParams hw) : hw_(std::move(hw)) {}
+  explicit PmePerfModel(HardwareParams hw, double value_bytes = 8.0)
+      : hw_(std::move(hw)), vb_(value_bytes) {}
 
   const HardwareParams& hardware() const { return hw_; }
+  double value_bytes() const { return vb_; }
 
   // --- Phase times in seconds (K = mesh, p = order, n = particles) --------
-  /// (24 K³ + 36 p³ n) bytes over STREAM bandwidth.
+  /// (24 K³ + (28 + vb) p³ n) bytes over STREAM bandwidth — per P nonzero a
+  /// 4 B index, one vb-byte weight, and a 24 B read-modify-write of the
+  /// three mesh components (36 p³ n at vb = 8).
   double t_spreading(std::size_t mesh, int order, std::size_t n) const;
   /// 3 forward FFTs: 3·2.5·K³·log2(K³) flops at the achievable FFT rate.
   double t_fft(std::size_t mesh) const;
@@ -69,7 +78,7 @@ class PmePerfModel {
   /// (8·K³/2 + 48·K³) bytes over STREAM bandwidth (scalar influence plus
   /// in-place update of the three half spectra).
   double t_influence(std::size_t mesh) const;
-  /// 36 p³ n bytes over STREAM bandwidth.
+  /// (28 + vb) p³ n bytes over STREAM bandwidth.
   double t_interpolation(int order, std::size_t n) const;
 
   /// Eq. 10: total reciprocal-space time.
@@ -77,10 +86,10 @@ class PmePerfModel {
 
   // --- Batched multi-RHS terms (Sec. IV-D extended) -----------------------
   // One batched block apply of width s replaces s single sweeps; the terms
-  // below reflect that the interpolation weights P (12 p³ n bytes) and the
-  // scalar influence table (8·K³/2 bytes) are read once per block instead
-  // of s times, while the mesh/spectrum streams still scale with s.
-  /// (24 s K³ + (12 + 24 s) p³ n) bytes over STREAM bandwidth.
+  // below reflect that the interpolation weights P ((4 + vb) p³ n bytes)
+  // and the scalar influence table (8·K³/2 bytes) are read once per block
+  // instead of s times, while the mesh/spectrum streams still scale with s.
+  /// (24 s K³ + (4 + vb + 24 s) p³ n) bytes over STREAM bandwidth.
   double t_spreading_block(std::size_t mesh, int order, std::size_t n,
                            std::size_t s) const;
   /// 3s forward FFTs (flops scale linearly with the batch).
@@ -89,14 +98,14 @@ class PmePerfModel {
   /// (8·K³/2 + 48 s K³) bytes over STREAM bandwidth: the scalar table is
   /// loaded once for all s column spectra.
   double t_influence_block(std::size_t mesh, std::size_t s) const;
-  /// (12 + 24 s) p³ n bytes over STREAM bandwidth.
+  /// (4 + vb + 24 s) p³ n bytes over STREAM bandwidth.
   double t_interpolation_block(int order, std::size_t n, std::size_t s) const;
   /// Total batched reciprocal-space time for a width-s block; reduces to
   /// t_recip at s = 1.
   double t_recip_block(std::size_t mesh, int order, std::size_t n,
                        std::size_t s) const;
 
-  /// Real-space SpMV time: BCSR traffic (76 B per 3×3 block plus the
+  /// Real-space SpMV time: BCSR traffic (9·vb + 4 B per 3×3 block plus the
   /// vectors) over bandwidth, with `neighbors` = average near-field
   /// neighbors per particle.  With `symmetric` the matrix keeps only the
   /// i ≤ j blocks — half the off-diagonal stream — while the output vector
@@ -114,8 +123,8 @@ class PmePerfModel {
                            bool symmetric = false) const;
 
   /// In-place value refresh of the near-field BCSR matrix (one per mobility
-  /// update): streams the fixed pattern (76 B/block read+write of the
-  /// values plus the column indices and positions) and evaluates the
+  /// update): streams the fixed pattern (9·vb B/block value write plus the
+  /// column indices and positions) and evaluates the
   /// erfc/exp Beenakker pair tensor per block (~200 flops) — the flop term
   /// dominates on flop-rich hardware, the value stream on bandwidth-bound.
   double t_realspace_assembly(std::size_t n, double neighbors) const;
@@ -149,8 +158,10 @@ class PmePerfModel {
   /// velocity vector (2·24n bytes).
   double t_offload_transfer(std::size_t n) const;
 
-  /// Eq. 11: resident bytes of the reciprocal-space data.
-  static double bytes_recip(std::size_t mesh, int order, std::size_t n);
+  /// Eq. 11: resident bytes of the reciprocal-space data.  `value_bytes`
+  /// sizes the stored interpolation weights ((4 + vb) p³ n term).
+  static double bytes_recip(std::size_t mesh, int order, std::size_t n,
+                            double value_bytes = 8.0);
 
   /// Dense-BD model for Fig. 7: memory of the 3n×3n matrix (+ factor), and
   /// times of Ewald construction and Cholesky on this hardware.
@@ -161,6 +172,7 @@ class PmePerfModel {
   double fft_rate(std::size_t mesh) const;
 
   HardwareParams hw_;
+  double vb_ = 8.0;  ///< sizeof(Real) of block values / interp weights
 };
 
 }  // namespace hbd

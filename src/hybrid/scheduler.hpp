@@ -36,7 +36,9 @@ double effective_rebuild_interval(const NeighborList& list,
 double effective_rebuild_fraction(const NeighborList& list,
                                   double fallback = 1.0);
 
-/// One device participating in the hybrid computation.
+/// One device participating in the hybrid computation.  The model carries
+/// the storage precision through its value_bytes term, so an FP32-store run
+/// partitions and tunes against the halved value streams.
 struct Device {
   PmePerfModel model;
   bool is_host = false;

@@ -98,6 +98,8 @@ void RunManifest::write_json(JsonWriter& w) const {
   w.field("skin", skin);
   w.key("skin_auto");
   w.value(skin_auto);
+  w.field("precision", precision);
+  w.field("colored_fraction", colored_fraction);
   w.end_object();
   w.key("hardware");
   w.begin_object();

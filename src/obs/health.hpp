@@ -116,6 +116,12 @@ struct RunManifest {
   /// Skin auto-tuning active: `skin` is the live (tuned) value at manifest
   /// time, not the configured seed value.
   bool skin_auto = false;
+  /// Storage precision of the near-field values / interpolation weights
+  /// ("fp64" or "fp32"; accumulation is FP64 either way).
+  std::string precision = "fp64";
+  /// Mean fraction of rows under the colored symmetric schedule (1 unless
+  /// the hybrid degree threshold routed low-degree rows to the dup pass).
+  double colored_fraction = 1.0;
 
   // Performance-model hardware baseline (HardwareParams headline rates).
   std::string hw_name;

@@ -21,7 +21,10 @@ inline long bspline_base(double u, int order) {
 
 /// All p interpolation weights for scaled coordinate u:
 /// w[j] = W_p(u − (base + j)).  Uses the stable B-spline recurrence; the
-/// weights are nonnegative and sum to 1 (partition of unity).
+/// weights are nonnegative and sum to 1 (partition of unity).  Weights are
+/// always evaluated in double — under FP32 storage (Precision::fp32) the
+/// InterpMatrix rounds them once on store, so both precisions share this
+/// one recurrence.
 void bspline_weights(double u, int order, double* w);
 
 /// SPME |b(m)|² Euler-exponential factors for a mesh of size K: the forward

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "pme/bspline.hpp"
 #include "pme/lagrange.hpp"
 
@@ -20,17 +22,26 @@ double wrap(double x, double box) {
 
 InterpMatrix::InterpMatrix(std::span<const Vec3> pos, double box,
                            std::size_t mesh, int order, bool precompute,
-                           InterpKind kind)
+                           InterpKind kind, Precision precision)
     : n_(pos.size()),
       mesh_(mesh),
       order_(order),
       precompute_(precompute),
       kind_(kind),
+      precision_(precision),
       scale_(static_cast<double>(mesh) / box) {
   HBD_CHECK(order >= 2 && order <= kMaxOrder);
   HBD_CHECK_MSG(mesh >= static_cast<std::size_t>(order),
                 "PME mesh smaller than the spline order");
   rebuild(pos);
+}
+
+template <class Real>
+const Real* InterpMatrix::stored_vals() const {
+  if constexpr (std::is_same_v<Real, float>)
+    return vals_f_.data();
+  else
+    return vals_.data();
 }
 
 void InterpMatrix::rebuild(std::span<const Vec3> pos) {
@@ -44,10 +55,23 @@ void InterpMatrix::rebuild(std::span<const Vec3> pos) {
   const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
   if (precompute_) {
     cols_.resize(n_ * p3);
-    vals_.resize(n_ * p3);
+    if (precision_ == Precision::fp32) {
+      // Weights are computed in double and rounded once on store, matching
+      // the on-the-fly path's per-row rounding bit for bit.
+      vals_f_.resize(n_ * p3);
 #pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n_; ++i)
-      compute_row(i, cols_.data() + i * p3, vals_.data() + i * p3);
+      for (std::size_t i = 0; i < n_; ++i) {
+        double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+        compute_row(i, cols_.data() + i * p3, vbuf);
+        for (std::size_t t = 0; t < p3; ++t)
+          vals_f_[i * p3 + t] = static_cast<float>(vbuf[t]);
+      }
+    } else {
+      vals_.resize(n_ * p3);
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < n_; ++i)
+        compute_row(i, cols_.data() + i * p3, vals_.data() + i * p3);
+    }
   }
 
   // ---- Independent-set schedule -------------------------------------------
@@ -153,6 +177,15 @@ void InterpMatrix::compute_row(std::size_t i, std::uint32_t* cols,
 
 void InterpMatrix::spread(std::span<const double> f, double* fx, double* fy,
                           double* fz) const {
+  if (precision_ == Precision::fp32)
+    spread_impl<float>(f, fx, fy, fz);
+  else
+    spread_impl<double>(f, fx, fy, fz);
+}
+
+template <class Real>
+void InterpMatrix::spread_impl(std::span<const double> f, double* fx,
+                               double* fy, double* fz) const {
   HBD_CHECK(f.size() == 3 * n_);
   const std::size_t m3 = mesh_ * mesh_ * mesh_;
   const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
@@ -172,18 +205,25 @@ void InterpMatrix::spread(std::span<const double> f, double* fx, double* fy,
       const std::uint32_t id = blocks[bi];
       std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
       double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      [[maybe_unused]] Real rbuf[kMaxOrder * kMaxOrder * kMaxOrder];
       for (std::uint32_t u = block_start_[id]; u < block_start_[id + 1];
            ++u) {
         const std::size_t i = block_particles_[u];
         const std::uint32_t* cols;
-        const double* vals;
+        const Real* vals;
         if (precompute_) {
           cols = cols_.data() + i * p3;
-          vals = vals_.data() + i * p3;
+          vals = stored_vals<Real>() + i * p3;
         } else {
           compute_row(i, cbuf, vbuf);
           cols = cbuf;
-          vals = vbuf;
+          if constexpr (std::is_same_v<Real, float>) {
+            for (std::size_t t = 0; t < p3; ++t)
+              rbuf[t] = static_cast<float>(vbuf[t]);
+            vals = rbuf;
+          } else {
+            vals = vbuf;
+          }
         }
         const double f0 = f[3 * i], f1 = f[3 * i + 1], f2 = f[3 * i + 2];
         for (std::size_t t = 0; t < p3; ++t) {
@@ -200,21 +240,38 @@ void InterpMatrix::spread(std::span<const double> f, double* fx, double* fy,
 
 void InterpMatrix::interpolate(const double* ux, const double* uy,
                                const double* uz, std::span<double> u) const {
+  if (precision_ == Precision::fp32)
+    interpolate_impl<float>(ux, uy, uz, u);
+  else
+    interpolate_impl<double>(ux, uy, uz, u);
+}
+
+template <class Real>
+void InterpMatrix::interpolate_impl(const double* ux, const double* uy,
+                                    const double* uz,
+                                    std::span<double> u) const {
   HBD_CHECK(u.size() == 3 * n_);
   const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < n_; ++i) {
     std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
     double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+    [[maybe_unused]] Real rbuf[kMaxOrder * kMaxOrder * kMaxOrder];
     const std::uint32_t* cols;
-    const double* vals;
+    const Real* vals;
     if (precompute_) {
       cols = cols_.data() + i * p3;
-      vals = vals_.data() + i * p3;
+      vals = stored_vals<Real>() + i * p3;
     } else {
       compute_row(i, cbuf, vbuf);
       cols = cbuf;
-      vals = vbuf;
+      if constexpr (std::is_same_v<Real, float>) {
+        for (std::size_t t = 0; t < p3; ++t)
+          rbuf[t] = static_cast<float>(vbuf[t]);
+        vals = rbuf;
+      } else {
+        vals = vbuf;
+      }
     }
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
     for (std::size_t t = 0; t < p3; ++t) {
@@ -231,7 +288,17 @@ void InterpMatrix::interpolate(const double* ux, const double* uy,
 }
 
 void InterpMatrix::spread_block(const Matrix& f, double* mesh_batch) const {
+  if (precision_ == Precision::fp32)
+    spread_block_impl<float>(f, mesh_batch);
+  else
+    spread_block_impl<double>(f, mesh_batch);
+}
+
+template <class Real>
+void InterpMatrix::spread_block_impl(const Matrix& f,
+                                     double* mesh_batch) const {
   HBD_CHECK(f.rows() == 3 * n_);
+  HBD_ASSERT_ALIGNED(mesh_batch);
   const std::size_t s = f.cols();
   const std::size_t b = 3 * s;
   const std::size_t m3 = mesh_ * mesh_ * mesh_;
@@ -253,18 +320,25 @@ void InterpMatrix::spread_block(const Matrix& f, double* mesh_batch) const {
         const std::uint32_t id = blocks[bi];
         std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
         double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+        [[maybe_unused]] Real rbuf[kMaxOrder * kMaxOrder * kMaxOrder];
         for (std::uint32_t u = block_start_[id]; u < block_start_[id + 1];
              ++u) {
           const std::size_t i = block_particles_[u];
           const std::uint32_t* cols;
-          const double* vals;
+          const Real* vals;
           if (precompute_) {
             cols = cols_.data() + i * p3;
-            vals = vals_.data() + i * p3;
+            vals = stored_vals<Real>() + i * p3;
           } else {
             compute_row(i, cbuf, vbuf);
             cols = cbuf;
-            vals = vbuf;
+            if constexpr (std::is_same_v<Real, float>) {
+              for (std::size_t t = 0; t < p3; ++t)
+                rbuf[t] = static_cast<float>(vbuf[t]);
+              vals = rbuf;
+            } else {
+              vals = vbuf;
+            }
           }
           for (int c = 0; c < 3; ++c) {
             const double* frow = fd + (3 * i + c) * s;
@@ -273,8 +347,7 @@ void InterpMatrix::spread_block(const Matrix& f, double* mesh_batch) const {
           for (std::size_t t = 0; t < p3; ++t) {
             double* dst = mesh_batch + static_cast<std::size_t>(cols[t]) * b;
             const double w = vals[t];
-#pragma omp simd
-            for (std::size_t q = 0; q < b; ++q) dst[q] += w * fv[q];
+            simd::axpy(dst, w, fv.data(), b);
           }
         }
       }
@@ -284,7 +357,17 @@ void InterpMatrix::spread_block(const Matrix& f, double* mesh_batch) const {
 
 void InterpMatrix::interpolate_block(const double* mesh_batch, Matrix& u,
                                      bool accumulate) const {
+  if (precision_ == Precision::fp32)
+    interpolate_block_impl<float>(mesh_batch, u, accumulate);
+  else
+    interpolate_block_impl<double>(mesh_batch, u, accumulate);
+}
+
+template <class Real>
+void InterpMatrix::interpolate_block_impl(const double* mesh_batch, Matrix& u,
+                                          bool accumulate) const {
   HBD_CHECK(u.rows() == 3 * n_);
+  HBD_ASSERT_ALIGNED(mesh_batch);
   const std::size_t s = u.cols();
   const std::size_t b = 3 * s;
   const std::size_t p3 = static_cast<std::size_t>(order_) * order_ * order_;
@@ -297,23 +380,29 @@ void InterpMatrix::interpolate_block(const double* mesh_batch, Matrix& u,
     for (std::size_t i = 0; i < n_; ++i) {
       std::uint32_t cbuf[kMaxOrder * kMaxOrder * kMaxOrder];
       double vbuf[kMaxOrder * kMaxOrder * kMaxOrder];
+      [[maybe_unused]] Real rbuf[kMaxOrder * kMaxOrder * kMaxOrder];
       const std::uint32_t* cols;
-      const double* vals;
+      const Real* vals;
       if (precompute_) {
         cols = cols_.data() + i * p3;
-        vals = vals_.data() + i * p3;
+        vals = stored_vals<Real>() + i * p3;
       } else {
         compute_row(i, cbuf, vbuf);
         cols = cbuf;
-        vals = vbuf;
+        if constexpr (std::is_same_v<Real, float>) {
+          for (std::size_t t = 0; t < p3; ++t)
+            rbuf[t] = static_cast<float>(vbuf[t]);
+          vals = rbuf;
+        } else {
+          vals = vbuf;
+        }
       }
       std::fill(sv.begin(), sv.end(), 0.0);
       for (std::size_t t = 0; t < p3; ++t) {
         const double* src =
             mesh_batch + static_cast<std::size_t>(cols[t]) * b;
         const double w = vals[t];
-#pragma omp simd
-        for (std::size_t q = 0; q < b; ++q) sv[q] += w * src[q];
+        simd::axpy(sv.data(), w, src, b);
       }
       for (int c = 0; c < 3; ++c) {
         double* urow = ud + (3 * i + c) * s;
@@ -329,7 +418,7 @@ void InterpMatrix::interpolate_block(const double* mesh_batch, Matrix& u,
 
 std::size_t InterpMatrix::bytes() const {
   return cols_.size() * sizeof(std::uint32_t) + vals_.size() * sizeof(double) +
-         pos_.size() * sizeof(Vec3) +
+         vals_f_.size() * sizeof(float) + pos_.size() * sizeof(Vec3) +
          block_particles_.size() * sizeof(std::uint32_t) +
          block_start_.size() * sizeof(std::uint32_t);
 }

@@ -10,6 +10,12 @@
 //   * on-the-fly  — only positions are kept and weights/columns are
 //     recomputed during every spread/interpolate.
 //
+// The stored weight stream can be FP32 (Precision::fp32): weights are
+// computed in double and rounded once on store (on-the-fly mode rounds the
+// freshly computed row the same way, so both modes stay bit-identical), and
+// every spread/interpolate accumulator stays double.  Per nonzero this cuts
+// the streamed bytes from 12 (4 B column + 8 B value) to 8.
+//
 // Spreading is parallelized by independent sets: the mesh is cut into cubic
 // blocks of side ≥ p; blocks whose coordinates have equal parities form one
 // of 8 sets, and supports anchored in distinct blocks of one set cannot
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/precision.hpp"
 #include "common/vec3.hpp"
 #include "linalg/dense_matrix.hpp"
 
@@ -40,7 +47,8 @@ class InterpMatrix {
   /// mode).
   InterpMatrix(std::span<const Vec3> pos, double box, std::size_t mesh,
                int order, bool precompute = true,
-               InterpKind kind = InterpKind::bspline);
+               InterpKind kind = InterpKind::bspline,
+               Precision precision = Precision::fp64);
 
   /// Recomputes the weights and the independent-set schedule for new
   /// positions of the same particles, reusing all internal storage — no
@@ -52,6 +60,7 @@ class InterpMatrix {
   std::size_t mesh() const { return mesh_; }
   int order() const { return order_; }
   bool precomputed() const { return precompute_; }
+  Precision precision() const { return precision_; }
 
   /// F_θ += spreading of f (interleaved 3n forces) onto the three K³ mesh
   /// arrays.  The meshes are zeroed first (paper Sec. IV-B.2).
@@ -90,6 +99,20 @@ class InterpMatrix {
  private:
   void compute_row(std::size_t i, std::uint32_t* cols, double* vals) const;
 
+  template <class Real>
+  const Real* stored_vals() const;
+  template <class Real>
+  void spread_impl(std::span<const double> f, double* fx, double* fy,
+                   double* fz) const;
+  template <class Real>
+  void interpolate_impl(const double* ux, const double* uy, const double* uz,
+                        std::span<double> u) const;
+  template <class Real>
+  void spread_block_impl(const Matrix& f, double* mesh_batch) const;
+  template <class Real>
+  void interpolate_block_impl(const double* mesh_batch, Matrix& u,
+                              bool accumulate) const;
+
   long base_index(double u) const;
 
   std::size_t n_;
@@ -97,13 +120,16 @@ class InterpMatrix {
   int order_;
   bool precompute_;
   InterpKind kind_;
+  Precision precision_;
   double scale_;  // K / L: position → scaled fractional coordinate
 
   std::vector<Vec3> pos_;  // kept for on-the-fly mode (and rebuilds)
 
   // Precomputed rows (empty in on-the-fly mode): p³ entries per particle.
+  // Exactly one of vals_/vals_f_ is populated, per precision_.
   aligned_vector<std::uint32_t> cols_;
   aligned_vector<double> vals_;
+  aligned_vector<float> vals_f_;
 
   // Independent-set schedule: for each of the 8 parity classes, the blocks
   // it owns; each block lists its particles.  nsets_ == 1 means the serial

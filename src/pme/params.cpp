@@ -18,10 +18,12 @@ std::size_t nice_fft_size(std::size_t target) {
 }
 
 PmeParams choose_pme_params(double box, double radius, double ep_target,
-                            double rmax_in_radii, int order) {
+                            double rmax_in_radii, int order,
+                            Precision precision) {
   HBD_CHECK(ep_target > 0.0 && ep_target < 1.0);
   PmeParams p;
   p.order = order;
+  p.precision = precision;
   p.rmax = std::min(rmax_in_radii * radius, 0.5 * box);
 
   // Real-space truncation: leading decay exp(−ξ²r²); converge to ~ep/10.

@@ -21,9 +21,13 @@ std::size_t nice_fft_size(std::size_t target);
 /// Chooses PME parameters for n particles of radius `radius` in a cubic box
 /// of width `box`, targeting PME relative error ≈ `ep_target`.
 /// `rmax_in_radii` fixes the real-space cutoff (in particle radii); the
-/// splitting ξ and mesh K follow from the error target.
+/// splitting ξ and mesh K follow from the error target.  `precision` is
+/// forwarded into the returned params: FP32 storage adds a value-rounding
+/// error floor of order 1e-7 per stream, far below any reachable ep_target,
+/// so the mesh/ξ selection itself is precision-independent.
 PmeParams choose_pme_params(double box, double radius, double ep_target,
-                            double rmax_in_radii = 5.0, int order = 6);
+                            double rmax_in_radii = 5.0, int order = 6,
+                            Precision precision = Precision::fp64);
 
 /// Box width for n particles of radius a at volume fraction phi:
 /// phi = n·(4/3)πa³ / L³.

@@ -16,11 +16,15 @@ PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
       radius_(radius),
       params_(params),
       real_(neighbors ? RealspaceOperator(box, radius, params.xi, params.rmax,
-                                          std::move(neighbors), params.storage)
+                                          std::move(neighbors), params.storage,
+                                          params.precision,
+                                          params.sym_degree_threshold)
                       : RealspaceOperator(box, radius, params.xi, params.rmax,
-                                          params.skin, params.storage)),
+                                          params.skin, params.storage,
+                                          params.precision,
+                                          params.sym_degree_threshold)),
       interp_(pos, box, params.mesh, params.order, params.precompute_interp,
-              params.interp),
+              params.interp, params.precision),
       influence_(params.mesh, box, radius, params.xi, params.order,
                  params.interp == InterpKind::bspline),
       fft_(params.mesh, params.mesh, params.mesh) {
@@ -64,15 +68,19 @@ std::uint64_t PmeOperator::spread_traffic_bytes(std::size_t s) const {
                     static_cast<double>(params_.order) *
                     static_cast<double>(params_.order);
   const double sd = static_cast<double>(s);
+  // Per nonzero of P: a 4 B column index plus one sizeof(Real) weight; the
+  // mesh itself stays FP64 (it feeds the FFT directly).
+  const double pnz = 4.0 + static_cast<double>(value_bytes(params_.precision));
   return static_cast<std::uint64_t>(
-      24.0 * sd * k3 + (12.0 + 24.0 * sd) * p3 * static_cast<double>(n_));
+      24.0 * sd * k3 + (pnz + 24.0 * sd) * p3 * static_cast<double>(n_));
 }
 
 std::uint64_t PmeOperator::interp_traffic_bytes(std::size_t s) const {
   const double p3 = static_cast<double>(params_.order) *
                     static_cast<double>(params_.order) *
                     static_cast<double>(params_.order);
-  return static_cast<std::uint64_t>((12.0 + 24.0 * static_cast<double>(s)) *
+  const double pnz = 4.0 + static_cast<double>(value_bytes(params_.precision));
+  return static_cast<std::uint64_t>((pnz + 24.0 * static_cast<double>(s)) *
                                     p3 * static_cast<double>(n_));
 }
 

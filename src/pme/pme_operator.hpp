@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 
+#include "common/precision.hpp"
 #include "common/timer.hpp"
 #include "common/vec3.hpp"
 #include "fft/fft.hpp"
@@ -50,6 +51,19 @@ struct PmeParams {
   /// rebuild (NeighborList::enable_auto_skin).  Same ownership caveat.
   bool auto_skin = false;
   double auto_skin_interval = 64.0;
+  /// Storage precision of the near-field block values and interpolation
+  /// weights (accumulation is always FP64).  FP32 halves the value stream
+  /// of the bandwidth-bound phases; runs are gated by the e_p health
+  /// probes.  A build with -DHBD_FP32_DEFAULT=ON flips the default.
+#ifdef HBD_FP32_DEFAULT
+  Precision precision = Precision::fp32;
+#else
+  Precision precision = Precision::fp64;
+#endif
+  /// Symmetric-storage hybrid coloring: rows with logical off-diagonal
+  /// degree below this threshold skip the colored schedule and stream
+  /// duplicated (0 = color every row, the historical schedule).
+  std::size_t sym_degree_threshold = 0;
 };
 
 class PmeOperator {

@@ -11,6 +11,12 @@
 // each off-diagonal block and its transpose in one colored, deterministic
 // pass — half the matrix traffic of the SpMV/SpMM kernels that bound
 // throughput under the Eq. 10 model.
+//
+// Orthogonally to the storage mode, the block values can be held in FP32
+// (Precision::fp32): blocks are still assembled in double and rounded once
+// on store, and the product kernels accumulate in double, so only the
+// streamed value bytes narrow — 40 B per block instead of 76 B.  The FP64
+// default is bitwise identical to the historical operator.
 #pragma once
 
 #include <memory>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "common/neighbor_list.hpp"
+#include "common/precision.hpp"
 #include "common/vec3.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "sparse/bcsr3.hpp"
@@ -47,32 +54,48 @@ class RealspaceOperator {
   /// any motion, matrix identical to the one-shot build).
   RealspaceOperator(double box, double radius, double xi, double rmax,
                     double skin = 0.0,
-                    NearFieldStorage storage = NearFieldStorage::full);
+                    NearFieldStorage storage = NearFieldStorage::full,
+                    Precision precision = Precision::fp64,
+                    std::size_t sym_degree_threshold = 0);
 
   /// Shares `neighbors` with other consumers (steric forces, diagnostics).
   /// Its cutoff must be ≥ rmax and its box must match.
   RealspaceOperator(double box, double radius, double xi, double rmax,
                     std::shared_ptr<NeighborList> neighbors,
-                    NearFieldStorage storage = NearFieldStorage::full);
+                    NearFieldStorage storage = NearFieldStorage::full,
+                    Precision precision = Precision::fp64,
+                    std::size_t sym_degree_threshold = 0);
 
   /// Revalidates the neighbor list for `pos` and recomputes the matrix
   /// values in place (pattern rebuilt only when the list rebuilt).
   void refresh(std::span<const Vec3> pos);
 
   NearFieldStorage storage() const { return storage_; }
+  Precision precision() const { return precision_; }
+  /// Hybrid-coloring degree threshold forwarded to symmetric storage
+  /// (0: fully colored, the historical schedule).
+  std::size_t sym_degree_threshold() const { return sym_degree_threshold_; }
+  /// Fraction of block rows in the colored schedule — 1.0 for full storage
+  /// or fully-colored symmetric storage.
+  double colored_fraction() const;
 
   /// u = M_real f (includes the self term); storage-mode dispatching.
   void apply(std::span<const double> f, std::span<double> u) const;
   /// U = M_real F for row-major 3n×s blocks.
   void apply_block(const Matrix& f, Matrix& u) const;
 
-  /// Full-stored matrix — valid in NearFieldStorage::full mode only.
+  /// Full-stored matrix — valid in full/fp64 mode only.
   const Bcsr3Matrix& matrix() const;
-  /// Half-stored matrix — valid in NearFieldStorage::symmetric mode only.
+  /// Half-stored matrix — valid in symmetric/fp64 mode only.
   const SymBcsr3Matrix& sym_matrix() const;
+  /// Full-stored FP32 matrix — valid in full/fp32 mode only.
+  const Bcsr3MatrixF& matrix_f() const;
+  /// Half-stored FP32 matrix — valid in symmetric/fp32 mode only.
+  const SymBcsr3MatrixF& sym_matrix_f() const;
 
-  /// Extracts a full-stored copy of the operator, consuming *this.  Both
-  /// storage modes round-trip: symmetric storage mirrors its upper blocks.
+  /// Extracts a full-stored FP64 copy of the operator, consuming *this.
+  /// Both storage modes round-trip (symmetric storage mirrors its upper
+  /// blocks); fp32 values are widened exactly.
   Bcsr3Matrix take_matrix() &&;
 
   /// Dense 3n×3n copy for testing, either storage mode.
@@ -84,7 +107,8 @@ class RealspaceOperator {
   std::size_t stored_nnz_blocks() const;
   /// Resident bytes of the stored matrix (values + column indices).
   std::size_t bytes() const {
-    return stored_nnz_blocks() * (9 * sizeof(double) + sizeof(std::uint32_t));
+    return stored_nnz_blocks() *
+           (9 * value_bytes(precision_) + sizeof(std::uint32_t));
   }
 
   const NeighborList& neighbors() const { return *neighbors_; }
@@ -102,15 +126,24 @@ class RealspaceOperator {
  private:
   void rebuild_pattern();
   void refresh_values(std::span<const Vec3> pos);
+  template <class Real>
+  void rebuild_pattern_for(Bcsr3MatrixT<Real>& full, SymBcsr3MatrixT<Real>& sym);
+  template <class Real>
+  void refresh_values_for(std::span<const Vec3> pos, Bcsr3MatrixT<Real>& full,
+                          SymBcsr3MatrixT<Real>& sym);
   /// Computes the 3×3 block for one pair at displacement rij (r2 = |rij|²),
   /// or zero when the pair lies in the skin shell.
   void pair_block(const Vec3& rij, double r2, double* b) const;
 
   double box_, radius_, xi_, rmax_;
   NearFieldStorage storage_;
+  Precision precision_;
+  std::size_t sym_degree_threshold_;
   std::shared_ptr<NeighborList> neighbors_;
-  Bcsr3Matrix matrix_;      // full mode
-  SymBcsr3Matrix sym_;      // symmetric mode
+  Bcsr3Matrix matrix_;      // full / fp64
+  SymBcsr3Matrix sym_;      // symmetric / fp64
+  Bcsr3MatrixF matrix_f_;   // full / fp32
+  SymBcsr3MatrixF sym_f_;   // symmetric / fp32
   std::vector<std::size_t> row_counts_;   // pattern-build scratch
   std::uint64_t pattern_generation_ = 0;  // neighbors_->build_count() mirrored
   std::size_t pattern_builds_ = 0;

@@ -5,15 +5,17 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace hbd {
 
-Bcsr3Matrix Bcsr3Matrix::from_blocks(
+template <class Real>
+Bcsr3MatrixT<Real> Bcsr3MatrixT<Real>::from_blocks(
     std::size_t nblock,
     const std::vector<std::vector<std::uint32_t>>& block_cols,
     const std::vector<std::vector<std::array<double, 9>>>& blocks) {
   HBD_CHECK(block_cols.size() == nblock && blocks.size() == nblock);
-  Bcsr3Matrix m;
+  Bcsr3MatrixT m;
   m.nblock_ = nblock;
   m.row_ptr_.assign(nblock + 1, 0);
   std::size_t total = 0;
@@ -40,16 +42,17 @@ Bcsr3Matrix Bcsr3Matrix::from_blocks(
     std::size_t t = m.row_ptr_[i];
     for (std::size_t k : order) {
       m.col_idx_[t] = block_cols[i][k];
-      std::copy(blocks[i][k].begin(), blocks[i][k].end(),
-                m.values_.begin() + 9 * t);
+      for (int q = 0; q < 9; ++q)
+        m.values_[9 * t + q] = static_cast<Real>(blocks[i][k][q]);
       ++t;
     }
   }
   return m;
 }
 
-void Bcsr3Matrix::resize_pattern(std::size_t nblock,
-                                 std::span<const std::size_t> row_counts) {
+template <class Real>
+void Bcsr3MatrixT<Real>::resize_pattern(std::size_t nblock,
+                                        std::span<const std::size_t> row_counts) {
   HBD_CHECK(row_counts.size() == nblock);
   nblock_ = nblock;
   row_ptr_.resize(nblock + 1);
@@ -57,17 +60,19 @@ void Bcsr3Matrix::resize_pattern(std::size_t nblock,
   for (std::size_t i = 0; i < nblock; ++i)
     row_ptr_[i + 1] = row_ptr_[i] + row_counts[i];
   col_idx_.resize(row_ptr_[nblock]);
-  values_.assign(9 * row_ptr_[nblock], 0.0);
+  values_.assign(9 * row_ptr_[nblock], Real(0));
 }
 
-void Bcsr3Matrix::multiply(std::span<const double> x,
-                           std::span<double> y) const {
+template <class Real>
+void Bcsr3MatrixT<Real>::multiply(std::span<const double> x,
+                                  std::span<double> y) const {
   HBD_CHECK(x.size() == rows() && y.size() == rows());
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::size_t i = 0; i < nblock_; ++i) {
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    double bw[9];
     for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
-      const double* b = values_.data() + 9 * t;
+      const double* b = simd::load_block9(values_.data() + 9 * t, bw);
       const double* xj = x.data() + 3 * col_idx_[t];
       s0 += b[0] * xj[0] + b[1] * xj[1] + b[2] * xj[2];
       s1 += b[3] * xj[0] + b[4] * xj[1] + b[5] * xj[2];
@@ -79,7 +84,8 @@ void Bcsr3Matrix::multiply(std::span<const double> x,
   }
 }
 
-void Bcsr3Matrix::multiply_block(const Matrix& x, Matrix& y) const {
+template <class Real>
+void Bcsr3MatrixT<Real>::multiply_block(const Matrix& x, Matrix& y) const {
   HBD_CHECK(x.rows() == rows() && y.rows() == rows() && x.cols() == y.cols());
   const std::size_t s = x.cols();
 #pragma omp parallel for schedule(dynamic, 64)
@@ -89,26 +95,21 @@ void Bcsr3Matrix::multiply_block(const Matrix& x, Matrix& y) const {
     double* y2 = y1 + s;
     std::fill(y0, y0 + 3 * s, 0.0);
     for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
-      const double* b = values_.data() + 9 * t;
+      const Real* b = values_.data() + 9 * t;
       const double* xj = x.data() + (3 * col_idx_[t]) * s;
       const double* xj1 = xj + s;
       const double* xj2 = xj1 + s;
-#pragma omp simd
-      for (std::size_t r = 0; r < s; ++r) {
-        const double v0 = xj[r], v1 = xj1[r], v2 = xj2[r];
-        y0[r] += b[0] * v0 + b[1] * v1 + b[2] * v2;
-        y1[r] += b[3] * v0 + b[4] * v1 + b[5] * v2;
-        y2[r] += b[6] * v0 + b[7] * v1 + b[8] * v2;
-      }
+      simd::block3_fma(b, xj, xj1, xj2, y0, y1, y2, s);
     }
   }
 }
 
-Matrix Bcsr3Matrix::to_dense() const {
+template <class Real>
+Matrix Bcsr3MatrixT<Real>::to_dense() const {
   Matrix d(rows(), rows());
   for (std::size_t i = 0; i < nblock_; ++i) {
     for (std::size_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
-      const double* b = values_.data() + 9 * t;
+      const Real* b = values_.data() + 9 * t;
       const std::size_t j = col_idx_[t];
       for (int r = 0; r < 3; ++r)
         for (int c = 0; c < 3; ++c) d(3 * i + r, 3 * j + c) = b[3 * r + c];
@@ -116,5 +117,8 @@ Matrix Bcsr3Matrix::to_dense() const {
   }
   return d;
 }
+
+template class Bcsr3MatrixT<double>;
+template class Bcsr3MatrixT<float>;
 
 }  // namespace hbd

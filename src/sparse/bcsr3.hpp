@@ -3,6 +3,13 @@
 // components of each particle pair, so blocks are dense 3×3; products are
 // provided for one vector and for a block of vectors (multiple right-hand
 // sides, paper ref. [24]).
+//
+// The container is templated over the stored value type `Real`:
+// Bcsr3MatrixT<double> is the historical (bitwise-unchanged) format, while
+// Bcsr3MatrixT<float> halves the streamed bytes per block for the
+// bandwidth-bound product kernels.  Accumulation is always double — stored
+// values are widened before every multiply-add — so narrowing the storage
+// never narrows a partial sum.
 #pragma once
 
 #include <array>
@@ -16,14 +23,17 @@
 namespace hbd {
 
 /// Sparse matrix of 3×3 blocks over an n×n block grid (3n×3n scalar size).
-class Bcsr3Matrix {
+template <class Real>
+class Bcsr3MatrixT {
  public:
-  Bcsr3Matrix() = default;
+  Bcsr3MatrixT() = default;
 
   /// Assembles from per-row block lists.  `block_cols[i]` are the block
   /// column indices of block row i (need not be sorted) and
-  /// `blocks[i][k]` the 9 row-major entries of that block.
-  static Bcsr3Matrix from_blocks(
+  /// `blocks[i][k]` the 9 row-major entries of that block.  Blocks are
+  /// always produced in double; they are rounded once on store when
+  /// Real is float.
+  static Bcsr3MatrixT from_blocks(
       std::size_t nblock,
       const std::vector<std::vector<std::uint32_t>>& block_cols,
       const std::vector<std::vector<std::array<double, 9>>>& blocks);
@@ -34,7 +44,7 @@ class Bcsr3Matrix {
 
   std::span<const std::size_t> row_ptr() const { return row_ptr_; }
   std::span<const std::uint32_t> col_idx() const { return col_idx_; }
-  std::span<const double> values() const { return values_; }
+  std::span<const Real> values() const { return values_; }
 
   /// Reshapes the matrix to hold `row_counts[i]` blocks in block row i,
   /// reusing the existing storage — no allocation when the new pattern fits
@@ -47,7 +57,7 @@ class Bcsr3Matrix {
   std::span<std::uint32_t> col_idx_mut() {
     return {col_idx_.data(), col_idx_.size()};
   }
-  std::span<double> values_mut() { return {values_.data(), values_.size()}; }
+  std::span<Real> values_mut() { return {values_.data(), values_.size()}; }
 
   /// y = A x for a single interleaved vector (x0 y0 z0 x1 y1 z1 …).
   void multiply(std::span<const double> x, std::span<double> y) const;
@@ -62,9 +72,15 @@ class Bcsr3Matrix {
 
  private:
   std::size_t nblock_ = 0;
-  std::vector<std::size_t> row_ptr_;     // per block row
+  std::vector<std::size_t> row_ptr_;       // per block row
   aligned_vector<std::uint32_t> col_idx_;  // block column indices
-  aligned_vector<double> values_;          // 9 doubles per block, row-major
+  aligned_vector<Real> values_;            // 9 values per block, row-major
 };
+
+extern template class Bcsr3MatrixT<double>;
+extern template class Bcsr3MatrixT<float>;
+
+using Bcsr3Matrix = Bcsr3MatrixT<double>;   // historical FP64 format
+using Bcsr3MatrixF = Bcsr3MatrixT<float>;   // mixed-precision storage
 
 }  // namespace hbd

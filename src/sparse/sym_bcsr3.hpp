@@ -14,6 +14,21 @@
 // any y_j and colors execute in a fixed order, the floating-point
 // accumulation order is a function of the pattern alone — results are
 // bitwise identical for any thread count.
+//
+// Hybrid mode (degree_threshold > 0): coloring constrains the whole matrix
+// to the sparsest row's parallelism even though only high-degree rows repay
+// the scheduling overhead.  Rows whose logical off-diagonal degree is below
+// the threshold are excluded from the schedule; a block is processed in the
+// colored scatter pass only when BOTH its endpoints are colored, and every
+// other block is streamed a second time in a row-parallel "duplicated" pass
+// that accumulates strictly into its own row (disjoint writes, no coloring
+// needed).  The threshold trades streamed bytes (duplicated blocks count
+// twice) against scheduling overhead; threshold 0 keeps the historical
+// fully-colored kernels bitwise verbatim.
+//
+// Like Bcsr3MatrixT, the container is templated over the stored value type:
+// SymBcsr3MatrixT<float> halves the value stream while every accumulator
+// stays double.
 #pragma once
 
 #include <array>
@@ -29,18 +44,20 @@ namespace hbd {
 
 /// Sparse symmetric matrix of 3×3 blocks over an n×n block grid, storing
 /// only the upper triangle (block col ≥ block row).
-class SymBcsr3Matrix {
+template <class Real>
+class SymBcsr3MatrixT {
  public:
-  SymBcsr3Matrix() = default;
+  SymBcsr3MatrixT() = default;
 
   /// Assembles from per-row upper-triangle block lists: `block_cols[i]`
   /// must only contain columns ≥ i (need not be sorted) and `blocks[i][k]`
   /// the 9 row-major entries.  Diagonal blocks must be symmetric for the
   /// logical matrix to be symmetric (not checked).
-  static SymBcsr3Matrix from_blocks(
+  static SymBcsr3MatrixT from_blocks(
       std::size_t nblock,
       const std::vector<std::vector<std::uint32_t>>& block_cols,
-      const std::vector<std::vector<std::array<double, 9>>>& blocks);
+      const std::vector<std::vector<std::array<double, 9>>>& blocks,
+      std::size_t degree_threshold = 0);
 
   std::size_t block_rows() const { return nblock_; }
   std::size_t rows() const { return 3 * nblock_; }
@@ -55,13 +72,45 @@ class SymBcsr3Matrix {
     return color_ptr_.empty() ? 0 : color_ptr_.size() - 1;
   }
 
+  /// Minimum logical off-diagonal degree for a row to join the colored
+  /// schedule; 0 selects the historical fully-colored kernels.  Takes
+  /// effect at the next finalize_pattern() (re-runs it when the pattern is
+  /// already live).
+  void set_degree_threshold(std::size_t threshold);
+  std::size_t degree_threshold() const { return degree_threshold_; }
+  /// Fraction of block rows handled by the colored schedule (1.0 when the
+  /// hybrid fallback is inactive).  Recorded in metrics and the manifest.
+  double mean_colored_fraction() const;
+  /// True when some rows fell back to duplicated streaming.
+  bool is_hybrid() const { return hybrid_; }
+  /// Entries of the duplicated pass (each streams one block's 9 values).
+  std::size_t duplicated_entries() const { return dup_idx_.size(); }
+  /// Blocks streamed per product: stored once each when fully colored;
+  /// unscheduled blocks stream once per side they touch in hybrid mode.
+  std::size_t streamed_blocks() const {
+    return hybrid_ ? sched_blocks_.size() + dup_idx_.size() : stored_blocks();
+  }
+
   std::span<const std::size_t> row_ptr() const { return row_ptr_; }
   std::span<const std::uint32_t> col_idx() const { return col_idx_; }
-  std::span<const double> values() const { return values_; }
+  /// Stored block values in *schedule* order: rows appear in the order the
+  /// colored multiply visits them (colors in sequence, then any uncolored
+  /// hybrid rows), so the kernels stream this array front to back and the
+  /// hardware prefetcher stays engaged — in CSR row order the color
+  /// interleave would turn the dominant value stream into scattered ~600 B
+  /// reads.  Block t of row i lives at 9*(phys_row_start()[i] + t -
+  /// row_ptr()[i]); within a row blocks keep their CSR (ascending-column)
+  /// order.
+  std::span<const Real> values() const {
+    return {values_.data(), 9 * col_idx_.size()};
+  }
+  /// Physical start (in blocks, into values()) of each block row.
+  std::span<const std::size_t> phys_row_start() const { return prow_; }
 
   /// Color schedule: rows of color c are
   /// color_rows()[color_ptr()[c] .. color_ptr()[c+1]), ascending.  Rows of
-  /// one color have pairwise disjoint write sets (tested invariant).
+  /// one color have pairwise disjoint write sets (tested invariant).  In
+  /// hybrid mode only colored rows appear.
   std::span<const std::size_t> color_ptr() const { return color_ptr_; }
   std::span<const std::uint32_t> color_rows() const { return color_rows_; }
 
@@ -75,11 +124,14 @@ class SymBcsr3Matrix {
   std::span<std::uint32_t> col_idx_mut() {
     return {col_idx_.data(), col_idx_.size()};
   }
-  std::span<double> values_mut() { return {values_.data(), values_.size()}; }
+  std::span<Real> values_mut() {
+    return {values_.data(), 9 * col_idx_.size()};
+  }
 
   /// Validates the written pattern (sorted upper-triangle columns) and
-  /// rebuilds the greedy row coloring.  Must be called after resize_pattern
-  /// + column writes and before multiply()/multiply_block().
+  /// rebuilds the greedy row coloring (plus the hybrid schedule when a
+  /// degree threshold is set).  Must be called after resize_pattern +
+  /// column writes and before multiply()/multiply_block().
   void finalize_pattern();
 
   /// y = A x for one interleaved vector, A the full symmetric operator.
@@ -92,18 +144,41 @@ class SymBcsr3Matrix {
   Matrix to_dense() const;
 
   /// Full-stored copy (both triangles) — the take_matrix() interop path.
-  Bcsr3Matrix to_full() const;
+  Bcsr3MatrixT<Real> to_full() const;
 
  private:
   std::size_t nblock_ = 0;
   std::size_t diag_blocks_ = 0;
   std::vector<std::size_t> row_ptr_;       // per block row
   aligned_vector<std::uint32_t> col_idx_;  // block cols, ascending, ≥ row
-  aligned_vector<double> values_;          // 9 doubles per block, row-major
+  aligned_vector<Real> values_;            // 9 per block, schedule-ordered
+  std::vector<std::size_t> prow_;          // physical row starts in values_
+  bool values_stale_ = false;              // values_ zeroed, skip relayout
 
   // Color schedule: rows grouped by color, colors executed in order.
   std::vector<std::size_t> color_ptr_;     // per color into color_rows_
   std::vector<std::uint32_t> color_rows_;  // rows, ascending within a color
+
+  // Hybrid schedule (empty unless hybrid_): per colored row the blocks it
+  // may scatter (both endpoints colored), and per row the duplicated
+  // contributions it gathers on its own (value index + source block
+  // row/col, transpose contributions flagged in the high bit).
+  std::size_t degree_threshold_ = 0;
+  bool hybrid_ = false;
+  std::vector<std::uint8_t> colored_;      // per row: in the colored schedule?
+  std::vector<std::size_t> sched_ptr_;     // per row into sched_blocks_
+  std::vector<std::uint32_t> sched_blocks_;  // value indices, ascending
+  std::vector<std::size_t> dup_ptr_;       // per row into dup_idx_/dup_col_
+  std::vector<std::uint32_t> dup_idx_;     // physical value index of the block
+  std::vector<std::uint32_t> dup_col_;     // source block index | kDupTranspose
+
+  static constexpr std::uint32_t kDupTranspose = 0x80000000u;
+
+  // Zeroed slack elements kept after the last block so the FP32 SpMV kernel
+  // may load each 3-value block row with a 4-wide vector load (the read
+  // past b[8] lands in the next block or this padding, never out of
+  // bounds).  values()/values_mut() spans exclude it.
+  static constexpr std::size_t kValuePad = 8;
 
   // Coloring scratch, reused across finalize_pattern() calls: CSC transpose
   // of the upper pattern (writers of each column) and stamp-based forbidden
@@ -114,5 +189,11 @@ class SymBcsr3Matrix {
   std::vector<std::uint32_t> color_stamp_; // per color: last row that
                                            // forbade it (stamp = row + 1)
 };
+
+extern template class SymBcsr3MatrixT<double>;
+extern template class SymBcsr3MatrixT<float>;
+
+using SymBcsr3Matrix = SymBcsr3MatrixT<double>;   // historical FP64 format
+using SymBcsr3MatrixF = SymBcsr3MatrixT<float>;   // mixed-precision storage
 
 }  // namespace hbd

@@ -605,6 +605,116 @@ TEST(Params, ChosenParamsHitTarget) {
 }
 
 
+// ---- FP32 storage mode ------------------------------------------------------
+
+TEST(Fp32Pme, MatchesFp64WithinRounding) {
+  const std::size_t n = 40;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 211);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  PmeOperator p64(pos, box, a, pp);
+  pp.precision = Precision::fp32;
+  PmeOperator p32(pos, box, a, pp);
+  std::vector<double> f(3 * n), u64(3 * n), u32(3 * n);
+  Xoshiro256 rng(212);
+  fill_gaussian(rng, f);
+  p64.apply(f, u64);
+  p32.apply(f, u32);
+  std::vector<double> diff(3 * n);
+  for (std::size_t i = 0; i < 3 * n; ++i) diff[i] = u32[i] - u64[i];
+  // One float rounding per stored value; far below the PME truncation error.
+  EXPECT_LT(nrm2(diff) / nrm2(u64), 1e-5);
+  EXPECT_GT(nrm2(diff), 0.0);  // the storage mode is actually engaged
+}
+
+TEST(Fp32Pme, OnTheFlyMatchesPrecomputedBitwise) {
+  // Both paths compute the weight row in double and round it to float once,
+  // so precompute on/off must agree bitwise under FP32 storage too.
+  const std::size_t n = 30;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 221);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  pp.precision = Precision::fp32;
+  PmeOperator pre(pos, box, a, pp);
+  pp.precompute_interp = false;
+  PmeOperator otf(pos, box, a, pp);
+  std::vector<double> f(3 * n), u1(3 * n), u2(3 * n);
+  Xoshiro256 rng(222);
+  fill_gaussian(rng, f);
+  pre.apply_recip(f, u1);
+  otf.apply_recip(f, u2);
+  for (std::size_t i = 0; i < 3 * n; ++i) ASSERT_EQ(u1[i], u2[i]);
+}
+
+TEST(Fp32Pme, SymmetricStorageMatchesFull) {
+  const std::size_t n = 40;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.25);
+  const auto pos = random_positions(n, box, 231);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  pp.precision = Precision::fp32;
+  PmeOperator full(pos, box, a, pp);
+  pp.storage = NearFieldStorage::symmetric;
+  PmeOperator sym(pos, box, a, pp);
+  std::vector<double> f(3 * n), uf(3 * n), us(3 * n);
+  Xoshiro256 rng(232);
+  fill_gaussian(rng, f);
+  full.apply_real(f, uf);
+  sym.apply_real(f, us);
+  // Both store the identical floats (the symmetric build rounds each block
+  // once; mirroring is exact), so only summation order differs.
+  std::vector<double> diff(3 * n);
+  for (std::size_t i = 0; i < 3 * n; ++i) diff[i] = us[i] - uf[i];
+  EXPECT_LT(nrm2(diff) / nrm2(uf), 1e-12);
+}
+
+TEST(Fp32Pme, HybridThresholdPreservesOperator) {
+  const std::size_t n = 50;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.25);
+  const auto pos = random_positions(n, box, 241);
+  PmeParams pp = choose_pme_params(box, a, 1e-3);
+  pp.storage = NearFieldStorage::symmetric;
+  PmeOperator pure(pos, box, a, pp);
+  EXPECT_DOUBLE_EQ(pure.realspace().colored_fraction(), 1.0);
+  pp.sym_degree_threshold = 8;
+  PmeOperator hyb(pos, box, a, pp);
+  const double cf = hyb.realspace().colored_fraction();
+  EXPECT_GE(cf, 0.0);
+  EXPECT_LE(cf, 1.0);
+  std::vector<double> f(3 * n), up(3 * n), uh(3 * n);
+  Xoshiro256 rng(242);
+  fill_gaussian(rng, f);
+  pure.apply_real(f, up);
+  hyb.apply_real(f, uh);
+  std::vector<double> diff(3 * n);
+  for (std::size_t i = 0; i < 3 * n; ++i) diff[i] = uh[i] - up[i];
+  EXPECT_LT(nrm2(diff) / nrm2(up), 1e-13);
+}
+
+TEST(Fp32Pme, ChosenParamsStillHitTarget) {
+  // The ISSUE acceptance gate: FP32 storage keeps e_p ≤ 5e-3 at parameters
+  // chosen for 1e-3 (measured against the high-accuracy direct Ewald sum).
+  const std::size_t n = 40;
+  const double a = 1.0;
+  const double box = box_for_volume_fraction(n, a, 0.2);
+  const auto pos = random_positions(n, box, 101);  // as the FP64 gate above
+  const PmeParams pp = choose_pme_params(box, a, 1e-3, 5.0, 6,
+                                         Precision::fp32);
+  PmeOperator pme(pos, box, a, pp);
+  std::vector<double> f(3 * n), u_pme(3 * n), u_exact(3 * n);
+  Xoshiro256 rng(102);
+  fill_gaussian(rng, f);
+  pme.apply(f, u_pme);
+  const EwaldParams ep = ewald_params_for_tolerance(box, a, 1e-12);
+  ewald_mobility_apply(pos, box, a, ep, f, u_exact);
+  std::vector<double> diff(3 * n);
+  for (std::size_t i = 0; i < 3 * n; ++i) diff[i] = u_pme[i] - u_exact[i];
+  EXPECT_LT(nrm2(diff) / nrm2(u_exact), 5e-3);
+}
+
 // ---- Lagrangian (original PME) interpolation ---------------------------------
 
 class LagrangeOrders : public ::testing::TestWithParam<int> {};

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "linalg/blas.hpp"
 #include "sparse/bcsr3.hpp"
 #include "sparse/csr.hpp"
@@ -159,7 +160,8 @@ struct SymPair {
 };
 
 SymPair random_sym_bcsr(std::size_t nblock, double density,
-                        std::uint64_t seed) {
+                        std::uint64_t seed,
+                        std::size_t degree_threshold = 0) {
   Xoshiro256 rng(seed);
   std::vector<std::vector<std::uint32_t>> ucols(nblock), fcols(nblock);
   std::vector<std::vector<std::array<double, 9>>> ublocks(nblock),
@@ -185,7 +187,8 @@ SymPair random_sym_bcsr(std::size_t nblock, double density,
       }
     }
   }
-  return {SymBcsr3Matrix::from_blocks(nblock, ucols, ublocks),
+  return {SymBcsr3Matrix::from_blocks(nblock, ucols, ublocks,
+                                      degree_threshold),
           Bcsr3Matrix::from_blocks(nblock, fcols, fblocks)};
 }
 
@@ -329,6 +332,236 @@ TEST(SymBcsr3, EmptyMatrix) {
   std::vector<double> x(12, 1.0), y(12, 99.0);
   m.multiply(x, y);
   for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+// ---- Hybrid coloring (degree-thresholded symmetric schedule) ---------------
+
+TEST(SymBcsr3Hybrid, MatchesDenseAcrossThresholds) {
+  const std::size_t nb = 40;
+  for (std::size_t threshold : {1u, 4u, 8u, 1000u}) {
+    const SymPair m = random_sym_bcsr(nb, 0.25, 35, threshold);
+    const Matrix d = m.half.to_dense();
+    std::vector<double> x(3 * nb), y_sparse(3 * nb), y_dense(3 * nb, 0.0);
+    Xoshiro256 rng(36);
+    fill_gaussian(rng, x);
+    m.half.multiply(x, y_sparse);
+    gemv(1.0, d, x, 0.0, y_dense);
+    for (std::size_t i = 0; i < 3 * nb; ++i)
+      ASSERT_NEAR(y_sparse[i], y_dense[i], 1e-12) << "threshold " << threshold;
+  }
+}
+
+TEST(SymBcsr3Hybrid, BlockMultiplyMatchesRepeatedSingle) {
+  const std::size_t nb = 24, s = 5;
+  const SymPair m = random_sym_bcsr(nb, 0.3, 37, /*degree_threshold=*/6);
+  Matrix x(3 * nb, s), y(3 * nb, s);
+  Xoshiro256 rng(38);
+  fill_gaussian(rng, {x.data(), x.rows() * x.cols()});
+  m.half.multiply_block(x, y);
+  std::vector<double> xc(3 * nb), yc(3 * nb);
+  for (std::size_t c = 0; c < s; ++c) {
+    for (std::size_t i = 0; i < 3 * nb; ++i) xc[i] = x(i, c);
+    m.half.multiply(xc, yc);
+    for (std::size_t i = 0; i < 3 * nb; ++i) ASSERT_NEAR(y(i, c), yc[i], 1e-12);
+  }
+}
+
+// The dup pass writes each row from its own thread-independent gather, so
+// hybrid mode keeps the bitwise-determinism guarantee of the pure schedule.
+TEST(SymBcsr3Hybrid, BitwiseDeterministicAcrossThreadCounts) {
+  const std::size_t nb = 64, s = 4;
+  const SymPair m = random_sym_bcsr(nb, 0.2, 39, /*degree_threshold=*/10);
+  ASSERT_TRUE(m.half.is_hybrid());
+  std::vector<double> x(3 * nb);
+  Matrix xb(3 * nb, s);
+  Xoshiro256 rng(40);
+  fill_gaussian(rng, x);
+  fill_gaussian(rng, {xb.data(), xb.rows() * xb.cols()});
+
+  const int saved = omp_get_max_threads();
+  std::vector<double> y_ref(3 * nb);
+  Matrix yb_ref(3 * nb, s);
+  omp_set_num_threads(1);
+  m.half.multiply(x, y_ref);
+  m.half.multiply_block(xb, yb_ref);
+  for (int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    std::vector<double> y(3 * nb);
+    Matrix yb(3 * nb, s);
+    m.half.multiply(x, y);
+    m.half.multiply_block(xb, yb);
+    for (std::size_t i = 0; i < 3 * nb; ++i) {
+      ASSERT_EQ(y[i], y_ref[i]) << "thread count " << threads;
+      for (std::size_t c = 0; c < s; ++c)
+        ASSERT_EQ(yb(i, c), yb_ref(i, c)) << "thread count " << threads;
+    }
+  }
+  omp_set_num_threads(saved);
+}
+
+TEST(SymBcsr3Hybrid, ColoredFractionTracksThreshold) {
+  const std::size_t nb = 50;
+  const SymPair all = random_sym_bcsr(nb, 0.3, 41, 0);
+  EXPECT_FALSE(all.half.is_hybrid());
+  EXPECT_DOUBLE_EQ(all.half.mean_colored_fraction(), 1.0);
+  EXPECT_EQ(all.half.duplicated_entries(), 0u);
+  EXPECT_EQ(all.half.streamed_blocks(), all.half.stored_blocks());
+
+  const SymPair some = random_sym_bcsr(nb, 0.3, 41, /*degree_threshold=*/12);
+  ASSERT_TRUE(some.half.is_hybrid());
+  EXPECT_GT(some.half.mean_colored_fraction(), 0.0);
+  EXPECT_LT(some.half.mean_colored_fraction(), 1.0);
+  EXPECT_GT(some.half.duplicated_entries(), 0u);
+
+  // Every row below the threshold: no colored rows, pure duplicated pass —
+  // each off-diagonal block streams once per side it touches.
+  const SymPair none = random_sym_bcsr(nb, 0.3, 41, /*degree_threshold=*/1000);
+  ASSERT_TRUE(none.half.is_hybrid());
+  EXPECT_DOUBLE_EQ(none.half.mean_colored_fraction(), 0.0);
+  EXPECT_EQ(none.half.streamed_blocks(),
+            2 * none.half.stored_blocks() - nb);  // diagonal streams once
+}
+
+TEST(SymBcsr3Hybrid, SetThresholdRecolorsLiveMatrix) {
+  SymPair m = random_sym_bcsr(30, 0.3, 43, 0);
+  std::vector<double> x(90), y_before(90), y_after(90);
+  Xoshiro256 rng(44);
+  fill_gaussian(rng, x);
+  m.half.multiply(x, y_before);
+  m.half.set_degree_threshold(8);
+  EXPECT_EQ(m.half.degree_threshold(), 8u);
+  m.half.multiply(x, y_after);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(y_after[i], y_before[i], 1e-12);
+}
+
+// ---- FP32 storage ----------------------------------------------------------
+
+TEST(SymBcsr3Fp32, MatchesDoubleWithinRounding) {
+  const std::size_t nb = 20;
+  Xoshiro256 rng(45);
+  std::vector<std::vector<std::uint32_t>> cols(nb);
+  std::vector<std::vector<std::array<double, 9>>> blocks(nb);
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = i; j < nb; ++j) {
+      if (i != j && rng.next_double() > 0.3) continue;
+      std::array<double, 9> b;
+      for (double& e : b) e = rng.next_gaussian();
+      if (i == j)
+        for (int r = 0; r < 3; ++r)
+          for (int c = r + 1; c < 3; ++c) b[3 * c + r] = b[3 * r + c];
+      cols[i].push_back(static_cast<std::uint32_t>(j));
+      blocks[i].push_back(b);
+    }
+  const SymBcsr3Matrix md = SymBcsr3Matrix::from_blocks(nb, cols, blocks);
+  const SymBcsr3MatrixF mf = SymBcsr3MatrixF::from_blocks(nb, cols, blocks);
+  static_assert(sizeof(mf.values()[0]) == 4);  // half the value stream
+  std::vector<double> x(3 * nb), yd(3 * nb), yf(3 * nb);
+  fill_gaussian(rng, x);
+  md.multiply(x, yd);
+  mf.multiply(x, yf);
+  double scale = 0.0;
+  for (double v : yd) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < 3 * nb; ++i)
+    ASSERT_NEAR(yf[i], yd[i], 1e-6 * scale);  // one float rounding per value
+}
+
+TEST(SymBcsr3Fp32, ToFullPreservesStoredFloats) {
+  Xoshiro256 rng(46);
+  std::vector<std::vector<std::uint32_t>> cols{{0, 1}, {1}};
+  std::vector<std::vector<std::array<double, 9>>> blocks(2);
+  std::array<double, 9> b;
+  for (double& e : b) e = rng.next_gaussian();
+  for (int r = 0; r < 3; ++r)
+    for (int c = r + 1; c < 3; ++c) b[3 * c + r] = b[3 * r + c];
+  blocks[0].push_back(b);
+  for (double& e : b) e = rng.next_gaussian();
+  blocks[0].push_back(b);
+  for (double& e : b) e = rng.next_gaussian();
+  for (int r = 0; r < 3; ++r)
+    for (int c = r + 1; c < 3; ++c) b[3 * c + r] = b[3 * r + c];
+  blocks[1].push_back(b);
+  const SymBcsr3MatrixF mf = SymBcsr3MatrixF::from_blocks(2, cols, blocks);
+  const Bcsr3MatrixF full = mf.to_full();
+  // Mirrored values round exactly once: the full expansion holds the same
+  // floats, transposed in the lower half.
+  const Matrix a = mf.to_dense();
+  const Matrix c = full.to_dense();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) ASSERT_EQ(a(i, j), c(i, j));
+}
+
+// ---- SIMD kernels ----------------------------------------------------------
+
+// The dispatched kernels (AVX2 when built in) must match the scalar
+// reference chains bitwise in FP64 — this is the contract the default
+// path's trajectory reproducibility rests on.  Exercised at several thread
+// counts only to vary nothing: the kernels are sequential; the sparse
+// products above cover threaded dispatch.
+TEST(Simd, KernelsMatchScalarBitwise) {
+  Xoshiro256 rng(47);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 64u, 129u}) {
+    std::vector<double> b(9), x0(n), x1(n), x2(n), src(n);
+    fill_gaussian(rng, b);
+    fill_gaussian(rng, x0);
+    fill_gaussian(rng, x1);
+    fill_gaussian(rng, x2);
+    fill_gaussian(rng, src);
+    std::vector<double> y0(n), y1(n), y2(n);
+    fill_gaussian(rng, y0);
+    fill_gaussian(rng, y1);
+    fill_gaussian(rng, y2);
+    const double w = rng.next_gaussian();
+
+    auto s0 = y0, s1 = y1, s2 = y2;
+    simd::block3_fma(b.data(), x0.data(), x1.data(), x2.data(), y0.data(),
+                     y1.data(), y2.data(), n);
+    simd::scalar::block3_fma(b.data(), x0.data(), x1.data(), x2.data(),
+                             s0.data(), s1.data(), s2.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(y0[k], s0[k]) << "n=" << n;
+      ASSERT_EQ(y1[k], s1[k]) << "n=" << n;
+      ASSERT_EQ(y2[k], s2[k]) << "n=" << n;
+    }
+
+    simd::block3t_fma(b.data(), x0.data(), x1.data(), x2.data(), y0.data(),
+                      y1.data(), y2.data(), n);
+    simd::scalar::block3t_fma(b.data(), x0.data(), x1.data(), x2.data(),
+                              s0.data(), s1.data(), s2.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(y0[k], s0[k]) << "n=" << n;
+      ASSERT_EQ(y1[k], s1[k]) << "n=" << n;
+      ASSERT_EQ(y2[k], s2[k]) << "n=" << n;
+    }
+
+    simd::axpy(y0.data(), w, src.data(), n);
+    simd::scalar::axpy(s0.data(), w, src.data(), n);
+    for (std::size_t k = 0; k < n; ++k) ASSERT_EQ(y0[k], s0[k]) << "n=" << n;
+  }
+}
+
+// Float-stored blocks run the same widened chain: the kernels must agree
+// with the scalar bodies bitwise for Real = float too.
+TEST(Simd, Fp32BlocksMatchScalarBitwise) {
+  Xoshiro256 rng(48);
+  const std::size_t n = 37;
+  std::vector<float> b(9);
+  for (float& e : b) e = static_cast<float>(rng.next_gaussian());
+  std::vector<double> x0(n), x1(n), x2(n);
+  fill_gaussian(rng, x0);
+  fill_gaussian(rng, x1);
+  fill_gaussian(rng, x2);
+  std::vector<double> y0(n, 0.0), y1(n, 0.0), y2(n, 0.0);
+  auto s0 = y0, s1 = y1, s2 = y2;
+  simd::block3_fma(b.data(), x0.data(), x1.data(), x2.data(), y0.data(),
+                   y1.data(), y2.data(), n);
+  simd::scalar::block3_fma(b.data(), x0.data(), x1.data(), x2.data(),
+                           s0.data(), s1.data(), s2.data(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_EQ(y0[k], s0[k]);
+    ASSERT_EQ(y1[k], s1[k]);
+    ASSERT_EQ(y2[k], s2[k]);
+  }
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 Usage:
     check_bench_regression.py --baseline BENCH_realspace.json \
         --candidate build/BENCH_realspace.json [--threshold 0.30] \
-        [--metric t_rebuild_s] ...
+        [--metric t_rebuild_s] [--max fp32_ep=5e-3] ...
     check_bench_regression.py --health health.json --ep-max 5e-3
 
 Throughput: compares the p50 of each metric between the committed baseline
@@ -14,7 +14,9 @@ than the threshold fraction; ratio metrics containing "speedup" or
 "reduction" (e.g. the modeled SpMV traffic reduction of the half-stored
 near field) must not be smaller by more than the threshold.  Without
 --metric, every timing, speedup, and reduction key shared by both reports
-is gated.
+is gated.  --max KEY=BOUND additionally enforces an absolute upper bound on
+a candidate metric's p50 regardless of the baseline — used to pin the
+measured FP32 storage-rounding error (fp32_ep) under the paper's e_p budget.
 
 Accuracy: --health reads an HBD_HEALTH report and fails when the maximum
 probed PME error e_p exceeds --ep-max, or when any Krylov update failed to
@@ -83,6 +85,24 @@ def check_throughput(args, failures):
             failures.append(f"{key}: {verdict}")
 
 
+def check_bounds(args, failures):
+    candidate = load(args.candidate)
+    for spec in args.max:
+        key, sep, bound = spec.partition("=")
+        if not sep:
+            sys.exit(f"--max {spec}: expected KEY=BOUND")
+        try:
+            limit = float(bound)
+        except ValueError:
+            sys.exit(f"--max {spec}: bound is not a number")
+        value = p50(candidate, key, args.candidate)
+        ok = value <= limit
+        status = "ok" if ok else "VIOLATION"
+        print(f"  {status} {key}: {value:g} (bound {limit:g})")
+        if not ok:
+            failures.append(f"{key}: {value:g} exceeds bound {limit:g}")
+
+
 def check_health(args, failures):
     doc = load(args.health)
     ep = doc.get("ep", {})
@@ -111,19 +131,29 @@ def main():
                              "*speedup* keys shared by both reports)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed relative slowdown / speedup loss")
+    parser.add_argument("--max", action="append", default=[],
+                        metavar="KEY=BOUND",
+                        help="absolute upper bound on a candidate metric's "
+                             "p50 (e.g. fp32_ep=5e-3)")
     parser.add_argument("--health", help="HBD_HEALTH JSON report to gate")
     parser.add_argument("--ep-max", type=float, default=None,
                         help="maximum allowed probed PME error e_p")
     args = parser.parse_args()
 
-    if bool(args.baseline) != bool(args.candidate):
-        parser.error("--baseline and --candidate must be given together")
-    if not args.baseline and not args.health:
+    if args.baseline and not args.candidate:
+        parser.error("--baseline requires --candidate")
+    if args.candidate and not args.baseline and not args.max:
+        parser.error("--candidate without --baseline needs --max bounds")
+    if args.max and not args.candidate:
+        parser.error("--max requires --candidate")
+    if not args.baseline and not args.health and not args.max:
         parser.error("nothing to check")
 
     failures = []
     if args.baseline:
         check_throughput(args, failures)
+    if args.max:
+        check_bounds(args, failures)
     if args.health:
         check_health(args, failures)
     if failures:

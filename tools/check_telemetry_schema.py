@@ -68,6 +68,11 @@ def check_manifest(doc, path):
     for key in ("mesh", "order", "rmax", "xi", "skin"):
         require(is_num(pme.get(key)), path,
                 f"manifest.pme.{key} must be numeric")
+    require(pme.get("precision") in ("fp64", "fp32"), path,
+            "manifest.pme.precision must be 'fp64' or 'fp32'")
+    cf = pme.get("colored_fraction")
+    require(is_num(cf) and 0.0 <= cf <= 1.0, path,
+            "manifest.pme.colored_fraction must be in [0, 1]")
     hw = m.get("hardware")
     require(isinstance(hw, dict), path,
             "manifest.hardware must be an object")
