@@ -197,6 +197,24 @@ void BM_InfluenceApply(benchmark::State& state) {
 }
 BENCHMARK(BM_InfluenceApply)->Arg(32)->Arg(64)->Arg(96);
 
+// The m^{1/2} scaling pass of the wave-space Brownian sampler (PSE kernel:
+// every stored mode has a real square root).  Same table read and spectrum
+// update traffic as BM_InfluenceApply plus the Hermitian bookkeeping of the
+// k3 = 0 plane.
+void BM_InfluenceApplySqrt(benchmark::State& state) {
+  const std::size_t mesh = static_cast<std::size_t>(state.range(0));
+  InfluenceFunction infl(mesh, 30.0, 1.0, 0.5, 6, true, EwaldKernel::pse);
+  const std::size_t sz = mesh * mesh * (mesh / 2 + 1);
+  aligned_vector<Complex> cx(sz, Complex{1.0, 0.5}), cy(cx), cz(cx);
+  for (auto _ : state) {
+    infl.apply_sqrt(cx.data(), cy.data(), cz.data());
+    benchmark::DoNotOptimize(cx.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(sz * (8 + 6 * 16)));
+}
+BENCHMARK(BM_InfluenceApplySqrt)->Arg(32)->Arg(64);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -20,10 +20,14 @@
 #include "common/cell_list.hpp"
 #include "common/neighbor_list.hpp"
 #include "common/precision.hpp"
+#include "core/brownian.hpp"
+#include "core/krylov.hpp"
+#include "core/mobility.hpp"
 #include "ewald/beenakker.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "obs/json.hpp"
+#include "pme/pme_operator.hpp"
 #include "pme/realspace.hpp"
 #include "sparse/bcsr3.hpp"
 
@@ -88,9 +92,20 @@ struct Result {
   // Hybrid coloring: only high-degree rows colored, rest streamed.
   double t_spmv_hybrid;
   double hybrid_colored_fraction;
+  // Multicore re-measure of the hybrid degree threshold (2 and 8 threads).
+  double t_spmv_sym_t2;
+  double t_spmv_hybrid_t2;
+  double t_spmv_sym_t8;
+  double t_spmv_hybrid_t8;
   // Cell-granular partial rebuild vs from-scratch list rebuild.
   double t_list_full;
   double t_list_partial;
+  // Wave-space (PSE split) vs full block-Krylov Brownian sampling, λ=16.
+  double t_wave_sample;
+  double t_krylov_sample;
+  int nearfield_lanczos_iters;
+  int krylov_full_iters;
+  double covariance_probe_error;
 };
 
 }  // namespace
@@ -204,6 +219,26 @@ int main(int argc, char** argv) {
     });
     const double hybrid_cf = hyb_op.colored_fraction();
 
+    // Multicore re-measure (PR 6 follow-up): the duplicated low-degree rows
+    // trade extra arithmetic for scatter-free parallelism, so the verdict
+    // can flip with the thread count.  Oversubscribed on small machines —
+    // read relative to t_spmv_sym at the same thread count only.
+    double t_spmv_sym_t2 = 0.0, t_spmv_hybrid_t2 = 0.0;
+    double t_spmv_sym_t8 = 0.0, t_spmv_hybrid_t8 = 0.0;
+#ifdef _OPENMP
+    const auto spmv_at = [&](int nt, RealspaceOperator& o) {
+      omp_set_num_threads(nt);
+      return time_min([&] {
+        for (int r = 0; r < kReps; ++r) o.apply(f, u);
+      });
+    };
+    t_spmv_sym_t2 = spmv_at(2, sym_op);
+    t_spmv_hybrid_t2 = spmv_at(2, hyb_op);
+    t_spmv_sym_t8 = spmv_at(8, sym_op);
+    t_spmv_hybrid_t8 = spmv_at(8, hyb_op);
+    omp_set_num_threads(threads);
+#endif
+
     // ---- Partial vs full list rebuild --------------------------------------
     // A thin slab settles past the drift threshold each repetition
     // (sedimentation-like): the partial list re-enumerates only the violated
@@ -233,11 +268,45 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // ---- Wave-space vs full-Krylov Brownian sampling -----------------------
+    // Both arms at the wavespace chooser's parameters (PSE kernel,
+    // e_p target 5e-3, the paper's tolerance) so the comparison is at
+    // matched accuracy; λ = 16 columns per mobility update as in the BD
+    // driver.  Timed once — each arm is seconds-to-minutes at these sizes.
+    const PmeParams wp =
+        choose_pme_params_wavespace(sys.box, sys.radius, 5e-3);
+    PmeOperator pme(pos, sys.box, sys.radius, wp);
+    KrylovConfig kcfg;
+    kcfg.tolerance = 1e-2;
+    constexpr std::size_t kLambda = 16;
+    Xoshiro256 zrng(2024);
+    const Matrix z = gaussian_block(zrng, 3 * n, kLambda);
+
+    Xoshiro256 wave = substream(2024, 1);
+    WaveSpaceBrownianSampler wsampler(pme, kcfg, wave);
+    const double t_wave =
+        time_once([&] { (void)wsampler.sample_block(z, 1.0); });
+    const int nf_iters = wsampler.last_stats().iterations;
+
+    PmeMobility mob(pme);
+    KrylovBrownianSampler ksampler(mob, kcfg);
+    const double t_krylov =
+        time_once([&] { (void)ksampler.sample_block(z, 1.0); });
+    const int full_iters = ksampler.last_stats().iterations;
+
+    // Covariance probe of the wave-space sampler (128 samples → the
+    // estimator's own relative std is ~12%; the gate bound is generous).
+    const double cov_err = measure_sample_covariance_error(
+        pme, kcfg, BrownianMethod::wavespace, /*blocks=*/16, /*width=*/8,
+        /*seed=*/2024);
+
     results.push_back({n, t_seed, t_rebuild, t_refresh, t_spmv_full,
                        t_spmv_sym, t_spmm_full, t_spmm_sym, traffic_reduction,
                        t_spmv_sym32, t_spmm_sym32, fp32_traffic_reduction,
-                       fp32_ep, t_spmv_hybrid, hybrid_cf, t_list_full,
-                       t_list_partial});
+                       fp32_ep, t_spmv_hybrid, hybrid_cf, t_spmv_sym_t2,
+                       t_spmv_hybrid_t2, t_spmv_sym_t8, t_spmv_hybrid_t8,
+                       t_list_full, t_list_partial, t_wave, t_krylov,
+                       nf_iters, full_iters, cov_err});
     std::printf("%7zu | %10.5f %10.5f %10.5f | %8.2fx %8.2fx\n", n, t_seed,
                 t_rebuild, t_refresh, t_seed / t_rebuild, t_seed / t_refresh);
     std::printf(
@@ -253,8 +322,17 @@ int main(int argc, char** argv) {
     std::printf(
         "        | hybrid spmv %.5f (%.2fx vs colored, fraction %.2f)\n",
         t_spmv_hybrid, t_spmv_sym / t_spmv_hybrid, hybrid_cf);
+    if (t_spmv_hybrid_t2 > 0.0)
+      std::printf(
+          "        | hybrid @2T %.5f/%.5f (%.2fx)  @8T %.5f/%.5f (%.2fx)\n",
+          t_spmv_sym_t2, t_spmv_hybrid_t2, t_spmv_sym_t2 / t_spmv_hybrid_t2,
+          t_spmv_sym_t8, t_spmv_hybrid_t8, t_spmv_sym_t8 / t_spmv_hybrid_t8);
     std::printf("        | list rebuild full/partial %.5f/%.5f (%.2fx)\n",
                 t_list_full, t_list_partial, t_list_full / t_list_partial);
+    std::printf(
+        "        | brownian sample wave/krylov %.3f/%.3f (%.2fx, NF its %d "
+        "vs full its %d, cov err %.3f)\n",
+        t_wave, t_krylov, t_krylov / t_wave, nf_iters, full_iters, cov_err);
   }
 
   obs::BenchReport report;
@@ -284,9 +362,26 @@ int main(int argc, char** argv) {
          {"t_spmv_hybrid_s", r.t_spmv_hybrid},
          {"hybrid_spmv_speedup", r.t_spmv_sym / r.t_spmv_hybrid},
          {"hybrid_colored_fraction", r.hybrid_colored_fraction},
+         {"t_spmv_sym_t2_s", r.t_spmv_sym_t2},
+         {"t_spmv_hybrid_t2_s", r.t_spmv_hybrid_t2},
+         {"hybrid_spmv_speedup_t2",
+          r.t_spmv_hybrid_t2 > 0.0 ? r.t_spmv_sym_t2 / r.t_spmv_hybrid_t2
+                                   : 0.0},
+         {"t_spmv_sym_t8_s", r.t_spmv_sym_t8},
+         {"t_spmv_hybrid_t8_s", r.t_spmv_hybrid_t8},
+         {"hybrid_spmv_speedup_t8",
+          r.t_spmv_hybrid_t8 > 0.0 ? r.t_spmv_sym_t8 / r.t_spmv_hybrid_t8
+                                   : 0.0},
          {"t_list_rebuild_s", r.t_list_full},
          {"t_list_partial_s", r.t_list_partial},
-         {"partial_rebuild_speedup", r.t_list_full / r.t_list_partial}});
+         {"partial_rebuild_speedup", r.t_list_full / r.t_list_partial},
+         {"t_wave_sample_s", r.t_wave_sample},
+         {"t_krylov_sample_s", r.t_krylov_sample},
+         {"wave_sample_speedup", r.t_krylov_sample / r.t_wave_sample},
+         {"nearfield_lanczos_iters",
+          static_cast<double>(r.nearfield_lanczos_iters)},
+         {"krylov_full_iters", static_cast<double>(r.krylov_full_iters)},
+         {"covariance_probe_error", r.covariance_probe_error}});
   if (!obs::write_json(json_path, report)) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;

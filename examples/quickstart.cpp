@@ -27,16 +27,25 @@ int main() {
               system.volume_fraction(), system.size());
 
   // 2. Pick PME parameters for a relative mobility error of ~1e-3.
+  //    HBD_WAVESPACE=1 switches to the positively-split (PSE) kernel and
+  //    samples the far-field Brownian displacement directly in wave space —
+  //    Lanczos then runs only on the sparse near field (docs/theory.md §11).
   //    HBD_FP32=1 switches the near-field/interpolation storage to FP32
   //    (accumulation stays FP64); HBD_FP32=0 forces FP64 even in a
   //    -DHBD_FP32_DEFAULT=ON build.  The e_p health probes gate the error.
-  PmeParams pme = choose_pme_params(system.box, system.radius, 1e-3);
+  const char* ws = std::getenv("HBD_WAVESPACE");
+  const bool wavespace = ws && ws[0] != '0';
+  PmeParams pme =
+      wavespace ? choose_pme_params_wavespace(system.box, system.radius, 1e-3)
+                : choose_pme_params(system.box, system.radius, 1e-3);
   if (const char* fp32 = std::getenv("HBD_FP32"))
     pme.precision = fp32[0] != '0' ? Precision::fp32 : Precision::fp64;
   std::printf("PME: mesh K=%zu, spline order p=%d, rmax=%.2f, alpha=%.3f, "
-              "precision=%s\n",
+              "precision=%s, kernel=%s, brownian=%s\n",
               pme.mesh, pme.order, pme.rmax, pme.xi,
-              precision_name(pme.precision));
+              precision_name(pme.precision), ewald_kernel_name(pme.kernel),
+              pme.brownian == BrownianMethod::wavespace ? "wavespace"
+                                                        : "krylov");
 
   // 3. Steric repulsion keeps particles from overlapping.
   auto forces = std::make_shared<RepulsiveHarmonic>(system.radius);

@@ -83,6 +83,12 @@ Xoshiro256 Xoshiro256::split() {
   return child;
 }
 
+Xoshiro256 substream(std::uint64_t seed, unsigned id) {
+  Xoshiro256 rng(seed);
+  for (unsigned i = 0; i < id; ++i) rng.long_jump();
+  return rng;
+}
+
 void fill_gaussian(Xoshiro256& rng, std::span<double> out) {
   for (double& v : out) v = rng.next_gaussian();
 }

@@ -40,6 +40,15 @@ class Xoshiro256 {
   bool has_cached_ = false;
 };
 
+/// Deterministic substream `id` of a run seed: the stream seeded by `seed`
+/// advanced by `id` long jumps (2^128 steps each).  Substream 0 is the main
+/// stream itself — `substream(seed, 0)` equals `Xoshiro256(seed)` — so
+/// existing single-stream consumers are unchanged; disjoint ids give
+/// non-overlapping streams for any realistic draw count.  The simulation
+/// reserves id 0 for the trajectory (forces + near-field noise) and id 1
+/// for the wave-space mesh noise, recorded in the run manifest.
+Xoshiro256 substream(std::uint64_t seed, unsigned id);
+
 /// Fills `out` with i.i.d. standard normals from `rng` (sequential,
 /// deterministic order).
 void fill_gaussian(Xoshiro256& rng, std::span<double> out);

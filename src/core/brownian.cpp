@@ -1,5 +1,6 @@
 #include "core/brownian.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -41,6 +42,80 @@ Matrix KrylovBrownianSampler::sample_block(const Matrix& z,
   Matrix d = krylov_sqrt_apply(*op_, z, config_, &stats_);
   scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
   return d;
+}
+
+Matrix WaveSpaceBrownianSampler::sample_block(const Matrix& z,
+                                              double two_kbt_dt) {
+  HBD_TRACE_SCOPE("wavespace.sample");
+  NearFieldMobility nf(*pme_);
+  Matrix d;
+  {
+    // Near-field M_real^{1/2} z via block Lanczos on the sparse part only.
+    HBD_TRACE_SCOPE("wavespace.nearfield");
+    d = krylov_sqrt_apply(nf, z, config_, &stats_);
+  }
+  // Far-field sample accumulated on top from the independent wave stream.
+  pme_->sample_recip_block(*wave_rng_, d, /*accumulate=*/true);
+  scal(std::sqrt(two_kbt_dt), {d.data(), d.rows() * d.cols()});
+  return d;
+}
+
+double measure_sample_covariance_error(PmeOperator& pme,
+                                       const KrylovConfig& krylov,
+                                       BrownianMethod method,
+                                       std::size_t blocks, std::size_t width,
+                                       std::uint64_t seed) {
+  const std::size_t dim = 3 * pme.particles();
+  constexpr std::size_t kProbes = 3;
+  const auto col_dot = [dim](const Matrix& a, std::size_t ca, const Matrix& b,
+                             std::size_t cb) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i)
+      acc += a.data()[i * a.cols() + ca] * b.data()[i * b.cols() + cb];
+    return acc;
+  };
+  // Fixed unit probe directions, drawn from a stream disjoint from the
+  // sampling draws below.
+  Xoshiro256 probe_rng(seed ^ 0xD1B54A32D192ED03ull);
+  Matrix x = gaussian_block(probe_rng, dim, kProbes);
+  for (std::size_t p = 0; p < kProbes; ++p) {
+    const double inv_norm = 1.0 / std::sqrt(col_dot(x, p, x, p));
+    for (std::size_t i = 0; i < dim; ++i)
+      x.data()[i * kProbes + p] *= inv_norm;
+  }
+  // Exact quadratic forms xᵀ M̃ x through the deterministic operator.
+  Matrix mx(dim, kProbes);
+  pme.apply_block(x, mx);
+  double expected[kProbes];
+  for (std::size_t p = 0; p < kProbes; ++p)
+    expected[p] = col_dot(x, p, mx, p);
+  // Accumulate ⟨(xᵀD)²⟩ over blocks·width samples at unit 2·kBT·Δt.
+  Xoshiro256 z_rng(seed);
+  Xoshiro256 wave_rng = substream(seed, 1);
+  double acc[kProbes] = {0.0, 0.0, 0.0};
+  for (std::size_t bl = 0; bl < blocks; ++bl) {
+    const Matrix z = gaussian_block(z_rng, dim, width);
+    Matrix d;
+    if (method == BrownianMethod::wavespace) {
+      WaveSpaceBrownianSampler sampler(pme, krylov, wave_rng);
+      d = sampler.sample_block(z, 1.0);
+    } else {
+      PmeMobility mob(pme);
+      KrylovBrownianSampler sampler(mob, krylov);
+      d = sampler.sample_block(z, 1.0);
+    }
+    for (std::size_t j = 0; j < width; ++j)
+      for (std::size_t p = 0; p < kProbes; ++p) {
+        const double dot = col_dot(x, p, d, j);
+        acc[p] += dot * dot;
+      }
+  }
+  double err = 0.0;
+  const double inv = 1.0 / static_cast<double>(blocks * width);
+  for (std::size_t p = 0; p < kProbes; ++p)
+    err = std::max(err,
+                   std::abs(acc[p] * inv - expected[p]) / std::abs(expected[p]));
+  return err;
 }
 
 }  // namespace hbd

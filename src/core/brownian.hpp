@@ -52,4 +52,46 @@ class KrylovBrownianSampler final : public BrownianSampler {
   KrylovStats stats_;
 };
 
+/// PSE-style split sampler (Fiore et al., arXiv:1611.09322): the far-field
+/// displacement is sampled directly in reciprocal space — mesh noise scaled
+/// by m_α(k)^{1/2} inside the batched FFT pipeline, ~half a reciprocal
+/// apply per block — while Lanczos runs only on the sparse near field,
+/// whose self-term-dominated spectrum converges in a few iterations.  The
+/// two noise streams are independent (`z` drives the near field, `wave_rng`
+/// the mesh noise), so the covariance cross-term vanishes in expectation
+/// and ⟨D Dᵀ⟩ = 2 kB T Δt (M_real + M_recip) per column, exactly the
+/// fluctuation–dissipation requirement (docs/theory.md §11).
+class WaveSpaceBrownianSampler final : public BrownianSampler {
+ public:
+  /// `wave_rng` must be a substream disjoint from whatever produced `z`
+  /// (see hbd::substream); it is borrowed and advanced by 3s u64 draws per
+  /// sample_block call.
+  WaveSpaceBrownianSampler(PmeOperator& pme, KrylovConfig config,
+                           Xoshiro256& wave_rng)
+      : pme_(&pme), config_(config), wave_rng_(&wave_rng) {}
+  Matrix sample_block(const Matrix& z, double two_kbt_dt) override;
+  /// Stats of the near-field-only Lanczos of the last sample_block.
+  const KrylovStats& last_stats() const { return stats_; }
+
+ private:
+  PmeOperator* pme_;
+  KrylovConfig config_;
+  Xoshiro256* wave_rng_;
+  KrylovStats stats_;
+};
+
+/// Relative error of the sampled Brownian covariance: draws `blocks` blocks
+/// of `width` displacement samples at unit 2·kBT·Δt (so cov = M̃) and
+/// compares the batch-averaged quadratic form ⟨(xᵀD)²⟩ against the exact
+/// xᵀ M̃ x for a few fixed unit probe vectors x; returns the max over
+/// probes of |mean − exact| / exact.  All RNG derives from `seed` only
+/// (the caller step-seeds it), so probing never perturbs a trajectory.
+/// The sampling estimator itself has relative std ≈ sqrt(2 / (blocks·width)).
+double measure_sample_covariance_error(PmeOperator& pme,
+                                       const KrylovConfig& krylov,
+                                       BrownianMethod method,
+                                       std::size_t blocks = 8,
+                                       std::size_t width = 16,
+                                       std::uint64_t seed = 7);
+
 }  // namespace hbd

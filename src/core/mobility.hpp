@@ -34,6 +34,30 @@ class DenseMobility final : public MobilityOperator {
   Matrix m_;
 };
 
+/// Near-field-only view of the PME operator: y = (M_real + M_self) x using
+/// the sparse BCSR kernels (full or symmetric storage).  The wave-space
+/// Brownian sampler runs block Lanczos on this part only — the self term
+/// dominates its spectrum, so a handful of iterations converge, while the
+/// far field is sampled directly in reciprocal space.  The split sampler
+/// pairs this with EwaldKernel::pse, whose real-space spectrum is
+/// nonnegative for every ξ, so the operator is positive definite up to
+/// cutoff truncation; the Lanczos SPD guard (min projected eigenvalue)
+/// backstops it.
+class NearFieldMobility final : public MobilityOperator {
+ public:
+  explicit NearFieldMobility(const PmeOperator& pme) : pme_(&pme) {}
+  std::size_t dim() const override { return 3 * pme_->particles(); }
+  void apply_block(const Matrix& x, Matrix& y) override {
+    pme_->apply_real_block(x, y);
+  }
+  void apply(std::span<const double> x, std::span<double> y) override {
+    pme_->apply_real(x, y);
+  }
+
+ private:
+  const PmeOperator* pme_;
+};
+
 /// Matrix-free PME mobility (borrows the operator).
 class PmeMobility final : public MobilityOperator {
  public:

@@ -133,6 +133,7 @@ std::size_t EwaldBdSimulation::mobility_bytes() const {
 obs::RunManifest EwaldBdSimulation::manifest() const {
   obs::RunManifest m = obs::RunManifest::build_info();
   fill_run_fields(m, config_, system_);
+  m.brownian_method = "cholesky";
   return m;
 }
 
@@ -146,6 +147,7 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
       config_(config),
       pme_params_(pme_params),
       rng_(config.seed),
+      wave_rng_(substream(config.seed, kWavespaceStream)),
       nlist_(std::make_shared<NeighborList>(system_.box, pme_params.rmax,
                                             pme_params.skin)) {
   HBD_CHECK(config_.lambda_rpy >= 1);
@@ -188,6 +190,10 @@ obs::RunManifest MatrixFreeBdSimulation::manifest() const {
   m.precision = precision_name(pme_params_.precision);
   // 1.0 until the operator exists (every row colored / no hybrid split).
   m.colored_fraction = pme_ ? pme_->realspace().colored_fraction() : 1.0;
+  m.brownian_method = brownian_method_name(pme_params_.brownian);
+  m.ewald_kernel = ewald_kernel_name(pme_params_.kernel);
+  m.rng_stream_trajectory = kTrajectoryStream;
+  m.rng_stream_wavespace = kWavespaceStream;
   m.hw_name = model_hw_.name;
   m.hw_gflops = model_hw_.peak_dp_gflops;
   m.hw_bw_gbs = model_hw_.stream_bw_gbs;
@@ -213,13 +219,31 @@ void MatrixFreeBdSimulation::rebuild() {
     krylov_stats_ = {};
   } else {
     HBD_TRACE_SCOPE("bd.sample");
-    PmeMobility mob(*pme_);
-    KrylovBrownianSampler sampler(mob, krylov_config_);
+    // The near-field/trajectory noise block is drawn from rng_ first in
+    // both branches — the trajectory stream's draw sequence is independent
+    // of the sampling method (the wave branch draws its mesh noise from
+    // the disjoint wave_rng_ substream only).
     const Matrix z =
         gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
-    displacements_ = sampler.sample_block(
-        z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
-    krylov_stats_ = sampler.last_stats();
+    const double two_kbt_dt = 2.0 * config_.kbt * config_.mu0 * config_.dt;
+    if (pme_params_.brownian == BrownianMethod::wavespace) {
+      WaveSpaceBrownianSampler sampler(*pme_, krylov_config_, wave_rng_);
+      displacements_ = sampler.sample_block(z, two_kbt_dt);
+      krylov_stats_ = sampler.last_stats();
+      HBD_COUNTER_ADD("wavespace.samples", 1);
+      HBD_COUNTER_ADD("wavespace.nearfield.iterations",
+                      krylov_stats_.iterations);
+      // Clamped spectral mass is expected at PD-safe splittings and its
+      // isotropic part is compensated in the near-field shift; the residual
+      // bias is what the covariance probe watches.
+      HBD_GAUGE_SET("wavespace.clamped_fraction",
+                    pme_->wave_clamped_fraction());
+    } else {
+      PmeMobility mob(*pme_);
+      KrylovBrownianSampler sampler(mob, krylov_config_);
+      displacements_ = sampler.sample_block(z, two_kbt_dt);
+      krylov_stats_ = sampler.last_stats();
+    }
     if constexpr (obs::kEnabled) {
       health_.record_krylov(steps_, krylov_stats_.iterations,
                             krylov_stats_.relative_change,
@@ -234,7 +258,11 @@ void MatrixFreeBdSimulation::rebuild() {
     }
   }
   if constexpr (obs::kEnabled) {
-    if (health_.probe_due()) probe_pme_error();
+    if (health_.probe_due()) {
+      probe_pme_error();
+      if (pme_params_.brownian == BrownianMethod::wavespace)
+        probe_covariance();
+    }
   }
   block_cursor_ = 0;
   HBD_COUNTER_ADD("bd.rebuilds", 1);
@@ -257,6 +285,19 @@ void MatrixFreeBdSimulation::probe_pme_error() {
       *pme_, *ref_pme_, health_.probe_samples(),
       /*seed=*/0x9E3779B97F4A7C15ull ^ steps_);
   health_.record_ep(steps_, ep);
+}
+
+void MatrixFreeBdSimulation::probe_covariance() {
+  HBD_TRACE_SCOPE("health.cov_probe");
+  // Step-seeded like the e_p probe — the probe never draws from the
+  // trajectory or wave streams, so trajectories are bitwise identical with
+  // probing on or off.  8×16 = 128 samples put the estimator's own
+  // relative std near 12%; the default tolerance (0.5) leaves headroom.
+  const double err = measure_sample_covariance_error(
+      *pme_, krylov_config_, pme_params_.brownian,
+      /*blocks=*/8, /*width=*/16,
+      /*seed=*/0x8E4D1A53B7C6F902ull ^ steps_);
+  health_.record_cov(steps_, err);
 }
 
 void MatrixFreeBdSimulation::guard_step() {
@@ -294,8 +335,11 @@ void MatrixFreeBdSimulation::audit_drift() {
   const std::uint64_t d_block = counts.block - counts_seen_.block;
   const std::uint64_t d_cols =
       counts.block_columns - counts_seen_.block_columns;
+  const std::uint64_t d_wave = counts.wave - counts_seen_.wave;
+  const std::uint64_t d_wcols =
+      counts.wave_columns - counts_seen_.wave_columns;
   counts_seen_ = counts;
-  if (d_single + d_block == 0) return;
+  if (d_single + d_block + d_wave == 0) return;
 
   // Predictions from the base model over the window's actual work: d_single
   // single sweeps plus d_block batched applies of the mean observed width,
@@ -346,6 +390,20 @@ void MatrixFreeBdSimulation::audit_drift() {
     phase_seen_[row.phase] = total;
     drift_.record(row.phase, measured, row.modeled, row.scaling);
   }
+  // Wave-space sampling runs under its own phase so the deterministic
+  // pipeline's per-phase accounting above stays clean; it is iFFT-dominated,
+  // so its drift feeds the ifft recalibration bucket.
+  if (d_wave > 0) {
+    const std::size_t wwidth = static_cast<std::size_t>(d_wcols / d_wave);
+    const auto it = totals.find("wave_sample");
+    const double total = it == totals.end() ? 0.0 : it->second;
+    const double measured = total - phase_seen_["wave_sample"];
+    phase_seen_["wave_sample"] = total;
+    drift_.record("wave_sample", measured,
+                  static_cast<double>(d_wave) *
+                      model.t_wave_sample(mesh, order, n, wwidth),
+                  obs::PhaseScaling::ifft);
+  }
 }
 
 HardwareParams MatrixFreeBdSimulation::effective_hardware() const {
@@ -362,11 +420,16 @@ BdStepModel MatrixFreeBdSimulation::model_step(
                    static_cast<double>(value_bytes(pme_params_.precision))),
       /*is_host=*/true};
   const int iters = std::max(krylov_stats_.iterations, 1);
+  // With the wavespace sampler, krylov_stats_ holds the near-field-only
+  // Lanczos iterations; model_bd_step swaps the λ-block Krylov term for
+  // one wave sample + those cheap near-field sweeps.
   return model_bd_step(host, accelerators, system_.size(), system_.box,
                        pme_params_.order, ep_target, config_.lambda_rpy,
                        iters, effective_rebuild_interval(*nlist_),
                        pme_params_.storage == NearFieldStorage::symmetric,
-                       effective_rebuild_fraction(*nlist_));
+                       effective_rebuild_fraction(*nlist_),
+                       pme_params_.brownian == BrownianMethod::wavespace,
+                       iters);
 }
 
 std::size_t MatrixFreeBdSimulation::mobility_bytes() const {

@@ -79,6 +79,15 @@ class EwaldBdSimulation {
 
 class MatrixFreeBdSimulation {
  public:
+  /// Deterministic RNG substream ids derived from BdConfig::seed (see
+  /// hbd::substream): the trajectory stream (forces + near-field Brownian
+  /// noise) is the seed itself, the wave-space mesh noise lives one long
+  /// jump away.  Enabling BrownianMethod::wavespace therefore never
+  /// perturbs the trajectory stream's draw sequence.  Recorded in the run
+  /// manifest.
+  static constexpr unsigned kTrajectoryStream = 0;
+  static constexpr unsigned kWavespaceStream = 1;
+
   MatrixFreeBdSimulation(ParticleSystem system,
                          std::shared_ptr<const ForceField> forces,
                          BdConfig config, PmeParams pme_params,
@@ -92,7 +101,9 @@ class MatrixFreeBdSimulation {
   double time() const { return static_cast<double>(steps_) * config_.dt; }
   std::size_t steps_taken() const { return steps_; }
   std::size_t mobility_bytes() const;
-  /// Krylov iteration count of the most recent mobility update.
+  /// Krylov iteration count of the most recent mobility update (with
+  /// BrownianMethod::wavespace these are the near-field-only Lanczos
+  /// iterations of the split sampler).
   const KrylovStats& last_krylov_stats() const { return krylov_stats_; }
   /// The current PME operator (valid after the first step).
   PmeOperator* pme() { return pme_ ? &*pme_ : nullptr; }
@@ -155,6 +166,9 @@ class MatrixFreeBdSimulation {
   /// Runs one amortized e_p probe of the live operator against the lazily
   /// constructed high-resolution reference (telemetry builds only).
   void probe_pme_error();
+  /// Runs one step-seeded covariance probe of the split Brownian sampler
+  /// (⟨(xᵀD)²⟩ vs xᵀ M̃ x; wavespace runs, telemetry builds only).
+  void probe_covariance();
   /// NaN/Inf guards on forces and positions after one propagation step;
   /// compiled out with -DHBD_TELEMETRY=OFF.
   void guard_step();
@@ -164,7 +178,8 @@ class MatrixFreeBdSimulation {
   BdConfig config_;
   PmeParams pme_params_;
   KrylovConfig krylov_config_;
-  Xoshiro256 rng_;
+  Xoshiro256 rng_;       // trajectory stream (kTrajectoryStream)
+  Xoshiro256 wave_rng_;  // wave-space mesh noise (kWavespaceStream)
 
   std::shared_ptr<NeighborList> nlist_;
   std::optional<PmeOperator> pme_;

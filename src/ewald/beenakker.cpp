@@ -49,6 +49,80 @@ double beenakker_self(double a, double xi) {
   return 1.0 - 6.0 * kInvSqrtPi * xa + 40.0 / 3.0 * kInvSqrtPi * xa * xa * xa;
 }
 
+double pse_recip(double k2, double a, double xi) {
+  HBD_CHECK(k2 > 0.0);
+  const double ixi2 = 1.0 / (xi * xi);
+  const double ka = std::sqrt(k2) * a;
+  // sinc(ka), series below the rounding knee of sin(x)/x.
+  const double sinc =
+      ka < 1e-4 ? 1.0 - ka * ka / 6.0 : std::sin(ka) / ka;
+  // a·sinc²(ka)·(1 + k²/4ξ²)·(6π/k²)·exp(−k²/4ξ²).  Two deliberate
+  // departures from beenakker_recip: the exact RPY form factor sinc²(ka)
+  // replaces its 2-term Taylor (a − a³k²/3), which goes negative beyond
+  // ka = √3, and the Hasimoto splitting polynomial (1 + x) replaces
+  // Beenakker's (1 + x + 2x²), x = k²/4ξ².  Both are essential for the
+  // positive split: the wave scalar is a product of nonnegative factors,
+  // and the real-part spectrum 6πa·sinc²/k²·[1 − (1+x)e^{−x}] is
+  // nonnegative because (1+x)e^{−x} ≤ 1 for x ≥ 0 — a bound Beenakker's
+  // polynomial violates by up to 56% (at x = 3/2), which would push the
+  // near field indefinite.
+  return a * sinc * sinc * (1.0 + 0.25 * k2 * ixi2) *
+         (6.0 * std::numbers::pi / k2) * std::exp(-0.25 * k2 * ixi2);
+}
+
+PseRealDelta::PseRealDelta(double a, double xi, double rmax,
+                           std::size_t npts) {
+  HBD_CHECK(a > 0.0 && xi > 0.0 && rmax > 0.0 && npts >= 2);
+  rmax_ = rmax;
+  inv_dr_ = static_cast<double>(npts - 1) / rmax;
+  f_.resize(npts);
+  g_.resize(npts);
+
+  // k² d(k) vanishes as k⁴ at the origin and like exp(−k²/4ξ²) beyond a few
+  // ξ; Simpson over [0, k_up] with k_up = 2ξ·√(ln 1e16) reaches the damping
+  // floor.  ~2k oscillation periods per unit k·rmax keeps 2048 panels ample.
+  const double k_up = 2.0 * xi * std::sqrt(std::log(1e16));
+  constexpr std::size_t kPanels = 2048;  // even, Simpson pairs
+  const double h = k_up / static_cast<double>(kPanels);
+  const double dr = rmax / static_cast<double>(npts - 1);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t t = 0; t < npts; ++t) {
+    const double r = static_cast<double>(t) * dr;
+    double sf = 0.0, sg = 0.0;
+    for (std::size_t q = 1; q <= kPanels; ++q) {  // integrand(0) = 0
+      const double k = static_cast<double>(q) * h;
+      const double d = pse_recip(k * k, a, xi) - beenakker_recip(k * k, a, xi);
+      const double x = k * r;
+      double j0, j1x;  // j₀(x) and j₁(x)/x
+      if (x < 1e-4) {
+        j0 = 1.0 - x * x / 6.0;
+        j1x = 1.0 / 3.0 - x * x / 30.0;
+      } else {
+        j0 = std::sin(x) / x;
+        j1x = (std::sin(x) / (x * x) - std::cos(x) / x) / x;
+      }
+      const double w = (q == kPanels) ? 1.0 : (q % 2 == 1 ? 4.0 : 2.0);
+      sf += w * k * k * d * (j0 - j1x);
+      sg += w * k * k * d * (3.0 * j1x - j0);
+    }
+    const double scale = h / (3.0 * 2.0 * std::numbers::pi * std::numbers::pi);
+    f_[t] = sf * scale;
+    g_[t] = sg * scale;
+  }
+  self_ = f_[0];
+}
+
+PairCoeffs PseRealDelta::delta(double r) const {
+  HBD_CHECK(!f_.empty());
+  const double x = std::clamp(r, 0.0, rmax_) * inv_dr_;
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(x), f_.size() - 2);
+  const double w = x - static_cast<double>(lo);
+  return {f_[lo] + w * (f_[lo + 1] - f_[lo]),
+          g_[lo] + w * (g_[lo + 1] - g_[lo])};
+}
+
 PairCoeffs oseen_real(double r, double a, double xi) {
   HBD_CHECK(r > 0.0);
   const double r2 = r * r;

@@ -12,7 +12,9 @@
 // The total must be independent of ξ — the test suite checks this.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "common/vec3.hpp"
 #include "ewald/rpy.hpp"
@@ -31,6 +33,54 @@ double beenakker_recip(double k2, double a, double xi);
 
 /// Self term M^(0) = (1 − 6ξa/√π + 40 ξ³a³/(3√π)) (coefficient of I).
 double beenakker_self(double a, double xi);
+
+// ---- Positively split (PSE) kernel ------------------------------------------
+// Beenakker's wave scalar carries the truncated RPY finite-size factor
+// (a − a³k²/3) — the two-term Taylor expansion of the exact factor
+// a·sinc²(ka) = a·(sin ka / ka)², which is negative for ka > √3.  The PSE
+// variant (EwaldKernel::pse, after Fiore et al. arXiv:1611.09322) keeps the
+// exact sinc² factor instead: since (1 + x + x²/2)e^{−x} ≤ 1, *both* Ewald
+// halves then have nonnegative spectra for every splitting ξ — including
+// overlapping pairs, whose RPY branch is exactly the sinc² kernel — so the
+// wave part has a real square root (wave-space Brownian sampling) and the
+// truncated near-field sum stays positive definite for the split Lanczos.
+// The split stays an identity: the real-space pair/self terms are corrected
+// by the short-ranged residual Δ(r) = FT⁻¹ of (pse_recip − beenakker_recip).
+
+/// Reciprocal-space scalar of the PSE split:
+/// a·sinc²(ka)·(1 + k²/4ξ²)·(6π/k²)·exp(−k²/4ξ²) ≥ 0.  Uses the exact RPY
+/// form factor sinc²(ka) and the Hasimoto splitting polynomial (1 + x),
+/// whose product with e^{−x} never exceeds 1 — so the complementary
+/// real-part spectrum is nonnegative too (both halves PSD at every ξ).
+double pse_recip(double k2, double a, double xi);
+
+/// Tabulated real-space correction of the PSE split.  The residual spectrum
+/// d(k) = pse_recip − beenakker_recip is smooth (O(k⁴a⁴) at small k) and
+/// Gaussian-damped, so its transform Δ(r) = Δf(r)·I + Δg(r)·r̂r̂ᵀ is a
+/// short-ranged smooth pair tensor, evaluated once per operator by radial
+/// Simpson quadrature
+///   Δf = (1/2π²)∫ k² d(k) [j₀(kr) − j₁(kr)/(kr)] dk,
+///   Δg = (1/2π²)∫ k² d(k) [3 j₁(kr)/(kr) − j₀(kr)] dk
+/// on an `npts`-point grid over [0, rmax] and linearly interpolated during
+/// assembly:  pse_real(r) = beenakker_real(r) − Δ(r),
+///            pse_self    = beenakker_self    − Δf(0).
+/// Each grid point integrates serially (parallel only across points), so the
+/// table is bitwise deterministic for any thread count.
+class PseRealDelta {
+ public:
+  PseRealDelta() = default;
+  PseRealDelta(double a, double xi, double rmax, std::size_t npts = 8192);
+
+  bool empty() const { return f_.empty(); }
+  /// Δ coefficients at pair distance r (clamped into [0, rmax]).
+  PairCoeffs delta(double r) const;
+  /// Δf(0): the correction to subtract from the Ewald self term.
+  double self_delta() const { return self_; }
+
+ private:
+  double rmax_ = 0.0, inv_dr_ = 0.0, self_ = 0.0;
+  std::vector<double> f_, g_;
+};
 
 // ---- Oseen / Stokeslet kernel ------------------------------------------------
 // The prior PME-for-Stokes codes the paper contrasts against (refs. [15–17])

@@ -1,0 +1,26 @@
+// Which Ewald split of the periodic RPY tensor an operator uses.  Both
+// choices sum to the same total mobility (the split is an identity); they
+// differ in how the finite-size factor of the RPY spectrum is carried:
+//
+//   * beenakker — the paper's split (ref. [22]): the wave-space scalar uses
+//     the truncated factor (a − a³k²/3), which turns negative for ka > √3.
+//     Fine for the deterministic operator, but the wave part has no real
+//     square root, so it cannot back a wave-space Brownian sampler.
+//   * pse — positively-split variant in the spirit of Fiore et al.
+//     (arXiv:1611.09322): the wave scalar keeps the exact RPY factor
+//     a·sinc²(ka) ≥ 0 and the Hasimoto splitting polynomial (1 + k²/4ξ²),
+//     and the real-space pair/self terms are corrected by the short-ranged
+//     residual Δ(r) (PseRealDelta) so the total is unchanged.  Both halves
+//     are then positive semidefinite for every ξ — the wave part samples
+//     exactly and the near-field Lanczos stays SPD.
+#pragma once
+
+namespace hbd {
+
+enum class EwaldKernel { beenakker, pse };
+
+inline const char* ewald_kernel_name(EwaldKernel k) {
+  return k == EwaldKernel::pse ? "pse" : "beenakker";
+}
+
+}  // namespace hbd

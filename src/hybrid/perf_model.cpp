@@ -154,6 +154,23 @@ double PmePerfModel::t_recip_block(std::size_t mesh, int order, std::size_t n,
          t_interpolation_block(order, n, s);
 }
 
+double PmePerfModel::t_wave_sample(std::size_t mesh, int order, std::size_t n,
+                                   std::size_t s) const {
+  const double k3 = std::pow(static_cast<double>(mesh), 3);
+  const double sd = static_cast<double>(s);
+  // Gaussian mesh-noise fill: 3s half-spectra of K³/2 complex values —
+  // 3·s·K³ doubles written (24 s K³ bytes) at ~40 flops per variate
+  // (Box–Muller log/sqrt/sincos); take the slower of the two limits.
+  const double noise_values = 3.0 * sd * k3;
+  const double t_noise =
+      std::max(8.0 * noise_values / (hw_.stream_bw_gbs * 1e9),
+               40.0 * noise_values / (hw_.peak_dp_gflops * 1e9));
+  // The sqrt-influence pass streams the same bytes as the batched
+  // influence (one scalar table read + in-place update of 3s spectra).
+  return t_noise + t_influence_block(mesh, s) + t_ifft_block(mesh, s) +
+         t_interpolation_block(order, n, s);
+}
+
 double PmePerfModel::mean_neighbors(std::size_t n, double rmax, double box) {
   const double density = static_cast<double>(n) / (box * box * box);
   return 4.0 / 3.0 * std::numbers::pi * rmax * rmax * rmax * density;

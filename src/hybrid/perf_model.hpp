@@ -105,6 +105,15 @@ class PmePerfModel {
   double t_recip_block(std::size_t mesh, int order, std::size_t n,
                        std::size_t s) const;
 
+  /// One wave-space far-field Brownian sample of a width-s block (PSE
+  /// split): the mesh-noise Gaussian fill (24·s·K³ bytes written, ~40 flops
+  /// per variate), the m^{1/2} scaling pass (same traffic as the batched
+  /// influence), the 3s inverse transforms, and the batched interpolation.
+  /// No spreading and no forward transforms — roughly half a
+  /// t_recip_block.
+  double t_wave_sample(std::size_t mesh, int order, std::size_t n,
+                       std::size_t s) const;
+
   /// Real-space SpMV time: BCSR traffic (9·vb + 4 B per 3×3 block plus the
   /// vectors) over bandwidth, with `neighbors` = average near-field
   /// neighbors per particle.  With `symmetric` the matrix keeps only the

@@ -177,8 +177,10 @@ BdStepModel model_bd_step(const Device& host,
                           std::size_t n, double box, int order,
                           double ep_target, std::size_t lambda,
                           int krylov_iterations, double rebuild_interval,
-                          bool symmetric, double rebuild_fraction) {
+                          bool symmetric, double rebuild_fraction,
+                          bool wavespace, int nearfield_iterations) {
   BdStepModel out;
+  const double nf_it = static_cast<double>(std::max(nearfield_iterations, 1));
   // Per extra SpMM column: the x and y streams (plus the y read-back of the
   // symmetric transpose scatter) while the matrix itself is read once.
   const double vec_bytes = symmetric ? 72.0 : 48.0;
@@ -208,10 +210,15 @@ BdStepModel model_bd_step(const Device& host,
                        (host.model.hardware().stream_bw_gbs * 1e9);
       const double t_block =
           t_real_block + host.model.t_recip_block(mesh, order, n, lambda);
+      // Per-update Brownian sampling: k_it full block applies (Krylov), or
+      // the PSE split — one wave-space sample of width λ plus a few
+      // near-field-only block SpMM sweeps.
+      const double t_sampling =
+          wavespace ? host.model.t_wave_sample(mesh, order, n, lambda) +
+                          nf_it * t_real_block
+                    : static_cast<double>(krylov_iterations) * t_block;
       const double t_step =
-          t_single +
-          static_cast<double>(krylov_iterations) * t_block /
-              static_cast<double>(lambda) +
+          t_single + t_sampling / static_cast<double>(lambda) +
           host.model.t_realspace_overhead(n, nbr, lambda, rebuild_interval,
                                           rebuild_fraction);
       if (t_step < best) best = t_step;
@@ -243,9 +250,14 @@ BdStepModel model_bd_step(const Device& host,
         static_cast<double>(lambda - 1) * vec_bytes * static_cast<double>(n) /
             (host.model.hardware().stream_bw_gbs * 1e9);
     const double t_line6 = std::max(t_real_block, t_recip_block);
+    // With the wavespace split the sampling never leaves the host: one wave
+    // sample plus the near-field sweeps (no reciprocal block to partition).
+    const double t_sampling =
+        wavespace ? host.model.t_wave_sample(plan.mesh, order, n, lambda) +
+                        nf_it * t_real_block
+                  : static_cast<double>(krylov_iterations) * t_line6;
     const double offloaded =
-        t_line9 + static_cast<double>(krylov_iterations) * t_line6 /
-                      static_cast<double>(lambda);
+        t_line9 + t_sampling / static_cast<double>(lambda);
     // The scheduler falls back to the CPU-only plan when offloading loses
     // (small systems: transfer overhead + inefficient small-mesh FFTs on the
     // accelerator) — the hybrid code is never slower than CPU-only.

@@ -113,7 +113,11 @@ struct BdStepModel {
 /// `rebuild_interval` is the measured (or estimated) steps between Verlet
 /// list rebuilds, feeding the amortized real-space pipeline overhead; a
 /// non-positive value disables the term.  `symmetric` and `rebuild_fraction`
-/// as in tune_splitting.
+/// as in tune_splitting.  With `wavespace`, the per-update Brownian sampling
+/// is modeled as the PSE split instead of the full block-Krylov term: one
+/// t_wave_sample of width λ plus `nearfield_iterations` near-field-only
+/// block SpMM sweeps (both on the host — the far-field sample is not
+/// partitioned across accelerators).
 BdStepModel model_bd_step(const Device& host,
                           const std::vector<Device>& accelerators,
                           std::size_t n, double box, int order,
@@ -121,6 +125,8 @@ BdStepModel model_bd_step(const Device& host,
                           int krylov_iterations,
                           double rebuild_interval = 256.0,
                           bool symmetric = false,
-                          double rebuild_fraction = 1.0);
+                          double rebuild_fraction = 1.0,
+                          bool wavespace = false,
+                          int nearfield_iterations = 0);
 
 }  // namespace hbd

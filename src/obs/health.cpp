@@ -100,6 +100,13 @@ void RunManifest::write_json(JsonWriter& w) const {
   w.value(skin_auto);
   w.field("precision", precision);
   w.field("colored_fraction", colored_fraction);
+  w.field("brownian_method", brownian_method);
+  w.field("ewald_kernel", ewald_kernel);
+  w.end_object();
+  w.key("rng_streams");
+  w.begin_object();
+  w.field("trajectory", static_cast<double>(rng_stream_trajectory));
+  w.field("wavespace", static_cast<double>(rng_stream_wavespace));
   w.end_object();
   w.key("hardware");
   w.begin_object();
@@ -143,6 +150,7 @@ HealthMonitor::HealthMonitor() {
     probes_enabled_ = true;
   }
   ep_tolerance_ = env_double("HBD_HEALTH_EP_TOL", ep_tolerance_);
+  cov_tolerance_ = env_double("HBD_HEALTH_COV_TOL", cov_tolerance_);
   set_probe_interval(static_cast<std::size_t>(env_double(
       "HBD_HEALTH_PROBE_INTERVAL",
       static_cast<double>(probe_interval_))));
@@ -186,6 +194,30 @@ void HealthMonitor::record_ep(std::uint64_t step, double ep) {
     e.message = "PME relative error exceeds tolerance";
     e.value = ep;
     e.threshold = ep_tolerance_;
+    record_event(std::move(e));
+  }
+}
+
+void HealthMonitor::record_cov(std::uint64_t step, double error) {
+  if constexpr (!kEnabled) return;
+  HBD_GAUGE_SET("health.cov", error);
+  HBD_HISTOGRAM_OBSERVE("health.cov_probe", error);
+  bool warn = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cov_.size() < kMaxSeries) cov_.push_back({step, error});
+    cov_last_ = error;
+    cov_max_ = std::max(cov_max_, error);
+    warn = error > cov_tolerance_;
+  }
+  if (warn) {
+    HealthEvent e;
+    e.severity = HealthEvent::Severity::warning;
+    e.step = step;
+    e.phase = "brownian.cov";
+    e.message = "sampled Brownian covariance error exceeds tolerance";
+    e.value = error;
+    e.threshold = cov_tolerance_;
     record_event(std::move(e));
   }
 }
@@ -234,6 +266,14 @@ double HealthMonitor::ep_max() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ep_max_;
 }
+double HealthMonitor::cov_last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cov_last_;
+}
+double HealthMonitor::cov_max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cov_max_;
+}
 std::size_t HealthMonitor::warnings() const {
   std::lock_guard<std::mutex> lock(mu_);
   return warnings_;
@@ -242,6 +282,10 @@ std::size_t HealthMonitor::warnings() const {
 std::vector<EpProbe> HealthMonitor::ep_history() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ep_;
+}
+std::vector<CovProbe> HealthMonitor::cov_history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cov_;
 }
 std::vector<KrylovUpdate> HealthMonitor::krylov_history() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -275,6 +319,13 @@ std::string HealthMonitor::summary() const {
   } else {
     os << "e_p: no probes ran (set HBD_HEALTH=<path> or enable probing)\n";
   }
+  if (!cov_.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "covariance: %zu probes, last %.3g, max %.3g "
+                  "(tolerance %.3g)\n",
+                  cov_.size(), cov_last_, cov_max_, cov_tolerance_);
+    os << buf;
+  }
   std::snprintf(buf, sizeof(buf), "health events: %zu warning(s)\n",
                 warnings_);
   os << buf;
@@ -301,6 +352,21 @@ void HealthMonitor::write_json(std::ostream& out,
     w.begin_object();
     w.field("step", static_cast<double>(p.step));
     w.field("ep", p.ep);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("covariance");
+  w.begin_object();
+  w.field("tolerance", cov_tolerance_);
+  w.field("last", cov_last_);
+  w.field("max", cov_max_);
+  w.key("series");
+  w.begin_array();
+  for (const CovProbe& p : cov_) {
+    w.begin_object();
+    w.field("step", static_cast<double>(p.step));
+    w.field("error", p.error);
     w.end_object();
   }
   w.end_array();
@@ -357,6 +423,7 @@ void HealthMonitor::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   rebuilds_seen_ = 0;
   ep_.clear();
+  cov_.clear();
   krylov_.clear();
   events_.clear();
   krylov_updates_ = 0;
@@ -365,6 +432,8 @@ void HealthMonitor::clear() {
   krylov_nonconverged_ = 0;
   ep_last_ = 0.0;
   ep_max_ = 0.0;
+  cov_last_ = 0.0;
+  cov_max_ = 0.0;
   warnings_ = 0;
 }
 

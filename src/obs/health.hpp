@@ -122,6 +122,17 @@ struct RunManifest {
   /// Mean fraction of rows under the colored symmetric schedule (1 unless
   /// the hybrid degree threshold routed low-degree rows to the dup pass).
   double colored_fraction = 1.0;
+  /// Brownian sampling route: "krylov" (full-operator block Lanczos),
+  /// "wavespace" (PSE split sampler), or "cholesky" (dense Ewald driver).
+  std::string brownian_method = "krylov";
+  /// Ewald split of the PME operator: "beenakker" (default) or the
+  /// positively-split "pse" kernel the wavespace sampler requires.
+  std::string ewald_kernel = "beenakker";
+  /// RNG substream ids (long jumps from `seed`, see hbd::substream): the
+  /// trajectory stream drives forces + near-field noise, the wavespace
+  /// stream the mesh noise of the split sampler.
+  int rng_stream_trajectory = 0;
+  int rng_stream_wavespace = 1;
 
   // Performance-model hardware baseline (HardwareParams headline rates).
   std::string hw_name;
@@ -146,6 +157,12 @@ RunManifest& run_manifest();
 struct EpProbe {
   std::uint64_t step = 0;
   double ep = 0.0;
+};
+
+/// One covariance probe of the Brownian sampler (⟨(xᵀD)²⟩ vs xᵀ M̃ x).
+struct CovProbe {
+  std::uint64_t step = 0;
+  double error = 0.0;
 };
 
 /// Convergence record of one mobility update's Brownian sampling.
@@ -187,6 +204,11 @@ class HealthMonitor {
   void set_probe_samples(std::size_t samples);
   double ep_tolerance() const { return ep_tolerance_; }
   void set_ep_tolerance(double tol) { ep_tolerance_ = tol; }
+  /// Covariance-probe tolerance (HBD_HEALTH_COV_TOL; generous by default —
+  /// the probe is a sampling estimator with ~12% relative std at the
+  /// driver's 128 samples, so the bound catches sampler bugs, not noise).
+  double cov_tolerance() const { return cov_tolerance_; }
+  void set_cov_tolerance(double tol) { cov_tolerance_ = tol; }
   const std::string& export_path() const { return export_path_; }
   void set_export_path(std::string path) { export_path_ = std::move(path); }
 
@@ -198,6 +220,10 @@ class HealthMonitor {
   /// Appends one e_p sample; raises a warning HealthEvent (and sets the
   /// "health.ep" gauge) when it exceeds ep_tolerance().
   void record_ep(std::uint64_t step, double ep);
+
+  /// Appends one sampled-covariance error; raises a warning HealthEvent
+  /// (and sets the "health.cov" gauge) when it exceeds cov_tolerance().
+  void record_cov(std::uint64_t step, double error);
 
   /// Appends one mobility update's Krylov convergence record.
   void record_krylov(std::uint64_t step, int iterations,
@@ -212,9 +238,12 @@ class HealthMonitor {
   std::uint64_t krylov_nonconverged() const;
   double ep_last() const;
   double ep_max() const;
+  double cov_last() const;
+  double cov_max() const;
   std::size_t warnings() const;
 
   std::vector<EpProbe> ep_history() const;
+  std::vector<CovProbe> cov_history() const;
   std::vector<KrylovUpdate> krylov_history() const;
   std::vector<HealthEvent> events() const;
 
@@ -237,8 +266,11 @@ class HealthMonitor {
   double ep_tolerance_ = 5e-3;
   std::string export_path_;
 
+  double cov_tolerance_ = 0.5;
+
   std::uint64_t rebuilds_seen_ = 0;
   std::vector<EpProbe> ep_;
+  std::vector<CovProbe> cov_;
   std::vector<KrylovUpdate> krylov_;
   std::vector<HealthEvent> events_;
   std::uint64_t krylov_updates_ = 0;
@@ -247,6 +279,8 @@ class HealthMonitor {
   std::uint64_t krylov_nonconverged_ = 0;
   double ep_last_ = 0.0;
   double ep_max_ = 0.0;
+  double cov_last_ = 0.0;
+  double cov_max_ = 0.0;
   std::size_t warnings_ = 0;
 };
 

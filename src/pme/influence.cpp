@@ -11,7 +11,8 @@ namespace hbd {
 
 InfluenceFunction::InfluenceFunction(std::size_t mesh, double box,
                                      double radius, double xi, int order,
-                                     bool bspline_correction)
+                                     bool bspline_correction,
+                                     EwaldKernel kernel)
     : mesh_(mesh), nzh_(mesh / 2 + 1), box_(box) {
   HBD_CHECK(mesh % 2 == 0);
   const std::vector<double> bsq =
@@ -22,7 +23,8 @@ InfluenceFunction::InfluenceFunction(std::size_t mesh, double box,
   scalar_.resize(mesh_ * mesh_ * nzh_);
 
   const long k = static_cast<long>(mesh_);
-#pragma omp parallel for schedule(static)
+  double pos_mass = 0.0, neg_mass = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : pos_mass, neg_mass)
   for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
     const long h1 = (static_cast<long>(k1) <= k / 2)
                         ? static_cast<long>(k1)
@@ -45,13 +47,26 @@ InfluenceFunction::InfluenceFunction(std::size_t mesh, double box,
           const double ky = two_pi_over_l * static_cast<double>(h2);
           const double kz = two_pi_over_l * static_cast<double>(h3);
           const double k2n = kx * kx + ky * ky + kz * kz;
-          v = beenakker_recip(k2n, radius, xi) * inv_v * bsq[k1] * bsq[k2] *
-              bsq[k3];
+          const double raw = (kernel == EwaldKernel::pse
+                                  ? pse_recip(k2n, radius, xi)
+                                  : beenakker_recip(k2n, radius, xi)) *
+                             inv_v;
+          v = raw * bsq[k1] * bsq[k2] * bsq[k3];
+          // Raw (pre-deconvolution) spectral mass: the |b|² factors cancel
+          // against the spline smearing in spread/interpolate, so `raw` is
+          // the mode's effective weight in the particle-level covariance.
+          // k3 > 0 entries stand for a conjugate pair.
+          const double mult = (h3 > 0) ? 2.0 : 1.0;
+          if (raw > 0.0)
+            pos_mass += mult * raw;
+          else
+            neg_mass -= mult * raw;
         }
         scalar_[(k1 * mesh_ + k2) * nzh_ + k3] = v;
       }
     }
   }
+  negative_fraction_ = pos_mass > 0.0 ? neg_mass / pos_mass : 0.0;
 }
 
 void InfluenceFunction::apply(Complex* cx, Complex* cy, Complex* cz) const {
@@ -137,6 +152,129 @@ void InfluenceFunction::apply_batch(Complex* spec, std::size_t ncols) const {
           pd[6 * j + 5] = s * (vzi - kz * kdi);
         }
       }
+    }
+  }
+}
+
+void InfluenceFunction::apply_sqrt(Complex* cx, Complex* cy, Complex* cz) const {
+  const long k = static_cast<long>(mesh_);
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box_;
+  // Pass 1: scale each stored mode by sqrt(m_α(k)/2)·(I − k̂k̂ᵀ).
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const long h1 = (static_cast<long>(k1) <= k / 2)
+                        ? static_cast<long>(k1)
+                        : static_cast<long>(k1) - k;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const long h2 = (static_cast<long>(k2) <= k / 2)
+                          ? static_cast<long>(k2)
+                          : static_cast<long>(k2) - k;
+      const std::size_t row = (k1 * mesh_ + k2) * nzh_;
+      for (std::size_t k3 = 0; k3 < nzh_; ++k3) {
+        const double s = scalar_[row + k3];
+        // Negative modes (ka > √3, where Beenakker's 1 − k²a²/3 factor
+        // flips sign) have no real square root — sampling draws from the
+        // positive part only; see sample_negative_fraction().
+        if (s <= 0.0) {
+          cx[row + k3] = 0.0;
+          cy[row + k3] = 0.0;
+          cz[row + k3] = 0.0;
+          continue;
+        }
+        const double sq = std::sqrt(0.5 * s);
+        const double kx = two_pi_over_l * static_cast<double>(h1);
+        const double ky = two_pi_over_l * static_cast<double>(h2);
+        const double kz = two_pi_over_l * static_cast<double>(k3);
+        const double inv_k2 = 1.0 / (kx * kx + ky * ky + kz * kz);
+        const Complex vx = cx[row + k3];
+        const Complex vy = cy[row + k3];
+        const Complex vz = cz[row + k3];
+        const Complex kdotv = (kx * vx + ky * vy + kz * vz) * inv_k2;
+        cx[row + k3] = sq * (vx - kx * kdotv);
+        cy[row + k3] = sq * (vy - ky * kdotv);
+        cz[row + k3] = sq * (vz - kz * kdotv);
+      }
+    }
+  }
+  // Pass 2: the k3 = 0 plane stores both members of each ±k pair, so the
+  // noise must be made explicitly Hermitian there — the canonical
+  // (lexicographically smaller) member keeps its value and overwrites the
+  // partner with the conjugate.  Written entries are never canonical, so
+  // the parallel sweep is race-free; self-conjugate entries (DC, Nyquist)
+  // are already zero and are skipped.  The projector commutes with this:
+  // B(−k) = B(k) and B is real, so conj(B ζ) = B conj(ζ).
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const std::size_t p1 = (mesh_ - k1) % mesh_;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const std::size_t p2 = (mesh_ - k2) % mesh_;
+      if (!(p1 > k1 || (p1 == k1 && p2 > k2))) continue;
+      const std::size_t src = (k1 * mesh_ + k2) * nzh_;
+      const std::size_t dst = (p1 * mesh_ + p2) * nzh_;
+      cx[dst] = std::conj(cx[src]);
+      cy[dst] = std::conj(cy[src]);
+      cz[dst] = std::conj(cz[src]);
+    }
+  }
+}
+
+void InfluenceFunction::apply_sqrt_batch(Complex* spec,
+                                         std::size_t ncols) const {
+  const long k = static_cast<long>(mesh_);
+  const double two_pi_over_l = 2.0 * std::numbers::pi / box_;
+  const std::size_t b = 3 * ncols;
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const long h1 = (static_cast<long>(k1) <= k / 2)
+                        ? static_cast<long>(k1)
+                        : static_cast<long>(k1) - k;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const long h2 = (static_cast<long>(k2) <= k / 2)
+                          ? static_cast<long>(k2)
+                          : static_cast<long>(k2) - k;
+      const std::size_t row = (k1 * mesh_ + k2) * nzh_;
+      for (std::size_t k3 = 0; k3 < nzh_; ++k3) {
+        const double s = scalar_[row + k3];
+        Complex* p = spec + (row + k3) * b;
+        // Negative modes are clamped to zero as in apply_sqrt.
+        if (s <= 0.0) {
+          for (std::size_t q = 0; q < b; ++q) p[q] = 0.0;
+          continue;
+        }
+        const double sq = std::sqrt(0.5 * s);
+        const double kx = two_pi_over_l * static_cast<double>(h1);
+        const double ky = two_pi_over_l * static_cast<double>(h2);
+        const double kz = two_pi_over_l * static_cast<double>(k3);
+        const double inv_k2 = 1.0 / (kx * kx + ky * ky + kz * kz);
+        double* pd = reinterpret_cast<double*>(p);
+#pragma omp simd
+        for (std::size_t j = 0; j < ncols; ++j) {
+          const double vxr = pd[6 * j], vxi = pd[6 * j + 1];
+          const double vyr = pd[6 * j + 2], vyi = pd[6 * j + 3];
+          const double vzr = pd[6 * j + 4], vzi = pd[6 * j + 5];
+          const double kdr = (kx * vxr + ky * vyr + kz * vzr) * inv_k2;
+          const double kdi = (kx * vxi + ky * vyi + kz * vzi) * inv_k2;
+          pd[6 * j] = sq * (vxr - kx * kdr);
+          pd[6 * j + 1] = sq * (vxi - kx * kdi);
+          pd[6 * j + 2] = sq * (vyr - ky * kdr);
+          pd[6 * j + 3] = sq * (vyi - ky * kdi);
+          pd[6 * j + 4] = sq * (vzr - kz * kdr);
+          pd[6 * j + 5] = sq * (vzi - kz * kdi);
+        }
+      }
+    }
+  }
+  // Conjugate-symmetrize the k3 = 0 plane across all columns (see
+  // apply_sqrt for the pairing and race-freedom argument).
+#pragma omp parallel for schedule(static)
+  for (std::size_t k1 = 0; k1 < mesh_; ++k1) {
+    const std::size_t p1 = (mesh_ - k1) % mesh_;
+    for (std::size_t k2 = 0; k2 < mesh_; ++k2) {
+      const std::size_t p2 = (mesh_ - k2) % mesh_;
+      if (!(p1 > k1 || (p1 == k1 && p2 > k2))) continue;
+      const Complex* src = spec + (k1 * mesh_ + k2) * nzh_ * b;
+      Complex* dst = spec + (p1 * mesh_ + p2) * nzh_ * b;
+      for (std::size_t q = 0; q < b; ++q) dst[q] = std::conj(src[q]);
     }
   }
 }

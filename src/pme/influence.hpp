@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "common/aligned.hpp"
+#include "ewald/kernel.hpp"
 #include "fft/fft.hpp"
 
 namespace hbd {
@@ -19,8 +20,12 @@ class InfluenceFunction {
   /// order = B-spline order p (for the SPME |b|² factors).  With
   /// `bspline_correction` false the |b|² factors are omitted — the original
   /// (Lagrangian) PME needs no such correction (paper Sec. III-A).
+  /// `kernel` picks the wave scalar: Beenakker's (a − a³k²/3) factor
+  /// (default) or the positively-split sinc²(ka) variant (EwaldKernel::pse),
+  /// whose table is nonnegative at every stored mode.
   InfluenceFunction(std::size_t mesh, double box, double radius, double xi,
-                    int order, bool bspline_correction = true);
+                    int order, bool bspline_correction = true,
+                    EwaldKernel kernel = EwaldKernel::beenakker);
 
   std::size_t mesh() const { return mesh_; }
 
@@ -36,8 +41,42 @@ class InfluenceFunction {
   /// columns, turning an ncols-fold memory-bound sweep into one.
   void apply_batch(Complex* spec, std::size_t ncols) const;
 
+  /// In-place square-root application for wave-space Brownian sampling
+  /// (Fiore et al., arXiv:1611.09322): scales each stored mode by
+  /// sqrt(m_α(k)/2)·(I − k̂k̂ᵀ) — the projector is idempotent, hence its own
+  /// square root — and then conjugate-symmetrizes the k3 = 0 plane, whose
+  /// ±k partners are both stored (the c2r transform only implies conjugates
+  /// for the unstored k3 > K/2 half).  Fed with unit complex Gaussian noise
+  /// (Re, Im ~ N(0,1), so E|ζ|² = 2; the 1/2 in the scale cancels it), the
+  /// inverse transform then has exactly the covariance of the influence
+  /// operator: every full-spectrum mode carries variance m_α(k) split over
+  /// its conjugate pair.  DC and the Nyquist planes — the self-conjugate
+  /// modes that would need a √2 correction — are zero in the stored table,
+  /// so no special weighting remains.
+  ///
+  /// Caveat: the Beenakker split is not positively split — m_α(k) < 0 for
+  /// ka > √3 (the 1 − k²a²/3 factor), so those modes have no real square
+  /// root and are clamped to zero here (the deterministic apply keeps
+  /// them), biasing the sampled covariance by the clamped mass, which is
+  /// O(1) at production splittings.  Wave-space sampling therefore uses
+  /// EwaldKernel::pse, whose sinc²(ka) factor keeps every stored mode
+  /// nonnegative and the sample exact; sample_negative_fraction() reports
+  /// the clamped mass (zero for pse) and the health layer's covariance
+  /// probe monitors the sampled statistics online.
+  void apply_sqrt(Complex* cx, Complex* cy, Complex* cz) const;
+
+  /// Batched apply_sqrt on `ncols` interleaved column spectra (same layout
+  /// as apply_batch).
+  void apply_sqrt_batch(Complex* spec, std::size_t ncols) const;
+
   /// Stored bytes (the paper's 8·K³/2 figure).
   std::size_t bytes() const { return scalar_.size() * sizeof(double); }
+
+  /// Clamped-to-retained spectral mass ratio of the sqrt application:
+  /// Σ|m_α(k)| over the negative (ka > √3) modes divided by Σ m_α(k) over
+  /// the positive ones, both pre-deconvolution (the |b|² factors cancel in
+  /// the round trip).  Identically zero for EwaldKernel::pse.
+  double sample_negative_fraction() const { return negative_fraction_; }
 
   /// Scalar factor at half-spectrum index (k1,k2,k3); test accessor.
   double scalar_at(std::size_t k1, std::size_t k2, std::size_t k3) const {
@@ -47,6 +86,7 @@ class InfluenceFunction {
  private:
   std::size_t mesh_, nzh_;
   double box_;
+  double negative_fraction_ = 0.0;
   aligned_vector<double> scalar_;
 };
 

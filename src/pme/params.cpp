@@ -17,18 +17,29 @@ std::size_t nice_fft_size(std::size_t target) {
   }
 }
 
-PmeParams choose_pme_params(double box, double radius, double ep_target,
+namespace {
+
+// Shared accuracy-driven selection.  `decay_shift` is the offset of the
+// real-space Gaussian decay: the Beenakker real part falls off as
+// exp(−ξ²r²) (shift 0), the PSE real part as exp(−ξ²(r−2a)²) — the
+// sinc²(ka) wave factor's cos(2ka) modulation translates the Gaussian by
+// the particle diameter — so ξ must be derived from the effective decay
+// length rmax − shift, not rmax itself.
+PmeParams choose_with_decay(double box, double radius, double ep_target,
                             double rmax_in_radii, int order,
-                            Precision precision) {
+                            Precision precision, double decay_shift) {
   HBD_CHECK(ep_target > 0.0 && ep_target < 1.0);
   PmeParams p;
   p.order = order;
   p.precision = precision;
   p.rmax = std::min(rmax_in_radii * radius, 0.5 * box);
 
-  // Real-space truncation: leading decay exp(−ξ²r²); converge to ~ep/10.
+  // Real-space truncation: leading decay exp(−ξ²(r−shift)²); converge the
+  // pair sum to ~ep/10 at the cutoff.
+  const double reff = p.rmax - decay_shift;
+  HBD_CHECK(reff > 0.0);
   const double s = std::sqrt(std::log(10.0 / ep_target));
-  p.xi = s / p.rmax;
+  p.xi = s / reff;
 
   // Reciprocal truncation at the mesh Nyquist k_c = πK/L: decay
   // exp(−k²/4ξ²); require k_c ≥ 2ξs (plus 30% margin for the polynomial
@@ -37,6 +48,29 @@ PmeParams choose_pme_params(double box, double radius, double ep_target,
   const std::size_t kmin =
       static_cast<std::size_t>(std::ceil(kc * box / std::numbers::pi));
   p.mesh = nice_fft_size(std::max<std::size_t>(kmin, order));
+  return p;
+}
+
+}  // namespace
+
+PmeParams choose_pme_params(double box, double radius, double ep_target,
+                            double rmax_in_radii, int order,
+                            Precision precision) {
+  return choose_with_decay(box, radius, ep_target, rmax_in_radii, order,
+                           precision, 0.0);
+}
+
+PmeParams choose_pme_params_wavespace(double box, double radius,
+                                      double ep_target, int order,
+                                      Precision precision) {
+  // rmax grows by the 2a decay shift so that, in a large enough box, the
+  // effective decay length (and hence ξ and the mesh) matches the
+  // deterministic chooser; the extra near-field pairs are cheap next to
+  // the full-operator Krylov iteration the split sampler eliminates.
+  PmeParams p = choose_with_decay(box, radius, ep_target, 7.0, order,
+                                  precision, 2.0 * radius);
+  p.kernel = EwaldKernel::pse;
+  p.brownian = BrownianMethod::wavespace;
   return p;
 }
 

@@ -29,6 +29,25 @@ PmeParams choose_pme_params(double box, double radius, double ep_target,
                             double rmax_in_radii = 5.0, int order = 6,
                             Precision precision = Precision::fp64);
 
+/// Parameter choice for wave-space Brownian sampling
+/// (BrownianMethod::wavespace).  Delegates to choose_pme_params for the
+/// accuracy-driven mesh/ξ/rmax selection, then switches the split to the
+/// positively-split kernel (EwaldKernel::pse) and presets `brownian` to
+/// wavespace.  The split sampler needs both Ewald halves positive
+/// semidefinite — the wave table for its direct square root, the
+/// near-field sum for the split Lanczos — which Beenakker's kernel cannot
+/// provide at any ξ (its wave scalar is negative for ka > √3, and pushing ξ
+/// either way only moves the indefiniteness between the halves); the PSE
+/// kernel's sinc²(ka) spectra are nonnegative for every ξ, so no ξ
+/// restriction is needed.  The PSE real part decays as exp(−ξ²(r−2a)²) —
+/// shifted outward by the particle diameter — so the cutoff grows to 7a
+/// (vs the deterministic 5a) and ξ is derived from rmax − 2a; in a large
+/// enough box that reproduces the deterministic chooser's ξ and mesh, and
+/// only the (cheap, sparse) near-field sum pays for the extra shell.
+PmeParams choose_pme_params_wavespace(double box, double radius,
+                                      double ep_target, int order = 6,
+                                      Precision precision = Precision::fp64);
+
 /// Box width for n particles of radius a at volume fraction phi:
 /// phi = n·(4/3)πa³ / L³.
 double box_for_volume_fraction(std::size_t n, double radius, double phi);

@@ -1,8 +1,10 @@
 #include "pme/pme_operator.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "obs/telemetry.hpp"
 #include "pme/realspace.hpp"
 
@@ -18,15 +20,17 @@ PmeOperator::PmeOperator(std::span<const Vec3> pos, double box, double radius,
       real_(neighbors ? RealspaceOperator(box, radius, params.xi, params.rmax,
                                           std::move(neighbors), params.storage,
                                           params.precision,
-                                          params.sym_degree_threshold)
+                                          params.sym_degree_threshold,
+                                          params.kernel)
                       : RealspaceOperator(box, radius, params.xi, params.rmax,
                                           params.skin, params.storage,
                                           params.precision,
-                                          params.sym_degree_threshold)),
+                                          params.sym_degree_threshold,
+                                          params.kernel)),
       interp_(pos, box, params.mesh, params.order, params.precompute_interp,
               params.interp, params.precision),
       influence_(params.mesh, box, radius, params.xi, params.order,
-                 params.interp == InterpKind::bspline),
+                 params.interp == InterpKind::bspline, params.kernel),
       fft_(params.mesh, params.mesh, params.mesh) {
   // The partial-rebuild / auto-skin knobs belong to whoever owns the list;
   // when the operator constructed its own, the params configure it here.
@@ -188,6 +192,77 @@ void PmeOperator::recip_block(const Matrix& f, Matrix& u, bool accumulate) {
   HBD_COUNTER_ADD("pme.interp.bytes", interp_traffic_bytes(s));
 }
 
+std::size_t PmeOperator::wave_noise_doubles() const {
+  return 6 * fft_.complex_size();
+}
+
+void PmeOperator::sample_recip_block(std::span<const double> noise, Matrix& u,
+                                     bool accumulate) {
+  const std::size_t s = u.cols();
+  const std::size_t nspec = fft_.complex_size();
+  HBD_CHECK(u.rows() == 3 * n_ && noise.size() >= 3 * s * 2 * nspec);
+  ensure_batch_capacity(s);
+  // The whole sample runs under its own phase so the drift audit's
+  // per-phase accounting of the deterministic pipeline stays clean — the
+  // apply counts for spreading/fft/influence/ifft/interpolation do not
+  // include wave-sample work.
+  HBD_TRACE_SCOPE("pme.wave_sample");
+  ScopedPhase phase(&timers_, "wave_sample");
+  counts_.wave += 1;
+  counts_.wave_columns += s;
+  const std::size_t b = 3 * s;
+  {
+    // Pack the per-component noise chunks into the interleaved batch
+    // layout spec[t*3s + 3j + c].
+    HBD_TRACE_SCOPE("pme.wave_sample.pack");
+#pragma omp parallel for schedule(static)
+    for (std::size_t t = 0; t < nspec; ++t) {
+      Complex* out = batch_spec_.data() + t * b;
+      for (std::size_t m = 0; m < b; ++m) {
+        const double* src = noise.data() + m * 2 * nspec + 2 * t;
+        out[m] = Complex(src[0], src[1]);
+      }
+    }
+  }
+  {
+    HBD_TRACE_SCOPE("pme.wave_sample.sqrt_influence");
+    influence_.apply_sqrt_batch(batch_spec_.data(), s);
+  }
+  {
+    HBD_TRACE_SCOPE("pme.wave_sample.ifft");
+    fft_.inverse_batch(batch_spec_.data(), batch_mesh_.data(), b);
+  }
+  HBD_COUNTER_ADD("pme.fft.inverse", b);
+  {
+    HBD_TRACE_SCOPE("pme.wave_sample.interp");
+    interp_.interpolate_block(batch_mesh_.data(), u, accumulate);
+  }
+  HBD_COUNTER_ADD("pme.interp.bytes", interp_traffic_bytes(s));
+}
+
+void PmeOperator::sample_recip_block(Xoshiro256& rng, Matrix& u,
+                                     bool accumulate) {
+  const std::size_t s = u.cols();
+  const std::size_t chunk = 2 * fft_.complex_size();
+  if (wave_noise_.size() < 3 * s * chunk) wave_noise_.resize(3 * s * chunk);
+  // One substream seed per component mesh, drawn sequentially from the
+  // wave stream (fixed consumption: 3s u64 per call), then each chunk
+  // fills independently — the noise is a pure function of the stream
+  // state, bitwise identical for any thread count.
+  std::vector<std::uint64_t> seeds(3 * s);
+  for (auto& sd : seeds) sd = rng.next_u64();
+  {
+    HBD_TRACE_SCOPE("pme.wave_sample.noise");
+    ScopedPhase phase(&timers_, "wave_sample");
+#pragma omp parallel for schedule(static)
+    for (std::size_t m = 0; m < 3 * s; ++m) {
+      Xoshiro256 sub(seeds[m]);
+      fill_gaussian(sub, {wave_noise_.data() + m * chunk, chunk});
+    }
+  }
+  sample_recip_block({wave_noise_.data(), 3 * s * chunk}, u, accumulate);
+}
+
 void PmeOperator::apply_recip_block(const Matrix& f, Matrix& u) {
   HBD_CHECK(f.rows() == 3 * n_ && u.rows() == 3 * n_ &&
             f.cols() == u.cols());
@@ -212,6 +287,7 @@ std::size_t PmeOperator::bytes() const {
   return 3 * m3 * sizeof(double) + 3 * fft_.complex_size() * sizeof(Complex) +
          batch_mesh_.size() * sizeof(double) +
          batch_spec_.size() * sizeof(Complex) + scratch_.size() * sizeof(double) +
+         wave_noise_.size() * sizeof(double) +
          interp_.bytes() + influence_.bytes() + real_.bytes() +
          real_.neighbors().bytes();
 }

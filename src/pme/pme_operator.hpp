@@ -19,12 +19,27 @@
 #include "fft/fft.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "common/neighbor_list.hpp"
+#include "ewald/kernel.hpp"
 #include "pme/influence.hpp"
 #include "pme/interp_matrix.hpp"
 #include "pme/realspace.hpp"
 #include "sparse/bcsr3.hpp"
 
 namespace hbd {
+
+class Xoshiro256;
+
+/// Brownian sampling route of the matrix-free driver (Algorithm 2 line 6):
+/// block Lanczos on the full operator (the paper's method, default), or the
+/// PSE-style split of Fiore et al. (arXiv:1611.09322) — the far field is
+/// sampled directly in wave space at ~one reciprocal apply per block and
+/// Lanczos runs only on the sparse near field, whose tight spectrum
+/// converges in a few iterations.
+enum class BrownianMethod { krylov, wavespace };
+
+inline const char* brownian_method_name(BrownianMethod m) {
+  return m == BrownianMethod::wavespace ? "wavespace" : "krylov";
+}
 
 /// Numerical parameters of a PME mobility operator.
 struct PmeParams {
@@ -64,6 +79,14 @@ struct PmeParams {
   /// degree below this threshold skip the colored schedule and stream
   /// duplicated (0 = color every row, the historical schedule).
   std::size_t sym_degree_threshold = 0;
+  /// Brownian sampling route (see BrownianMethod).  The default keeps the
+  /// full-operator block-Krylov path bitwise identical to prior releases;
+  /// wavespace enables the split sampler and its covariance health probe.
+  BrownianMethod brownian = BrownianMethod::krylov;
+  /// Ewald split (see EwaldKernel): Beenakker's kernel (default, bitwise
+  /// identical to prior releases) or the positively-split PSE variant that
+  /// wave-space sampling requires (choose_pme_params_wavespace sets it).
+  EwaldKernel kernel = EwaldKernel::beenakker;
 };
 
 class PmeOperator {
@@ -110,6 +133,37 @@ class PmeOperator {
   /// through the batched pipeline (overwrites U).
   void apply_recip_block(const Matrix& f, Matrix& u);
 
+  /// Doubles of mesh noise consumed per sampled column by
+  /// sample_recip_block: 2 (re, im) × 3 components × half-spectrum points.
+  std::size_t wave_noise_doubles() const;
+
+  /// Far-field Brownian sample U(:,j) = M_recip^{1/2} η_j for a block of
+  /// columns (PSE split, Fiore et al. arXiv:1611.09322): the unit Gaussian
+  /// mesh noise is scaled by sqrt(m_α(k)/2) and projected in reciprocal
+  /// space (InfluenceFunction::apply_sqrt_batch), inverse-transformed, and
+  /// interpolated back to the particles — the covariance of each column is
+  /// exactly M_recip at the cost of roughly half a reciprocal apply (no
+  /// spreading, no forward transforms).  `noise` holds iid N(0,1) doubles,
+  /// 2·complex_size() per component: component c of column j occupies
+  /// noise[(3j + c)·2·nspec ..), interleaved (re, im) per stored mode.
+  void sample_recip_block(std::span<const double> noise, Matrix& u,
+                          bool accumulate);
+
+  /// Convenience overload drawing the noise from `rng`: 3s substream seeds
+  /// are drawn sequentially (fixed consumption: 3s u64 per call), then each
+  /// component mesh fills in parallel from its own generator — bitwise
+  /// deterministic for any thread count.
+  void sample_recip_block(Xoshiro256& rng, Matrix& u, bool accumulate);
+
+  /// Clamped-to-retained spectral mass of the wave-space sqrt application
+  /// (the ka > √3 modes where the Beenakker scalar is negative, with
+  /// relative mass ~exp(−3/(4ξ²a²)) — O(1) at production splittings).
+  /// Identically zero for EwaldKernel::pse, which is why wave-space
+  /// sampling uses that kernel (choose_pme_params_wavespace).
+  double wave_clamped_fraction() const {
+    return influence_.sample_negative_fraction();
+  }
+
   /// Phase timings (spreading / fft / influence / ifft / interpolation)
   /// accumulated over all apply calls — the Fig. 5 breakdown.
   const PhaseTimers& timers() const { return timers_; }
@@ -125,6 +179,8 @@ class PmeOperator {
     std::uint64_t single = 0;        ///< single-vector reciprocal sweeps
     std::uint64_t block = 0;         ///< batched block applies
     std::uint64_t block_columns = 0; ///< summed widths of the block applies
+    std::uint64_t wave = 0;          ///< wave-space sample blocks
+    std::uint64_t wave_columns = 0;  ///< summed widths of the wave samples
   };
   const ApplyCounts& apply_counts() const { return counts_; }
 
@@ -171,6 +227,10 @@ class PmeOperator {
 
   // Scratch for the real-space accumulation in apply(), sized once.
   aligned_vector<double> scratch_;
+
+  // Wave-space sampling noise buffer (rng overload of sample_recip_block),
+  // lazily grown to the widest block seen.
+  aligned_vector<double> wave_noise_;
 
   PhaseTimers timers_;
   ApplyCounts counts_;

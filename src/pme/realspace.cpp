@@ -14,17 +14,19 @@ RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
                                      double rmax, double skin,
                                      NearFieldStorage storage,
                                      Precision precision,
-                                     std::size_t sym_degree_threshold)
+                                     std::size_t sym_degree_threshold,
+                                     EwaldKernel kernel)
     : RealspaceOperator(box, radius, xi, rmax,
                         std::make_shared<NeighborList>(box, rmax, skin),
-                        storage, precision, sym_degree_threshold) {}
+                        storage, precision, sym_degree_threshold, kernel) {}
 
 RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
                                      double rmax,
                                      std::shared_ptr<NeighborList> neighbors,
                                      NearFieldStorage storage,
                                      Precision precision,
-                                     std::size_t sym_degree_threshold)
+                                     std::size_t sym_degree_threshold,
+                                     EwaldKernel kernel)
     : box_(box),
       radius_(radius),
       xi_(xi),
@@ -32,12 +34,17 @@ RealspaceOperator::RealspaceOperator(double box, double radius, double xi,
       storage_(storage),
       precision_(precision),
       sym_degree_threshold_(sym_degree_threshold),
+      kernel_(kernel),
       neighbors_(std::move(neighbors)) {
   HBD_CHECK_MSG(rmax <= 0.5 * box,
                 "real-space cutoff must not exceed half the box width");
   HBD_CHECK(neighbors_ != nullptr);
   HBD_CHECK_MSG(neighbors_->box() == box && neighbors_->cutoff() >= rmax,
                 "shared neighbor list does not cover the real-space cutoff");
+  // The Δ table depends only on (a, ξ, rmax): built once, reused by every
+  // value refresh.
+  if (kernel_ == EwaldKernel::pse)
+    pse_delta_ = PseRealDelta(radius, xi, rmax);
 }
 
 void RealspaceOperator::refresh(std::span<const Vec3> pos) {
@@ -145,6 +152,13 @@ void RealspaceOperator::pair_block(const Vec3& rij, double r2,
     c.f += corr.f;
     c.g += corr.g;
   }
+  if (kernel_ == EwaldKernel::pse) {
+    // Positively-split kernel: the sinc² mass moved into the wave scalar is
+    // subtracted here so the total operator is unchanged.
+    const PairCoeffs d = pse_delta_.delta(r);
+    c.f -= d.f;
+    c.g -= d.g;
+  }
   pair_tensor(rij, c, b);
 }
 
@@ -160,7 +174,9 @@ void RealspaceOperator::refresh_values_for(std::span<const Vec3> pos,
                                            Bcsr3MatrixT<Real>& full,
                                            SymBcsr3MatrixT<Real>& sym) {
   const std::size_t n = neighbors_->particles();
-  const double self = beenakker_self(radius_, xi_);
+  const double self =
+      beenakker_self(radius_, xi_) -
+      (kernel_ == EwaldKernel::pse ? pse_delta_.self_delta() : 0.0);
   const bool symmetric = storage_ == NearFieldStorage::symmetric;
   const auto mat_ptr = symmetric ? sym.row_ptr() : full.row_ptr();
   const auto mat_cols = symmetric

@@ -26,6 +26,8 @@
 #include "common/neighbor_list.hpp"
 #include "common/precision.hpp"
 #include "common/vec3.hpp"
+#include "ewald/beenakker.hpp"
+#include "ewald/kernel.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "sparse/bcsr3.hpp"
 #include "sparse/sym_bcsr3.hpp"
@@ -51,12 +53,16 @@ enum class NearFieldStorage {
 class RealspaceOperator {
  public:
   /// Owns a private NeighborList with the given skin (0: pattern rebuilt on
-  /// any motion, matrix identical to the one-shot build).
+  /// any motion, matrix identical to the one-shot build).  `kernel` picks
+  /// the Ewald split: Beenakker's (default) or the positively-split PSE
+  /// variant, whose pair/self terms subtract the tabulated Δ(r) correction
+  /// (PseRealDelta) so both Ewald halves stay positive semidefinite.
   RealspaceOperator(double box, double radius, double xi, double rmax,
                     double skin = 0.0,
                     NearFieldStorage storage = NearFieldStorage::full,
                     Precision precision = Precision::fp64,
-                    std::size_t sym_degree_threshold = 0);
+                    std::size_t sym_degree_threshold = 0,
+                    EwaldKernel kernel = EwaldKernel::beenakker);
 
   /// Shares `neighbors` with other consumers (steric forces, diagnostics).
   /// Its cutoff must be ≥ rmax and its box must match.
@@ -64,7 +70,8 @@ class RealspaceOperator {
                     std::shared_ptr<NeighborList> neighbors,
                     NearFieldStorage storage = NearFieldStorage::full,
                     Precision precision = Precision::fp64,
-                    std::size_t sym_degree_threshold = 0);
+                    std::size_t sym_degree_threshold = 0,
+                    EwaldKernel kernel = EwaldKernel::beenakker);
 
   /// Revalidates the neighbor list for `pos` and recomputes the matrix
   /// values in place (pattern rebuilt only when the list rebuilt).
@@ -72,6 +79,7 @@ class RealspaceOperator {
 
   NearFieldStorage storage() const { return storage_; }
   Precision precision() const { return precision_; }
+  EwaldKernel kernel() const { return kernel_; }
   /// Hybrid-coloring degree threshold forwarded to symmetric storage
   /// (0: fully colored, the historical schedule).
   std::size_t sym_degree_threshold() const { return sym_degree_threshold_; }
@@ -139,6 +147,8 @@ class RealspaceOperator {
   NearFieldStorage storage_;
   Precision precision_;
   std::size_t sym_degree_threshold_;
+  EwaldKernel kernel_;
+  PseRealDelta pse_delta_;  // populated for EwaldKernel::pse only
   std::shared_ptr<NeighborList> neighbors_;
   Bcsr3Matrix matrix_;      // full / fp64
   SymBcsr3Matrix sym_;      // symmetric / fp64

@@ -19,8 +19,9 @@ a candidate metric's p50 regardless of the baseline — used to pin the
 measured FP32 storage-rounding error (fp32_ep) under the paper's e_p budget.
 
 Accuracy: --health reads an HBD_HEALTH report and fails when the maximum
-probed PME error e_p exceeds --ep-max, or when any Krylov update failed to
-converge.
+probed PME error e_p exceeds --ep-max, when the maximum probed Brownian
+covariance error exceeds --cov-max (wavespace sampler runs), or when any
+Krylov update failed to converge.
 
 CI runs this in the bench-regression job; a PR that intentionally trades
 throughput (or relaxes accuracy) skips the gate with the
@@ -106,19 +107,29 @@ def check_bounds(args, failures):
 def check_health(args, failures):
     doc = load(args.health)
     ep = doc.get("ep", {})
+    cov = doc.get("covariance", {})
     krylov = doc.get("krylov", {})
     probes = len(ep.get("series", []))
+    cov_probes = len(cov.get("series", []))
     ep_max = float(ep.get("max", 0.0))
+    cov_max = float(cov.get("max", 0.0))
     nonconverged = int(krylov.get("nonconverged", 0))
     if probes == 0:
         failures.append(f"{args.health}: no e_p probes ran")
     if args.ep_max is not None and ep_max > args.ep_max:
         failures.append(
             f"{args.health}: max e_p {ep_max:g} exceeds bound {args.ep_max:g}")
+    if args.cov_max is not None:
+        if cov_probes == 0:
+            failures.append(f"{args.health}: no covariance probes ran")
+        elif cov_max > args.cov_max:
+            failures.append(f"{args.health}: max covariance error "
+                            f"{cov_max:g} exceeds bound {args.cov_max:g}")
     if nonconverged > 0:
         failures.append(
             f"{args.health}: {nonconverged} Krylov update(s) did not converge")
     print(f"  {args.health}: {probes} probes, max e_p {ep_max:g}, "
+          f"{cov_probes} covariance probes, max cov {cov_max:g}, "
           f"{nonconverged} non-converged")
 
 
@@ -138,6 +149,9 @@ def main():
     parser.add_argument("--health", help="HBD_HEALTH JSON report to gate")
     parser.add_argument("--ep-max", type=float, default=None,
                         help="maximum allowed probed PME error e_p")
+    parser.add_argument("--cov-max", type=float, default=None,
+                        help="maximum allowed probed Brownian covariance "
+                             "error (wavespace sampler runs)")
     args = parser.parse_args()
 
     if args.baseline and not args.candidate:

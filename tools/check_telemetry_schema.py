@@ -16,7 +16,8 @@ Validates that
     samples/percentiles, with every percentile entry keyed by a sample field
     and holding p50/p90/max;
   * a health report (HBD_HEALTH=<path>) carries the manifest, the e_p probe
-    series, the Krylov convergence series, and the events list;
+    series, the covariance probe series, the Krylov convergence series, and
+    the events list;
   * every artifact embeds the run-provenance manifest (version, compiler,
     run configuration, PME parameters).
 
@@ -73,6 +74,17 @@ def check_manifest(doc, path):
     cf = pme.get("colored_fraction")
     require(is_num(cf) and 0.0 <= cf <= 1.0, path,
             "manifest.pme.colored_fraction must be in [0, 1]")
+    require(pme.get("brownian_method") in ("cholesky", "krylov",
+                                           "wavespace"), path,
+            "manifest.pme.brownian_method must be cholesky/krylov/wavespace")
+    require(pme.get("ewald_kernel") in ("beenakker", "pse"), path,
+            "manifest.pme.ewald_kernel must be 'beenakker' or 'pse'")
+    rng = m.get("rng_streams")
+    require(isinstance(rng, dict), path,
+            "manifest.rng_streams must be an object")
+    for key in ("trajectory", "wavespace"):
+        require(is_num(rng.get(key)), path,
+                f"manifest.rng_streams.{key} must be numeric")
     hw = m.get("hardware")
     require(isinstance(hw, dict), path,
             "manifest.hardware must be an object")
@@ -171,6 +183,19 @@ def check_health(path):
         require(isinstance(p, dict) and is_num(p.get("step"))
                 and is_num(p.get("ep")), path,
                 f"ep.series[{i}] must carry step and ep")
+
+    cov = doc.get("covariance")
+    require(isinstance(cov, dict), path, "missing covariance object")
+    for key in ("tolerance", "last", "max"):
+        require(is_num(cov.get(key)), path,
+                f"covariance.{key} must be numeric")
+    cseries = cov.get("series")
+    require(isinstance(cseries, list), path,
+            "covariance.series must be a list")
+    for i, p in enumerate(cseries):
+        require(isinstance(p, dict) and is_num(p.get("step"))
+                and is_num(p.get("error")), path,
+                f"covariance.series[{i}] must carry step and error")
 
     krylov = doc.get("krylov")
     require(isinstance(krylov, dict), path, "missing krylov object")
