@@ -14,6 +14,7 @@
 #include "core/forces.hpp"
 #include "core/simulation.hpp"
 #include "core/system.hpp"
+#include "obs/exposition.hpp"
 #include "obs/telemetry.hpp"
 #include "pme/params.hpp"
 
@@ -58,6 +59,18 @@ int main() {
   MatrixFreeBdSimulation sim(std::move(system), forces, config, pme,
                              /*krylov_tol=*/1e-2);
 
+  // Live telemetry (docs/observability.md, layers 5–6): HBD_STREAM=<path>
+  // streams one aggregated NDJSON/CSV window per HBD_STREAM_INTERVAL steps
+  // while the run is in flight; HBD_EXPO_PORT=<port> serves /metrics
+  // (Prometheus text), /health and /manifest on loopback so a collector can
+  // scrape the stepping simulation; HBD_FLIGHT=<path> arms the crash flight
+  // recorder (HBD_FLIGHT_INJECT=<step> deterministically trips it, and
+  // tools/hbd_replay.py verifies the bundle replays bitwise).  The first two
+  // are wired by the simulation constructor; the server lives here.
+  auto expo = hbd::obs::MetricsServer::from_env();
+  if (expo && expo->ok())
+    std::printf("serving /metrics on 127.0.0.1:%d\n", expo->port());
+
   // 5. Run and measure the short-time diffusion coefficient.
   MsdRecorder msd;
   msd.record(sim.system().positions);
@@ -91,6 +104,26 @@ int main() {
                 sim.health().summary().c_str());
     std::printf("\n-- metrics --\n%s",
                 obs::Registry::global().report().c_str());
+    if (sim.stream())
+      std::printf("\n-- stream --\n%s: %llu steps pushed, %llu windows, "
+                  "%llu dropped\n",
+                  sim.stream()->options().path.c_str(),
+                  static_cast<unsigned long long>(sim.stream()->pushed()),
+                  static_cast<unsigned long long>(
+                      sim.stream()->windows_written()),
+                  static_cast<unsigned long long>(sim.stream()->dropped()));
+    if (sim.flight())
+      std::printf("\n-- flight --\n%s: %llu steps recorded (ring depth "
+                  "%zu), anchor at step %llu\n",
+                  sim.flight()->options().path.c_str(),
+                  static_cast<unsigned long long>(sim.flight()->recorded()),
+                  sim.flight()->depth(),
+                  static_cast<unsigned long long>(
+                      sim.flight()->last_snapshot().step));
+    if (expo)
+      std::printf("\n-- exposition --\n127.0.0.1:%d served %llu requests\n",
+                  expo->port(),
+                  static_cast<unsigned long long>(expo->requests()));
   }
   std::printf("done.\n");
   return 0;

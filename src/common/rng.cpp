@@ -25,6 +25,7 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
 }
 
 std::uint64_t Xoshiro256::next_u64() {
+  ++draws_;
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -75,6 +76,22 @@ void Xoshiro256::long_jump() {
   s_[2] = s2;
   s_[3] = s3;
   has_cached_ = false;
+}
+
+Xoshiro256::State Xoshiro256::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_gaussian = cached_gaussian_;
+  st.has_cached = has_cached_;
+  st.draws = draws_;
+  return st;
+}
+
+void Xoshiro256::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  cached_gaussian_ = st.cached_gaussian;
+  has_cached_ = st.has_cached;
+  draws_ = st.draws;
 }
 
 Xoshiro256 Xoshiro256::split() {

@@ -13,6 +13,17 @@ namespace hbd {
 /// cheap 2^128-step jumps for creating independent parallel streams.
 class Xoshiro256 {
  public:
+  /// Complete generator state: the four xoshiro words, the Box–Muller cache,
+  /// and the monotone draw counter.  Captured by the flight recorder so a
+  /// crashed run can be replayed bit-for-bit from its last mobility rebuild
+  /// (obs/flight.hpp); state()/set_state() round-trip exactly.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached = false;
+    std::uint64_t draws = 0;  ///< u64 values produced since construction
+  };
+
   /// Seeds the four state words from a single 64-bit seed via splitmix64.
   explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
@@ -34,10 +45,19 @@ class Xoshiro256 {
   /// independent stream.
   Xoshiro256 split();
 
+  /// Snapshot of the full generator state (bitwise round-trip).
+  State state() const;
+  /// Restores a snapshot taken with state().
+  void set_state(const State& st);
+  /// u64 values produced so far (long jumps included) — the per-stream draw
+  /// counter recorded in flight-recorder step records.
+  std::uint64_t draws() const { return draws_; }
+
  private:
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_ = false;
+  std::uint64_t draws_ = 0;
 };
 
 /// Deterministic substream `id` of a run seed: the stream seeded by `seed`

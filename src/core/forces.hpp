@@ -22,6 +22,12 @@ class ForceField {
   virtual void add_forces(std::span<const Vec3> pos, double box,
                           std::span<double> f) const = 0;
 
+  /// Stable type tag recorded in flight-recorder bundles so core/replay can
+  /// reconstruct the field ("repulsive_harmonic", "uniform", ...).  Types
+  /// without a replay constructor keep the default — replay then refuses
+  /// with a clear error instead of silently diverging.
+  virtual const char* name() const { return "unsupported"; }
+
   /// Neighbor-aware entry point used by the BD drivers: `neighbors` is the
   /// simulation-owned list, already updated for `pos` (or nullptr).  Pair
   /// forces whose cutoff fits under the list's reuse it instead of building
@@ -48,6 +54,9 @@ class RepulsiveHarmonic : public ForceField {
   /// concurrent calls (the fallback list is mutable state).
   void add_forces(std::span<const Vec3> pos, double box, std::span<double> f,
                   const NeighborList* neighbors) const override;
+  const char* name() const override { return "repulsive_harmonic"; }
+  double radius() const { return radius_; }
+  double spring_k() const { return k_; }
 
  private:
   /// Revalidates (or creates) the private fallback list for `pos`.
@@ -82,6 +91,8 @@ class UniformForce : public ForceField {
   explicit UniformForce(Vec3 force) : force_(force) {}
   void add_forces(std::span<const Vec3> pos, double box,
                   std::span<double> f) const override;
+  const char* name() const override { return "uniform"; }
+  Vec3 force() const { return force_; }
 
  private:
   Vec3 force_;

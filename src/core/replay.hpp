@@ -1,0 +1,75 @@
+// Flight-bundle replay (the inverse of obs/flight.hpp).
+//
+// A flight bundle anchors the crashed run at its last mobility rebuild:
+// positions and both RNG stream states captured *before* the Brownian block
+// was sampled.  Reconstructing the simulation from the bundle's replay
+// section, restoring that anchor, and stepping forward re-derives the
+// identical displacement block — so every recorded per-step position hash
+// must match bitwise, and the recorded failure must recur at the recorded
+// step.  replay_flight_bundle() automates exactly that check; it backs the
+// hbd_replay CLI tool and tools/hbd_replay.py.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/simulation.hpp"
+#include "obs/json.hpp"
+
+namespace hbd {
+
+/// The decoded subset of a flight bundle that replay needs.
+struct FlightBundle {
+  obs::JsonValue doc;  ///< the full parsed document
+
+  // Replay anchor.
+  std::uint64_t snapshot_step = 0;
+  std::vector<double> positions;  ///< 3n, bitwise-exact
+  Xoshiro256::State rng_traj;
+  Xoshiro256::State rng_wave;
+  double skin = 0.0;
+
+  // Flight ring (oldest → newest).
+  struct Record {
+    std::uint64_t step = 0;
+    std::uint64_t pos_hash = 0;
+    std::uint64_t force_hash = 0;
+    bool rebuilt = false;
+  };
+  std::vector<Record> records;
+
+  // Failure context (absent for bundles dumped without a failure).
+  bool has_failure = false;
+  std::string failure_phase;
+  std::string failure_what;
+  std::uint64_t failure_step = 0;
+};
+
+/// Parses and decodes `path`; throws hbd::Error on malformed bundles.
+FlightBundle load_flight_bundle(const std::string& path);
+
+/// Reconstructs the simulation described by the bundle's replay section,
+/// with the anchor restored (positions, RNG states, step counter) and —
+/// when the failure was injected — the injection re-armed.  Returned by
+/// pointer because the driver is neither copyable nor movable.  Throws
+/// hbd::Error for unsupported configurations (e.g. an unknown force field).
+std::unique_ptr<MatrixFreeBdSimulation> simulation_from_bundle(
+    const FlightBundle& bundle);
+
+struct ReplayResult {
+  bool ok = false;            ///< every check below passed
+  std::string error;          ///< first failed check, human-readable
+  std::size_t steps_replayed = 0;
+  std::size_t hashes_checked = 0;  ///< recorded position hashes verified
+  bool failure_reproduced = false; ///< same phase at the same step
+};
+
+/// End-to-end verification: load, reconstruct, re-step through every
+/// recorded step comparing position hashes bitwise, then (when the bundle
+/// carries a failure) confirm the failure recurs at the recorded step.
+ReplayResult replay_flight_bundle(const std::string& path);
+
+}  // namespace hbd

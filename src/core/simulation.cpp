@@ -1,6 +1,7 @@
 #include "core/simulation.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -167,6 +168,26 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
   // Publish this run's provenance to the process-wide manifest embedded by
   // the metrics/trace/bench exporters (last constructed driver wins).
   obs::run_manifest() = manifest();
+  // Live telemetry (layers 5–6): stream writer, flight recorder, and the
+  // deterministic failure injection knob, all env-gated and all null in
+  // -DHBD_TELEMETRY=OFF builds (from_env returns nullptr there).
+  stream_ = obs::StreamWriter::from_env();
+  flight_ = obs::FlightRecorder::from_env();
+  if (flight_) flight_->arm_signal_handler();
+  if constexpr (obs::kEnabled) {
+    if (const char* inj = std::getenv("HBD_FLIGHT_INJECT")) {
+      const long long v = std::atoll(inj);
+      if (v >= 0) inject_step_ = static_cast<std::uint64_t>(v);
+    }
+  }
+}
+
+void MatrixFreeBdSimulation::enable_stream(obs::StreamWriter::Options opts) {
+  stream_ = std::make_unique<obs::StreamWriter>(std::move(opts));
+}
+
+void MatrixFreeBdSimulation::enable_flight(obs::FlightRecorder::Options opts) {
+  flight_ = std::make_unique<obs::FlightRecorder>(std::move(opts));
 }
 
 MatrixFreeBdSimulation::~MatrixFreeBdSimulation() {
@@ -205,6 +226,11 @@ void MatrixFreeBdSimulation::rebuild() {
   // Close the previous audit window before this rebuild's applies land in
   // the operator's phase timers.
   if (pme_) audit_drift();
+  // Replay anchor: captured before the Brownian block is sampled, so a
+  // restored run re-draws the identical displacements (obs/flight.hpp).
+  if constexpr (obs::kEnabled) {
+    if (flight_) snapshot_flight();
+  }
   system_.wrapped_positions(wrapped_);
   // First rebuild constructs the operator (sharing the simulation-owned
   // neighbor list); subsequent mobility updates refresh it in place,
@@ -308,20 +334,203 @@ void MatrixFreeBdSimulation::guard_step() {
                     &krylov_stats_.relative_changes);
 }
 
+void MatrixFreeBdSimulation::step_once() {
+  HBD_TRACE_SCOPE("bd.step");
+  [[maybe_unused]] const Timer step_timer;
+  if constexpr (obs::kEnabled) {
+    // Deterministic failure injection (HBD_FLIGHT_INJECT): thrown before
+    // any state mutates, so the flight bundle's replay hits the identical
+    // point with the identical state.
+    if (steps_ == inject_step_) {
+      NumericalContext ctx;
+      ctx.phase = "inject";
+      ctx.step = static_cast<long>(steps_);
+      throw NumericalException("injected failure (HBD_FLIGHT_INJECT)", ctx);
+    }
+  }
+  if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
+  PmeMobility mob(*pme_);
+  propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
+            nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
+  if constexpr (obs::kEnabled) guard_step();
+  ++block_cursor_;
+  ++steps_;
+  HBD_COUNTER_ADD("bd.steps", 1);
+  const double wall = step_timer.seconds();
+  HBD_HISTOGRAM_OBSERVE("bd.step.seconds", wall);
+  if constexpr (obs::kEnabled) observe_step(wall);
+}
+
 void MatrixFreeBdSimulation::step(std::size_t nsteps) {
   for (std::size_t s = 0; s < nsteps; ++s) {
-    HBD_TRACE_SCOPE("bd.step");
-    [[maybe_unused]] const Timer step_timer;
-    if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
-    PmeMobility mob(*pme_);
-    propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
-              nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
-    if constexpr (obs::kEnabled) guard_step();
-    ++block_cursor_;
-    ++steps_;
-    HBD_COUNTER_ADD("bd.steps", 1);
-    HBD_HISTOGRAM_OBSERVE("bd.step.seconds", step_timer.seconds());
+    if constexpr (obs::kEnabled) {
+      try {
+        step_once();
+      } catch (const NumericalException& e) {
+        // Post-mortem: attach the failure context to the flight recorder
+        // and dump the bundle before the exception unwinds the run away.
+        if (flight_) {
+          const NumericalContext& ctx = e.context();
+          obs::FlightFailure failure;
+          failure.phase = ctx.phase;
+          failure.what = e.what();
+          failure.step = ctx.step < 0 ? steps_
+                                      : static_cast<std::uint64_t>(ctx.step);
+          failure.index = ctx.index;
+          failure.value = ctx.value;
+          failure.residuals = ctx.residuals;
+          flight_->set_failure(std::move(failure));
+          flight_->dump();
+        }
+        throw;
+      }
+    } else {
+      step_once();
+    }
   }
+}
+
+void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
+  if (!stream_ && !flight_) return;
+  const Timer obs_timer;
+  const bool rebuilt = block_cursor_ == 1;  // rebuild() ran on this step
+  const std::size_t n = system_.size();
+  const double* pos = &system_.positions[0].x;
+
+  if (stream_) {
+    obs::StreamRecord rec;
+    rec.step = steps_ - 1;
+    rec.wall_seconds = wall_seconds;
+    // Per-step phase seconds: deltas of the operator's cumulative timers.
+    if (pme_) {
+      const auto totals = pme_->timers().totals();
+      for (std::size_t p = 0; p < obs::kStreamPhases; ++p) {
+        const std::string key(obs::kStreamPhaseNames[p]);
+        const auto it = totals.find(key);
+        const double total = it == totals.end() ? 0.0 : it->second;
+        rec.phase_seconds[p] = total - stream_phase_seen_[key];
+        stream_phase_seen_[key] = total;
+      }
+    }
+    rec.krylov_iters =
+        rebuilt ? static_cast<double>(krylov_stats_.iterations) : 0.0;
+    const double ep = health_.ep_last();
+    rec.e_p = ep > 0.0 ? ep : -1.0;
+    rec.rebuild_fraction =
+        rebuilt ? effective_rebuild_fraction(*nlist_) : -1.0;
+    rec.rebuilt = rebuilt;
+    rec.rng_draws = rng_.draws();
+    stream_->push(rec);
+  }
+
+  if (flight_) {
+    obs::FlightRecord rec;
+    rec.step = steps_ - 1;
+    rec.pos_hash = obs::hash_doubles({pos, 3 * n});
+    rec.force_hash = obs::hash_doubles(forces_scratch_);
+    rec.wall_seconds = wall_seconds;
+    rec.krylov_iters =
+        rebuilt ? static_cast<double>(krylov_stats_.iterations) : 0.0;
+    rec.krylov_residual = krylov_stats_.relative_change;
+    rec.rng_draws_traj = rng_.draws();
+    rec.rng_draws_wave = wave_rng_.draws();
+    rec.rebuilt = rebuilt;
+    flight_->record(rec);
+  }
+
+  // Self-accounting for the <2% budget: everything this hook spent,
+  // including the hashes above, relative to total stepped time.
+  const double spent = obs_timer.seconds();
+  obs_seconds_ += spent;
+  step_seconds_ += wall_seconds + spent;
+  if (step_seconds_ > 0.0)
+    HBD_GAUGE_SET("obs.overhead_frac", obs_seconds_ / step_seconds_);
+}
+
+void MatrixFreeBdSimulation::snapshot_flight() {
+  obs::FlightSnapshot snap;
+  snap.step = steps_;
+  snap.skin = nlist_->skin();
+  snap.rng_traj = rng_.state();
+  snap.rng_wave = wave_rng_.state();
+  const double* pos = &system_.positions[0].x;
+  snap.positions.assign(pos, pos + 3 * system_.size());
+  flight_->snapshot(std::move(snap));
+  flight_->set_replay(replay_config());
+  // Refresh the process-wide manifest so the bundle's copy carries the
+  // live skin / colored-fraction values at anchor time.
+  obs::run_manifest() = manifest();
+}
+
+obs::ReplayConfig MatrixFreeBdSimulation::replay_config() const {
+  obs::ReplayConfig cfg;
+  auto str = [&](const char* k, std::string v) {
+    cfg.strings.emplace_back(k, std::move(v));
+  };
+  auto num = [&](const char* k, double v) {
+    cfg.numbers.emplace_back(k, v);
+  };
+  // Bitwise-critical doubles go through hex_double — decimal text would
+  // round; small integers are safe as JSON numbers.
+  str("driver", "matrix_free");
+  str("dt", obs::hex_double(config_.dt));
+  str("kbt", obs::hex_double(config_.kbt));
+  str("mu0", obs::hex_double(config_.mu0));
+  str("box", obs::hex_double(system_.box));
+  str("radius", obs::hex_double(system_.radius));
+  str("rmax", obs::hex_double(pme_params_.rmax));
+  str("xi", obs::hex_double(pme_params_.xi));
+  // The *live* skin: under auto-tuning the replay must freeze it, since the
+  // cell decomposition (and so force summation order) depends on it.
+  str("skin", obs::hex_double(nlist_ ? nlist_->skin() : pme_params_.skin));
+  str("krylov_tol", obs::hex_double(krylov_config_.tolerance));
+  str("seed", obs::hex_u64(config_.seed));
+  str("precision", precision_name(pme_params_.precision));
+  str("brownian", brownian_method_name(pme_params_.brownian));
+  str("kernel", ewald_kernel_name(pme_params_.kernel));
+  str("storage", pme_params_.storage == NearFieldStorage::symmetric
+                     ? "symmetric"
+                     : "full");
+  str("interp",
+      pme_params_.interp == InterpKind::lagrange ? "lagrange" : "bspline");
+  num("n", static_cast<double>(system_.size()));
+  num("mesh", static_cast<double>(pme_params_.mesh));
+  num("order", pme_params_.order);
+  num("lambda_rpy", static_cast<double>(config_.lambda_rpy));
+  num("sym_degree_threshold",
+      static_cast<double>(pme_params_.sym_degree_threshold));
+  num("precompute_interp", pme_params_.precompute_interp ? 1.0 : 0.0);
+  num("partial_rebuilds", pme_params_.partial_rebuilds ? 1.0 : 0.0);
+  // Force-field reconstruction (replay refuses unknown types).
+  const ForceField* ff = forces_.get();
+  str("force", ff ? ff->name() : "none");
+  if (const auto* rh = dynamic_cast<const RepulsiveHarmonic*>(ff)) {
+    str("force_radius", obs::hex_double(rh->radius()));
+    str("force_k", obs::hex_double(rh->spring_k()));
+  } else if (const auto* uf = dynamic_cast<const UniformForce*>(ff)) {
+    const Vec3 f = uf->force();
+    str("force_x", obs::hex_double(f.x));
+    str("force_y", obs::hex_double(f.y));
+    str("force_z", obs::hex_double(f.z));
+  }
+  return cfg;
+}
+
+void MatrixFreeBdSimulation::restore_flight(
+    std::span<const double> positions, const Xoshiro256::State& rng_trajectory,
+    const Xoshiro256::State& rng_wavespace, std::uint64_t step) {
+  HBD_CHECK(positions.size() == 3 * system_.size());
+  for (std::size_t i = 0; i < system_.size(); ++i) {
+    system_.positions[i].x = positions[3 * i];
+    system_.positions[i].y = positions[3 * i + 1];
+    system_.positions[i].z = positions[3 * i + 2];
+  }
+  rng_.set_state(rng_trajectory);
+  wave_rng_.set_state(rng_wavespace);
+  steps_ = step;
+  // Force the next step() to rebuild: the anchor was captured at the top of
+  // a rebuild, so stepping from here re-samples the identical block.
+  block_cursor_ = 0;
 }
 
 void MatrixFreeBdSimulation::audit_drift() {

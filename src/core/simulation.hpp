@@ -24,7 +24,9 @@
 #include "ewald/beenakker.hpp"
 #include "hybrid/scheduler.hpp"
 #include "obs/drift.hpp"
+#include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/stream.hpp"
 #include "pme/pme_operator.hpp"
 
 namespace hbd {
@@ -158,7 +160,44 @@ class MatrixFreeBdSimulation {
   BdStepModel model_step(const std::vector<Device>& accelerators = {},
                          double ep_target = 1e-3) const;
 
+  // --- Telemetry: live streaming + flight recorder (layers 5–6) ------------
+
+  /// The constructor wires both from the environment (HBD_STREAM,
+  /// HBD_FLIGHT, HBD_FLIGHT_INJECT); these attach/replace them
+  /// programmatically (tests, the replay tool).  Neither ever perturbs the
+  /// trajectory: records are derived from state the step produced anyway.
+  void enable_stream(obs::StreamWriter::Options opts);
+  void enable_flight(obs::FlightRecorder::Options opts);
+  obs::StreamWriter* stream() { return stream_.get(); }
+  obs::FlightRecorder* flight() { return flight_.get(); }
+
+  /// Deterministic failure injection: the step with this index throws a
+  /// synthetic NumericalException (phase "inject") at its top, before any
+  /// state mutates — the flight bundle then reproduces it under replay.
+  void set_inject_step(std::uint64_t step) { inject_step_ = step; }
+
+  /// Restores a flight-recorder anchor: positions (3n unwrapped), both RNG
+  /// stream states, and the step counter.  The next step() rebuilds the
+  /// mobility and re-samples the identical Brownian block, so stepping from
+  /// here reproduces the crashed run hash-for-hash (core/replay.cpp).
+  void restore_flight(std::span<const double> positions,
+                      const Xoshiro256::State& rng_trajectory,
+                      const Xoshiro256::State& rng_wavespace,
+                      std::uint64_t step);
+
+  /// The generic reconstruction section written into flight bundles
+  /// (bitwise-critical doubles hex-encoded; see obs/flight.hpp).
+  obs::ReplayConfig replay_config() const;
+
  private:
+  void step_once();
+  /// Post-step observation hook: pushes the stream record and the flight
+  /// record, and accounts its own cost into the obs.overhead_frac gauge.
+  /// Only does work when a stream or flight recorder is attached.
+  void observe_step(double wall_seconds);
+  /// Captures the replay anchor (positions + RNG states) into the flight
+  /// recorder; called at the top of every rebuild, before sampling.
+  void snapshot_flight();
   void rebuild();
   /// Records one drift-audit window covering all operator applies since the
   /// previous call (the λ propagation applies + the Krylov block applies).
@@ -200,6 +239,17 @@ class MatrixFreeBdSimulation {
   bool recalibrate_ = false;
   PmeOperator::ApplyCounts counts_seen_;
   std::map<std::string, double> phase_seen_;
+
+  // Live streaming + flight recorder (telemetry layers 5–6).  unique_ptr
+  // members keep the driver movable; both are null unless requested.
+  std::unique_ptr<obs::StreamWriter> stream_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::uint64_t inject_step_ = ~std::uint64_t{0};
+  /// Cumulative phase-timer readings at the last observe_step() — the
+  /// per-step phase deltas of the stream records.
+  std::map<std::string, double> stream_phase_seen_;
+  double obs_seconds_ = 0.0;   ///< time spent in observe_step()
+  double step_seconds_ = 0.0;  ///< total stepped wall time (incl. obs)
 
   // Per-step scratch (wrapped positions, forces, velocities), allocated once.
   std::vector<Vec3> wrapped_;

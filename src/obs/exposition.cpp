@@ -1,0 +1,219 @@
+#include "obs/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace hbd::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "hbd_";
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+      out += c;
+    else
+      out += '_';
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+std::string label_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  std::string out;
+  out.reserve(4096);
+
+  // Build/run provenance as the conventional *_build_info gauge.
+  const RunManifest& m = run_manifest();
+  out += "# HELP hbd_build_info Build and run provenance (constant 1).\n";
+  out += "# TYPE hbd_build_info gauge\n";
+  out += "hbd_build_info{version=\"" + label_escape(m.version) +
+         "\",build_type=\"" + label_escape(m.build_type) + "\",precision=\"" +
+         label_escape(m.precision) + "\",brownian=\"" +
+         label_escape(m.brownian_method) + "\",telemetry=\"" +
+         (m.telemetry ? std::string("on") : std::string("off")) + "\"} 1\n";
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name) + "_total";
+    out += "# TYPE " + p + " counter\n";
+    out += p + " ";
+    append_number(out, static_cast<double>(value));
+    out += "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    append_number(out, value);
+    out += "\n";
+  }
+  // Log-scale histograms export as summaries: our buckets are geometric, so
+  // quantile labels carry more information than cumulative le-buckets would.
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " summary\n";
+    const struct {
+      const char* q;
+      double v;
+    } qs[] = {{"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+    for (const auto& q : qs) {
+      out += p + "{quantile=\"" + q.q + "\"} ";
+      append_number(out, q.v);
+      out += "\n";
+    }
+    out += p + "_sum ";
+    append_number(out, h.sum);
+    out += "\n";
+    out += p + "_count ";
+    append_number(out, static_cast<double>(h.count));
+    out += "\n";
+  }
+  return out;
+}
+
+std::unique_ptr<MetricsServer> MetricsServer::from_env() {
+  if constexpr (!kEnabled) return nullptr;
+  const char* port = std::getenv("HBD_EXPO_PORT");
+  if (!port || !*port) return nullptr;
+  return std::make_unique<MetricsServer>(std::atoi(port));
+}
+
+MetricsServer::MetricsServer(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  fd_ = fd;
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (!stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+}
+
+void MetricsServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (r <= 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::serve(int client) {
+  char req[1024];
+  const ssize_t got = ::recv(client, req, sizeof(req) - 1, 0);
+  if (got <= 0) return;
+  req[got] = '\0';
+  // Request line only: "GET <path> HTTP/1.x".
+  std::string path = "/";
+  {
+    const char* sp1 = std::strchr(req, ' ');
+    if (sp1) {
+      const char* sp2 = std::strchr(sp1 + 1, ' ');
+      if (sp2) path.assign(sp1 + 1, sp2);
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string status = "200 OK";
+  if (path == "/metrics") {
+    body = prometheus_text();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/health") {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("status", "ok");
+    w.field("requests", static_cast<double>(requests()));
+    w.field("trace_recorded", static_cast<double>(Tracer::global().recorded()));
+    w.field("trace_dropped", static_cast<double>(Tracer::global().dropped()));
+    w.end_object();
+    body = os.str() + "\n";
+    content_type = "application/json";
+  } else if (path == "/manifest") {
+    std::ostringstream os;
+    JsonWriter w(os);
+    run_manifest().write_json(w);
+    body = os.str() + "\n";
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t sent =
+        ::send(client, resp.data() + off, resp.size() - off, 0);
+    if (sent <= 0) break;
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+}  // namespace hbd::obs

@@ -1,0 +1,74 @@
+// Embedded metrics exposition endpoint (telemetry layer 5, pull side).
+//
+// A minimal HTTP/1.0 server on a loopback socket serving the live registry
+// so standard collectors can scrape a running simulation:
+//
+//   GET /metrics   Prometheus text exposition format 0.0.4 (counters with
+//                  a _total suffix, histograms as summaries with quantile
+//                  labels, plus an hbd_build_info gauge carrying manifest
+//                  labels);
+//   GET /health    compact JSON liveness document;
+//   GET /manifest  the run-provenance manifest as JSON.
+//
+// One background thread accepts connections (poll with a short timeout so
+// stop() is prompt) and serves one request per connection.  All registry
+// reads go through the thread-safe snapshot()/atomics, so scraping races
+// nothing — the TSan leg exercises a concurrent scrape against a stepping
+// simulation.  With -DHBD_TELEMETRY=OFF from_env() returns nullptr; the
+// renderer stays linkable either way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace hbd::obs {
+
+/// Renders the global registry (+ manifest build-info labels) in Prometheus
+/// text exposition format 0.0.4.
+std::string prometheus_text();
+
+/// Sanitizes a dotted metric name into a Prometheus identifier:
+/// "bd.step.seconds" → "hbd_bd_step_seconds".
+std::string prometheus_name(std::string_view name);
+
+class MetricsServer {
+ public:
+  /// Starts a server from HBD_EXPO_PORT (0 picks an ephemeral port, useful
+  /// for tests; the bound port is in port()).  Returns nullptr when the
+  /// variable is unset or telemetry is compiled out.
+  static std::unique_ptr<MetricsServer> from_env();
+
+  /// Binds 127.0.0.1:`port` and starts the accept thread.  ok() is false
+  /// when the bind failed (the server then serves nothing).
+  explicit MetricsServer(int port);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  /// The actually bound port (resolves port 0).
+  int port() const { return port_; }
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting and joins the thread.  Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void serve(int client);
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace hbd::obs

@@ -1,0 +1,268 @@
+#include "obs/flight.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace hbd::obs {
+
+// ---- Hex helpers ------------------------------------------------------------
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hex_u64(bits);
+}
+
+bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+    s.remove_prefix(2);
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_hex_double(std::string_view s, double& out) {
+  std::uint64_t bits = 0;
+  if (!parse_hex_u64(s, bits)) return false;
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+std::uint64_t hash_doubles(std::span<const double> v) {
+  // FNV-1a over the raw 8-byte patterns; offset basis/prime per the spec.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+// ---- Recorder ---------------------------------------------------------------
+
+namespace {
+/// Most recently armed recorder (signal-handler target).
+FlightRecorder* g_armed = nullptr;
+
+extern "C" void hbd_flight_signal_handler(int sig) {
+  // Best effort: restore the default disposition first so a second fault
+  // inside the dump terminates instead of recursing, dump, re-raise.
+  std::signal(sig, SIG_DFL);
+  if (g_armed) g_armed->dump();
+  std::raise(sig);
+}
+}  // namespace
+
+std::unique_ptr<FlightRecorder> FlightRecorder::from_env() {
+  if constexpr (!kEnabled) return nullptr;
+  const char* path = std::getenv("HBD_FLIGHT");
+  if (!path || !*path) return nullptr;
+  Options opts;
+  opts.path = path;
+  if (const char* d = std::getenv("HBD_FLIGHT_DEPTH")) {
+    const long v = std::atol(d);
+    if (v > 0) opts.depth = static_cast<std::size_t>(v);
+  }
+  return std::make_unique<FlightRecorder>(std::move(opts));
+}
+
+FlightRecorder::FlightRecorder(Options opts) : opts_(std::move(opts)) {
+  opts_.depth = opts_.depth > 0 ? opts_.depth : 1;
+  ring_.resize(opts_.depth);
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (armed_ && g_armed == this) g_armed = nullptr;
+}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+void FlightRecorder::snapshot(FlightSnapshot snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  snap_ = std::move(snap);
+}
+
+void FlightRecorder::set_replay(ReplayConfig cfg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  replay_ = std::move(cfg);
+}
+
+void FlightRecorder::set_failure(FlightFailure failure) {
+  std::lock_guard<std::mutex> lk(mu_);
+  failure_ = std::move(failure);
+  has_failure_ = true;
+}
+
+bool FlightRecorder::has_failure() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return has_failure_;
+}
+
+std::vector<FlightRecord> FlightRecorder::ring() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "hbd.flight.v1");
+  w.key("manifest");
+  run_manifest().write_json(w);
+  w.field("depth", static_cast<double>(opts_.depth));
+  w.field("recorded", static_cast<double>(total_));
+
+  w.key("records");
+  w.begin_array();
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const FlightRecord& r = ring_[(start + i) % ring_.size()];
+    w.begin_object();
+    w.field("step", static_cast<double>(r.step));
+    w.field("pos_hash", hex_u64(r.pos_hash));
+    w.field("force_hash", hex_u64(r.force_hash));
+    w.field("wall", r.wall_seconds);
+    w.field("krylov_iters", r.krylov_iters);
+    w.field("krylov_residual", r.krylov_residual);
+    w.key("rebuilt");
+    w.value(r.rebuilt);
+    w.field("rng_draws_traj", static_cast<double>(r.rng_draws_traj));
+    w.field("rng_draws_wave", static_cast<double>(r.rng_draws_wave));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("snapshot");
+  w.begin_object();
+  w.field("step", static_cast<double>(snap_.step));
+  w.field("skin", hex_double(snap_.skin));
+  auto rng_state = [&](const char* key, const Xoshiro256::State& st) {
+    w.key(key);
+    w.begin_object();
+    w.key("s");
+    w.begin_array();
+    for (const std::uint64_t word : st.s) w.value(hex_u64(word));
+    w.end_array();
+    w.field("cached_gaussian", hex_double(st.cached_gaussian));
+    w.key("has_cached");
+    w.value(st.has_cached);
+    w.field("draws", static_cast<double>(st.draws));
+    w.end_object();
+  };
+  rng_state("rng_trajectory", snap_.rng_traj);
+  rng_state("rng_wavespace", snap_.rng_wave);
+  w.key("positions");
+  w.begin_array();
+  for (const double p : snap_.positions) w.value(hex_double(p));
+  w.end_array();
+  w.end_object();
+
+  w.key("replay");
+  w.begin_object();
+  w.key("strings");
+  w.begin_object();
+  for (const auto& [k, v] : replay_.strings) w.field(k, v);
+  w.end_object();
+  w.key("numbers");
+  w.begin_object();
+  for (const auto& [k, v] : replay_.numbers) w.field(k, v);
+  w.end_object();
+  w.end_object();
+
+  if (has_failure_) {
+    w.key("failure");
+    w.begin_object();
+    w.field("phase", failure_.phase);
+    w.field("what", failure_.what);
+    w.field("step", static_cast<double>(failure_.step));
+    w.field("index", static_cast<double>(failure_.index));
+    w.field("value", hex_double(failure_.value));
+    w.key("residuals");
+    w.begin_array();
+    for (const double r : failure_.residuals) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
+
+  // Recent trace spans: the per-name flame aggregate is compact and enough
+  // to see *where* the run was spending time when it died.
+  w.key("trace");
+  w.begin_object();
+  w.field("recorded", static_cast<double>(Tracer::global().recorded()));
+  w.field("dropped", static_cast<double>(Tracer::global().dropped()));
+  w.key("spans");
+  w.begin_array();
+  for (const SpanSummary& s : Tracer::global().summarize()) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("count", static_cast<double>(s.count));
+    w.field("total", s.total);
+    w.field("self", s.self);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  out << "\n";
+}
+
+bool FlightRecorder::dump() const {
+  if (opts_.path.empty()) return false;
+  std::ofstream out(opts_.path);
+  if (!out) return false;
+  dump(out);
+  return out.good();
+}
+
+void FlightRecorder::arm_signal_handler() {
+  g_armed = this;
+  armed_ = true;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGBUS})
+    std::signal(sig, hbd_flight_signal_handler);
+}
+
+}  // namespace hbd::obs

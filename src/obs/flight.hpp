@@ -1,0 +1,152 @@
+// Crash flight recorder (telemetry layer 6).
+//
+// A fixed ring of the last K steps — position/force hashes, phase timings,
+// Krylov residuals, per-stream RNG draw counters — plus one replay anchor
+// snapshot (positions + both RNG states, captured at every mobility
+// rebuild).  On NumericalException, NaN/Inf guard trip, or fatal signal the
+// recorder dumps a post-mortem bundle: a single JSON document holding the
+// run manifest, the ring, the anchor, a generic replay-configuration
+// section filled by the driver, and the failure context.
+//
+// Bitwise replay: every double that must round-trip exactly (positions,
+// RNG words, skin, the failing value) is serialized as the hex bit pattern
+// of its IEEE-754 representation ("0x3ff0000000000000"), never as decimal
+// text.  Re-running from the anchor with the recorded RNG states re-derives
+// the identical displacement block at the next rebuild, so the replayed
+// trajectory matches the original hash-for-hash up to and including the
+// failing step (tools/hbd_replay.py / hbd_replay verify this).
+//
+// Layering: obs does not know the drivers, so the replay section is a
+// generic string/number map (ReplayConfig) the driver fills; the inverse
+// reconstruction lives in core/replay.{hpp,cpp}.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hbd::obs {
+
+// ---- Bitwise-exact serialization helpers ------------------------------------
+
+/// "0x" + 16 lowercase hex digits of `v`.
+std::string hex_u64(std::uint64_t v);
+/// hex_u64 of the IEEE-754 bit pattern of `v` (bitwise-exact round trip).
+std::string hex_double(double v);
+/// Parses hex_u64 output (leading "0x" optional); false on malformed input.
+bool parse_hex_u64(std::string_view s, std::uint64_t& out);
+/// Inverse of hex_double.
+bool parse_hex_double(std::string_view s, double& out);
+
+/// FNV-1a over the IEEE-754 bit patterns of `v` — the position/force hash
+/// of flight records.  Bitwise-sensitive: any single-ulp difference in any
+/// element changes the hash.
+std::uint64_t hash_doubles(std::span<const double> v);
+
+// ---- Recorder ---------------------------------------------------------------
+
+/// One BD step in the flight ring.
+struct FlightRecord {
+  std::uint64_t step = 0;
+  std::uint64_t pos_hash = 0;    ///< hash_doubles over positions after the step
+  std::uint64_t force_hash = 0;  ///< hash_doubles over the step's forces
+  double wall_seconds = 0.0;
+  double krylov_iters = 0.0;        ///< iterations when this step rebuilt
+  double krylov_residual = 0.0;     ///< last relative change of that update
+  std::uint64_t rng_draws_traj = 0; ///< trajectory-stream draw counter
+  std::uint64_t rng_draws_wave = 0; ///< wavespace-stream draw counter
+  bool rebuilt = false;
+};
+
+/// Replay anchor: complete propagation state at the top of a mobility
+/// rebuild, *before* the Brownian block is sampled — restoring it and
+/// re-stepping re-samples the identical displacements.
+struct FlightSnapshot {
+  std::uint64_t step = 0;          ///< steps taken when captured
+  std::vector<double> positions;   ///< 3n unwrapped positions
+  Xoshiro256::State rng_traj;      ///< trajectory stream state
+  Xoshiro256::State rng_wave;      ///< wavespace stream state
+  double skin = 0.0;               ///< live neighbor-list skin
+};
+
+/// Driver-filled reconstruction parameters (generic so obs stays below the
+/// drivers in the layering): core/replay.cpp consumes the well-known keys.
+struct ReplayConfig {
+  std::vector<std::pair<std::string, std::string>> strings;
+  std::vector<std::pair<std::string, double>> numbers;
+};
+
+/// Failure context captured at dump time.
+struct FlightFailure {
+  std::string phase;
+  std::string what;
+  std::uint64_t step = 0;
+  long index = -1;
+  double value = 0.0;
+  std::vector<double> residuals;
+};
+
+/// The ring + anchor + dump machinery.  Thread contract: record()/
+/// snapshot()/set_replay() are called from the step loop; dump() may be
+/// called from anywhere (all state is mutex-guarded; the signal path is
+/// best-effort).
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string path;        ///< bundle path; empty → dump() to file disabled
+    std::size_t depth = 64;  ///< ring capacity in steps
+  };
+
+  /// From HBD_FLIGHT=<bundle path> and HBD_FLIGHT_DEPTH=<steps>; nullptr
+  /// when HBD_FLIGHT is unset or telemetry is compiled out.
+  static std::unique_ptr<FlightRecorder> from_env();
+
+  explicit FlightRecorder(Options opts);
+  ~FlightRecorder();
+
+  void record(const FlightRecord& rec);
+  void snapshot(FlightSnapshot snap);
+  void set_replay(ReplayConfig cfg);
+  void set_failure(FlightFailure failure);
+  bool has_failure() const;
+
+  /// Writes the bundle to options().path (false when no path/open failure).
+  bool dump() const;
+  void dump(std::ostream& out) const;
+
+  /// Ring contents ordered oldest → newest.
+  std::vector<FlightRecord> ring() const;
+  const FlightSnapshot& last_snapshot() const { return snap_; }
+  std::size_t depth() const { return opts_.depth; }
+  std::uint64_t recorded() const { return total_; }
+  const Options& options() const { return opts_; }
+
+  /// Installs best-effort fatal-signal dumping (SIGSEGV/SIGABRT/SIGFPE/
+  /// SIGBUS) for this recorder: the handler resets the disposition, dumps
+  /// the bundle, and re-raises.  The most recently armed recorder wins;
+  /// its destructor disarms.
+  void arm_signal_handler();
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;
+  std::size_t head_ = 0;      // next write slot
+  std::size_t size_ = 0;      // valid slots
+  std::uint64_t total_ = 0;   // records ever seen
+  FlightSnapshot snap_;
+  ReplayConfig replay_;
+  FlightFailure failure_;
+  bool has_failure_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace hbd::obs

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -227,6 +228,202 @@ bool json_valid(std::string_view text) {
   if (!p.value(0)) return false;
   p.skip_ws();
   return p.i == text.size();
+}
+
+// ---- Parser (value tree) ----------------------------------------------------
+
+namespace {
+
+/// Builds a JsonValue tree with the same grammar as the validator above.
+/// Kept separate from Parser so validation stays allocation-free.
+struct TreeParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    out.clear();
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i >= s.size()) return false;
+      const char e = s[i++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            if (i >= s.size()) return false;
+            const char h = s[i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // Our writers only escape control characters; decode BMP points
+          // as UTF-8 and reject surrogates (never produced by our schemas).
+          if (code >= 0xD800 && code <= 0xDFFF) return false;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool number(double& out) {
+    const std::size_t start = i;
+    Parser probe{s, i};
+    if (!probe.number()) return false;
+    i = probe.i;
+    out = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > 256) return false;
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      out.type = JsonValue::Type::String;
+      return string(out.text);
+    }
+    if (c == 't') {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.type = JsonValue::Type::Null;
+      return literal("null");
+    }
+    out.type = JsonValue::Type::Number;
+    return number(out.number);
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Object;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Array;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::num_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->type == Type::Number) ? v->number : fallback;
+}
+
+std::string JsonValue::str_or(std::string_view key,
+                              std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->type == Type::String) ? v->text : std::string(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->type == Type::Bool) ? v->boolean : fallback;
+}
+
+bool json_parse(std::string_view text, JsonValue& out) {
+  TreeParser p{text};
+  JsonValue parsed;
+  if (!p.value(parsed, 0)) return false;
+  p.skip_ws();
+  if (p.i != text.size()) return false;
+  out = std::move(parsed);
+  return true;
 }
 
 // ---- Bench-report schema ----------------------------------------------------

@@ -55,6 +55,38 @@ class JsonWriter {
 /// Strict recursive-descent validation of a complete JSON document.
 bool json_valid(std::string_view text);
 
+/// Parsed JSON document node.  Object members keep insertion order; numbers
+/// are doubles (values that must round-trip bitwise — RNG words, position
+/// bit patterns — are stored as hex *strings* in our schemas precisely so
+/// they never pass through a double).  Used by the flight-recorder replay
+/// path (core/replay.cpp, tools/hbd_replay.cpp).
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  ///< string payload when type == String
+  std::vector<JsonValue> items;  ///< when type == Array
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< when Object
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors with defaults — convenient for tolerant readers.
+  double num_or(std::string_view key, double fallback) const;
+  std::string str_or(std::string_view key, std::string_view fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Full-document parse; returns false on any syntax error (same grammar the
+/// validator accepts).  `out` is overwritten only on success.
+bool json_parse(std::string_view text, JsonValue& out);
+
 /// One benchmark record: ordered (key, value) pairs.
 using BenchSample = std::vector<std::pair<std::string, double>>;
 

@@ -167,6 +167,18 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 MetricsSnapshot Registry::snapshot() const {
+  // Span loss used to be invisible unless Tracer::dropped() was queried
+  // explicitly; refreshing the loss gauges on every snapshot of the global
+  // registry puts them in front of every consumer (/metrics scrapes, JSON
+  // exports, report()).  Done before taking the shared lock — gauge() may
+  // need the exclusive lock to create the entries on first use.
+  if (kEnabled && this == &Registry::global()) {
+    Registry& self = const_cast<Registry&>(*this);
+    self.gauge("trace.recorded_spans")
+        .set(static_cast<double>(Tracer::global().recorded()));
+    self.gauge("trace.dropped_spans")
+        .set(static_cast<double>(Tracer::global().dropped()));
+  }
   MetricsSnapshot snap;
   std::shared_lock lock(mu_);
   for (const auto& [name, c] : counters_)
@@ -218,6 +230,17 @@ std::string Registry::report() const {
                   "  %-36s %5llu %11.4g %11.4g %11.4g %11.4g %11.4g\n",
                   name.c_str(), static_cast<unsigned long long>(h.count),
                   h.mean, h.p50, h.p90, h.p99, h.max);
+    out << line;
+  }
+  // Overwritten spans mean the trace export is incomplete — say so loudly
+  // instead of letting a truncated flame profile pass as the whole story.
+  const std::uint64_t lost = Tracer::global().dropped();
+  if (lost > 0) {
+    std::snprintf(line, sizeof(line),
+                  "WARNING: %llu trace spans overwritten (ring capacity %zu "
+                  "per thread); raise the tracer capacity or trace less.\n",
+                  static_cast<unsigned long long>(lost),
+                  Tracer::global().capacity_per_thread());
     out << line;
   }
   return out.str();

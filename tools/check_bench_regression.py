@@ -23,6 +23,11 @@ probed PME error e_p exceeds --ep-max, when the maximum probed Brownian
 covariance error exceeds --cov-max (wavespace sampler runs), or when any
 Krylov update failed to converge.
 
+Observability: --metrics reads an HBD_METRICS registry dump and
+--max-gauge KEY=BOUND enforces an absolute upper bound on a gauge — CI uses
+it to pin the live-telemetry hook's self-measured cost (obs.overhead_frac)
+under the documented 2% budget.
+
 CI runs this in the bench-regression job; a PR that intentionally trades
 throughput (or relaxes accuracy) skips the gate with the
 'perf-regression-ok' label (see .github/workflows/ci.yml).
@@ -133,6 +138,31 @@ def check_health(args, failures):
           f"{nonconverged} non-converged")
 
 
+def check_gauges(args, failures):
+    doc = load(args.metrics)
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        sys.exit(f"{args.metrics}: no gauges section")
+    for spec in args.max_gauge:
+        key, sep, bound = spec.partition("=")
+        if not sep:
+            sys.exit(f"--max-gauge {spec}: expected KEY=BOUND")
+        try:
+            limit = float(bound)
+        except ValueError:
+            sys.exit(f"--max-gauge {spec}: bound is not a number")
+        if key not in gauges:
+            failures.append(f"{args.metrics}: gauge {key} not present")
+            continue
+        value = float(gauges[key])
+        ok = value <= limit
+        status = "ok" if ok else "VIOLATION"
+        print(f"  {status} gauge {key}: {value:g} (bound {limit:g})")
+        if not ok:
+            failures.append(
+                f"gauge {key}: {value:g} exceeds bound {limit:g}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", help="committed BENCH_*.json report")
@@ -152,6 +182,11 @@ def main():
     parser.add_argument("--cov-max", type=float, default=None,
                         help="maximum allowed probed Brownian covariance "
                              "error (wavespace sampler runs)")
+    parser.add_argument("--metrics", help="HBD_METRICS registry JSON dump")
+    parser.add_argument("--max-gauge", action="append", default=[],
+                        metavar="KEY=BOUND",
+                        help="absolute upper bound on a gauge in the "
+                             "--metrics dump (e.g. obs.overhead_frac=0.02)")
     args = parser.parse_args()
 
     if args.baseline and not args.candidate:
@@ -160,7 +195,10 @@ def main():
         parser.error("--candidate without --baseline needs --max bounds")
     if args.max and not args.candidate:
         parser.error("--max requires --candidate")
-    if not args.baseline and not args.health and not args.max:
+    if bool(args.metrics) != bool(args.max_gauge):
+        parser.error("--metrics and --max-gauge go together")
+    if not args.baseline and not args.health and not args.max \
+            and not args.metrics:
         parser.error("nothing to check")
 
     failures = []
@@ -170,6 +208,8 @@ def main():
         check_bounds(args, failures)
     if args.health:
         check_health(args, failures)
+    if args.metrics:
+        check_gauges(args, failures)
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

@@ -18,6 +18,15 @@ Validates that
   * a health report (HBD_HEALTH=<path>) carries the manifest, the e_p probe
     series, the covariance probe series, the Krylov convergence series, and
     the events list;
+  * a stream file (HBD_STREAM=<path>, NDJSON) opens with an hbd.stream.v1
+    header line embedding the manifest and continues with window lines
+    carrying contiguous step ranges, wall aggregates, and per-phase seconds;
+  * a flight bundle (HBD_FLIGHT=<path>) is an hbd.flight.v1 document whose
+    snapshot (positions, RNG states, skin) and record hashes are valid hex
+    bit patterns and whose recorded steps are contiguous;
+  * a Prometheus exposition dump (GET /metrics) lints as text format 0.0.4:
+    every sample belongs to a # TYPE'd family, names match the identifier
+    grammar, counters carry the _total suffix, and hbd_build_info is there;
   * every artifact embeds the run-provenance manifest (version, compiler,
     run configuration, PME parameters).
 
@@ -230,6 +239,210 @@ def check_health(path):
           f"updates, {len(events)} events)")
 
 
+STREAM_PHASES = ("spreading", "fft", "influence", "ifft", "interpolation",
+                 "realspace", "wave_sample")
+
+
+def check_hex(value, path, what):
+    require(isinstance(value, str), path, f"{what} must be a hex string")
+    body = value[2:] if value.startswith("0x") else value
+    require(body and len(body) <= 16
+            and all(c in "0123456789abcdefABCDEF" for c in body),
+            path, f"{what}: malformed hex {value!r}")
+
+
+def check_stream(path):
+    """NDJSON produced by HBD_STREAM (docs/observability.md, layer 5)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+    require(lines, path, "stream file is empty")
+    try:
+        docs = [json.loads(ln) for ln in lines]
+    except json.JSONDecodeError as exc:
+        fail(path, f"line is not valid JSON: {exc}")
+
+    header = docs[0]
+    require(header.get("schema") == "hbd.stream.v1", path,
+            "header schema must be hbd.stream.v1")
+    require(header.get("kind") == "header", path,
+            "first line must be the header")
+    require(is_num(header.get("interval")) and header["interval"] >= 1, path,
+            "header.interval must be >= 1")
+    check_manifest(header, path)
+
+    next_step = None
+    steps_total = 0
+    for i, w in enumerate(docs[1:], start=1):
+        where = f"line {i + 1}"
+        require(w.get("schema") == "hbd.stream.v1"
+                and w.get("kind") == "window", path,
+                f"{where}: expected an hbd.stream.v1 window")
+        require(w.get("window") == i - 1, path,
+                f"{where}: window index must be {i - 1}")
+        for key in ("step_first", "step_last", "steps", "krylov_iters",
+                    "rebuilds", "rebuild_fraction", "e_p", "rng_draws",
+                    "dropped"):
+            require(is_num(w.get(key)), path, f"{where}: {key} not numeric")
+        first, last, steps = w["step_first"], w["step_last"], w["steps"]
+        require(last - first + 1 == steps, path,
+                f"{where}: steps != step range")
+        require(1 <= steps <= header["interval"], path,
+                f"{where}: window holds {steps} steps")
+        if next_step is not None:
+            require(first == next_step, path,
+                    f"{where}: windows not contiguous at step {first}")
+        next_step = last + 1
+        steps_total += steps
+        wall = w.get("wall")
+        require(isinstance(wall, dict), path, f"{where}: missing wall")
+        for key in ("sum", "min", "max"):
+            require(is_num(wall.get(key)), path,
+                    f"{where}: wall.{key} not numeric")
+        require(wall["min"] <= wall["max"] <= wall["sum"] + 1e-300, path,
+                f"{where}: wall aggregates inconsistent")
+        phases = w.get("phases")
+        require(isinstance(phases, dict), path, f"{where}: missing phases")
+        for name in STREAM_PHASES:
+            require(is_num(phases.get(name)), path,
+                    f"{where}: phases.{name} not numeric")
+        require(w["dropped"] >= 0, path, f"{where}: negative dropped count")
+    require(steps_total > 0, path, "no window lines after the header")
+    print(f"{path}: ok ({len(docs) - 1} windows, {steps_total} steps)")
+
+
+def check_flight(path):
+    """hbd.flight.v1 post-mortem bundle (docs/observability.md, layer 6)."""
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    require(doc.get("schema") == "hbd.flight.v1", path,
+            "schema must be hbd.flight.v1")
+    check_manifest(doc, path)
+
+    snap = doc.get("snapshot")
+    require(isinstance(snap, dict), path, "missing snapshot object")
+    require(is_num(snap.get("step")), path, "snapshot.step must be numeric")
+    check_hex(snap.get("skin"), path, "snapshot.skin")
+    positions = snap.get("positions")
+    require(isinstance(positions, list) and len(positions) % 3 == 0, path,
+            "snapshot.positions must be a 3n array")
+    for i, p in enumerate(positions):
+        check_hex(p, path, f"snapshot.positions[{i}]")
+    for stream in ("rng_trajectory", "rng_wavespace"):
+        state = snap.get(stream)
+        require(isinstance(state, dict), path,
+                f"snapshot.{stream} must be an object")
+        words = state.get("s")
+        require(isinstance(words, list) and len(words) == 4, path,
+                f"snapshot.{stream}.s must hold 4 words")
+        for w in words:
+            check_hex(w, path, f"snapshot.{stream}.s word")
+        check_hex(state.get("cached_gaussian"), path,
+                  f"snapshot.{stream}.cached_gaussian")
+        require(isinstance(state.get("has_cached"), bool), path,
+                f"snapshot.{stream}.has_cached must be a bool")
+        require(is_num(state.get("draws")) and state["draws"] >= 0, path,
+                f"snapshot.{stream}.draws must be >= 0")
+
+    records = doc.get("records")
+    require(isinstance(records, list), path, "missing records list")
+    last = None
+    for i, rec in enumerate(records):
+        where = f"records[{i}]"
+        require(isinstance(rec, dict), path, f"{where} must be an object")
+        require(is_num(rec.get("step")), path, f"{where}: missing step")
+        check_hex(rec.get("pos_hash"), path, f"{where}.pos_hash")
+        check_hex(rec.get("force_hash"), path, f"{where}.force_hash")
+        require(isinstance(rec.get("rebuilt"), bool), path,
+                f"{where}.rebuilt must be a bool")
+        if last is not None:
+            require(rec["step"] == last + 1, path,
+                    f"{where}: records not contiguous")
+        last = rec["step"]
+
+    replay = doc.get("replay")
+    require(isinstance(replay, dict), path, "missing replay section")
+    for section in ("strings", "numbers"):
+        require(isinstance(replay.get(section), dict), path,
+                f"replay.{section} must be an object")
+    failure = doc.get("failure")
+    if failure is not None:
+        require(isinstance(failure, dict), path,
+                "failure must be an object")
+        require(isinstance(failure.get("phase"), str) and failure["phase"],
+                path, "failure.phase must be a non-empty string")
+        require(is_num(failure.get("step")), path,
+                "failure.step must be numeric")
+    verdict = "with failure" if failure else "no failure"
+    print(f"{path}: ok ({len(records)} records, {len(positions) // 3} "
+          f"particles, {verdict})")
+
+
+def check_prom(path):
+    """Prometheus text exposition format 0.0.4 lint (GET /metrics dump)."""
+    import re
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+    name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+    typed = {}
+    samples = 0
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            require(len(parts) == 4, path, f"{where}: malformed TYPE line")
+            _, _, name, kind = parts
+            require(name_re.match(name), path,
+                    f"{where}: bad family name {name!r}")
+            require(kind in ("counter", "gauge", "summary", "histogram",
+                             "untyped"), path,
+                    f"{where}: unknown family type {kind!r}")
+            require(name not in typed, path,
+                    f"{where}: duplicate TYPE for {name}")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = sample_re.match(line)
+        require(m, path, f"{where}: unparseable sample {line!r}")
+        name = m.group(1)
+        family = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if family.endswith(suffix) and family[:-len(suffix)] in typed:
+                family = family[:-len(suffix)]
+                break
+        require(family in typed, path,
+                f"{where}: sample {name} has no TYPE line")
+        if typed[family] == "counter":
+            require(family.endswith("_total"), path,
+                    f"{where}: counter {family} lacks the _total suffix")
+        value = m.group(3)
+        require(value in ("NaN", "+Inf", "-Inf")
+                or _is_float(value), path,
+                f"{where}: bad sample value {value!r}")
+        samples += 1
+    require(samples > 0, path, "no samples")
+    require("hbd_build_info" in typed, path, "missing hbd_build_info gauge")
+    print(f"{path}: ok ({len(typed)} families, {samples} samples)")
+
+
+def _is_float(text):
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", action="append", default=[],
@@ -240,8 +453,15 @@ def main():
                         help="BENCH_*.json benchmark report")
     parser.add_argument("--health", action="append", default=[],
                         help="HBD_HEALTH JSON report")
+    parser.add_argument("--stream", action="append", default=[],
+                        help="HBD_STREAM NDJSON time-series file")
+    parser.add_argument("--flight", action="append", default=[],
+                        help="HBD_FLIGHT post-mortem bundle")
+    parser.add_argument("--prom", action="append", default=[],
+                        help="saved GET /metrics Prometheus text dump")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.bench or args.health):
+    if not (args.trace or args.metrics or args.bench or args.health
+            or args.stream or args.flight or args.prom):
         parser.error("nothing to check")
     for path in args.trace:
         check_trace(path)
@@ -251,6 +471,12 @@ def main():
         check_bench(path)
     for path in args.health:
         check_health(path)
+    for path in args.stream:
+        check_stream(path)
+    for path in args.flight:
+        check_flight(path)
+    for path in args.prom:
+        check_prom(path)
 
 
 if __name__ == "__main__":

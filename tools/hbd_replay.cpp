@@ -1,0 +1,43 @@
+// hbd_replay — verify a flight-recorder bundle by bitwise replay.
+//
+//   hbd_replay <bundle.json>
+//
+// Loads the bundle, reconstructs the simulation at its anchor, re-steps
+// through every recorded step comparing position hashes bitwise, and (when
+// the bundle carries a failure) confirms the failure recurs at the recorded
+// step.  Exit 0 on full verification, 1 on any mismatch.  tools/
+// hbd_replay.py wraps this binary and adds schema-level checks.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/replay.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <bundle.json>\n", argv[0]);
+    return 2;
+  }
+  // The replayed simulation must not inherit live-telemetry wiring from the
+  // environment: HBD_FLIGHT would overwrite the very bundle under test when
+  // the failure reproduces, and HBD_FLIGHT_INJECT would inject a second
+  // failure on top of the bundle's own.
+  for (const char* var : {"HBD_FLIGHT", "HBD_FLIGHT_INJECT", "HBD_STREAM",
+                          "HBD_EXPO_PORT", "HBD_HEALTH", "HBD_METRICS",
+                          "HBD_TRACE"})
+    ::unsetenv(var);
+
+  const std::string path = argv[1];
+  const hbd::ReplayResult result = hbd::replay_flight_bundle(path);
+  if (!result.ok) {
+    std::fprintf(stderr, "hbd_replay: FAIL: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "hbd_replay: OK: %zu steps replayed, %zu position hashes bitwise "
+      "identical%s\n",
+      result.steps_replayed, result.hashes_checked,
+      result.failure_reproduced ? ", failure reproduced at the recorded step"
+                                : "");
+  return 0;
+}

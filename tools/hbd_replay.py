@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Flight-bundle loader and replay verifier.
+
+Loads an hbd.flight.v1 post-mortem bundle (see docs/observability.md,
+Layer 6), checks its structure, prints a human-readable summary, and —
+unless --no-replay is given — invokes the hbd_replay binary to verify that
+a re-run from the bundle's anchor reproduces every recorded step bitwise
+(position hashes) and recurs the recorded failure at the recorded step.
+
+Usage:
+    tools/hbd_replay.py BUNDLE.json [--replay-bin build/tools/hbd_replay]
+                        [--no-replay] [--quiet]
+
+Exit status: 0 when the bundle is well-formed and (when run) the bitwise
+replay verifies; non-zero otherwise.
+"""
+
+import argparse
+import json
+import os
+import struct
+import subprocess
+import sys
+
+SCHEMA = "hbd.flight.v1"
+
+
+def hex_to_double(text):
+    """Inverse of the bundle's hex_double(): exact IEEE-754 bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", int(text, 16)))[0]
+
+
+def fail(msg):
+    print(f"hbd_replay.py: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rng_state(state, label):
+    words = state.get("s")
+    if not isinstance(words, list) or len(words) != 4:
+        fail(f"snapshot.{label}.s must hold 4 hex words")
+    for w in words:
+        int(w, 16)
+    int(state["cached_gaussian"], 16)
+    if not isinstance(state.get("has_cached"), bool):
+        fail(f"snapshot.{label}.has_cached must be a bool")
+    if state.get("draws", 0) < 0:
+        fail(f"snapshot.{label}.draws must be >= 0")
+
+
+def load_bundle(path):
+    with open(path, encoding="utf-8") as fh:
+        bundle = json.load(fh)
+    if bundle.get("schema") != SCHEMA:
+        fail(f"schema is {bundle.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("manifest", "records", "snapshot", "replay", "trace"):
+        if key not in bundle:
+            fail(f"missing top-level key {key!r}")
+
+    snap = bundle["snapshot"]
+    positions = snap.get("positions", [])
+    if len(positions) % 3 != 0:
+        fail("snapshot.positions must be a 3n array")
+    for p in positions:
+        int(p, 16)  # malformed hex raises
+    hex_to_double(snap["skin"])
+    check_rng_state(snap["rng_trajectory"], "rng_trajectory")
+    check_rng_state(snap["rng_wavespace"], "rng_wavespace")
+
+    last = None
+    for rec in bundle["records"]:
+        for key in ("step", "pos_hash", "force_hash", "wall", "rebuilt"):
+            if key not in rec:
+                fail(f"record missing {key!r}")
+        int(rec["pos_hash"], 16)
+        int(rec["force_hash"], 16)
+        if last is not None and rec["step"] != last + 1:
+            fail(f"records not contiguous at step {rec['step']}")
+        last = rec["step"]
+
+    replay = bundle["replay"]
+    if "strings" not in replay or "numbers" not in replay:
+        fail("replay section needs strings and numbers maps")
+    return bundle
+
+
+def summarize(bundle):
+    snap = bundle["snapshot"]
+    records = bundle["records"]
+    n = len(snap["positions"]) // 3
+    lines = [
+        f"bundle schema     {bundle['schema']}",
+        f"particles         {n}",
+        f"ring records      {len(records)} (depth {bundle.get('depth')})",
+        f"anchor step       {snap['step']} (skin "
+        f"{hex_to_double(snap['skin']):.6g})",
+    ]
+    if records:
+        lines.append(
+            f"recorded steps    {records[0]['step']}..{records[-1]['step']}")
+    failure = bundle.get("failure")
+    if failure:
+        lines.append(
+            f"failure           phase={failure.get('phase')!r} "
+            f"step={failure.get('step')}: {failure.get('what')}")
+    else:
+        lines.append("failure           (none recorded)")
+    trace = bundle.get("trace", {})
+    lines.append(
+        f"trace spans       {trace.get('recorded', 0)} recorded, "
+        f"{trace.get('dropped', 0)} dropped")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bundle")
+    ap.add_argument("--replay-bin", default=None,
+                    help="path to the hbd_replay binary "
+                         "(default: build/tools/hbd_replay if present)")
+    ap.add_argument("--no-replay", action="store_true",
+                    help="schema/summary only, skip the bitwise re-run")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    bundle = load_bundle(args.bundle)
+    if not args.quiet:
+        print(summarize(bundle))
+
+    if args.no_replay:
+        print("hbd_replay.py: OK (schema only, replay skipped)")
+        return
+
+    replay_bin = args.replay_bin
+    if replay_bin is None:
+        candidate = os.path.join("build", "tools", "hbd_replay")
+        replay_bin = candidate if os.path.exists(candidate) else None
+    if replay_bin is None:
+        fail("no hbd_replay binary found; pass --replay-bin or --no-replay")
+
+    env = {k: v for k, v in os.environ.items() if not k.startswith("HBD_")}
+    proc = subprocess.run([replay_bin, args.bundle], env=env, check=False)
+    if proc.returncode != 0:
+        fail(f"bitwise replay failed (exit {proc.returncode})")
+    print("hbd_replay.py: OK")
+
+
+if __name__ == "__main__":
+    main()
