@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   pp.rmax = std::min(5.0, 0.499 * sys.box);
   pp.xi = std::sqrt(std::log(1e4)) / pp.rmax;
   const auto wrapped = sys.wrapped_positions();
+  publish_bench_manifest(sys, pp);
   PmeOperator pme(wrapped, sys.box, sys.radius, pp);
 
   int threads = 1;

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/system.hpp"
+#include "obs/health.hpp"
 #include "pme/params.hpp"
 
 namespace hbd::bench {
@@ -39,6 +40,33 @@ inline ParticleSystem benchmark_suspension(std::size_t n, double phi = 0.2,
                                            std::uint64_t seed = 2014) {
   Xoshiro256 rng(seed);
   return suspension_at_volume_fraction(n, phi, 1.0, rng);
+}
+
+/// Fills the process-wide run manifest with the bench's actual
+/// configuration so the JSON report's embedded manifest carries real
+/// values instead of the zeroed driver defaults.  Bench harnesses never
+/// construct a BD driver (which would do this overwrite itself), so each
+/// calls this once per measured system; the last call wins, matching the
+/// report's headline `n`.
+inline void publish_bench_manifest(const ParticleSystem& sys,
+                                   const PmeParams& pp,
+                                   std::uint64_t seed = 2014,
+                                   std::size_t lambda_rpy = 16) {
+  obs::RunManifest& m = obs::run_manifest();
+  m.seed = seed;
+  m.dt = 0.0;  // kernel benches take no BD steps
+  m.kbt = 1.0;
+  m.mu0 = 1.0;
+  m.lambda_rpy = lambda_rpy;
+  m.particles = sys.positions.size();
+  m.box = sys.box;
+  m.radius = sys.radius;
+  m.mesh = pp.mesh;
+  m.order = pp.order;
+  m.rmax = pp.rmax;
+  m.xi = pp.xi;
+  m.skin = pp.skin;
+  m.skin_auto = pp.auto_skin;
 }
 
 inline void print_header(const char* title, const char* paper_note) {

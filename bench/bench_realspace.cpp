@@ -275,6 +275,7 @@ int main(int argc, char** argv) {
     // driver.  Timed once — each arm is seconds-to-minutes at these sizes.
     const PmeParams wp =
         choose_pme_params_wavespace(sys.box, sys.radius, 5e-3);
+    publish_bench_manifest(sys, wp);  // last n wins, matching report.n
     PmeOperator pme(pos, sys.box, sys.radius, wp);
     KrylovConfig kcfg;
     kcfg.tolerance = 1e-2;

@@ -15,6 +15,7 @@
 #include "core/simulation.hpp"
 #include "core/system.hpp"
 #include "obs/exposition.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/telemetry.hpp"
 #include "pme/params.hpp"
 
@@ -98,6 +99,19 @@ int main() {
   //    online e_p probing and writes the JSON health report (manifest, e_p
   //    series, Krylov statistics) when the simulation is destroyed.
   if (obs::kEnabled) {
+    // Layer 7: HBD_PERF=1 attaches perf_event_open counter groups to the
+    // phase scopes; the effective mode (and why it degraded, if it did) is
+    // part of the manifest, and HBD_ROOFLINE=<path> dumps the full
+    // roofline/drift bundle at exit.
+    const obs::PerfCounters& perf = obs::PerfCounters::global();
+    std::printf("\n-- hardware counters --\nmode %s",
+                obs::perf_mode_name(perf.mode()));
+    if (!perf.fallback_reason().empty())
+      std::printf(" (%s)", perf.fallback_reason().c_str());
+    std::printf("\n");
+    for (const obs::RooflineRecord& rec : sim.drift_audit().roofline())
+      std::printf("  %-14s %7.2f GB/s %7.2f GF/s  bytes meas/mod %.3f\n",
+                  rec.name.c_str(), rec.gbs, rec.gfs, rec.bytes_ratio_median);
     std::printf("\n-- model drift (measured vs Eq. 10) --\n%s",
                 sim.drift_audit().report().c_str());
     std::printf("\n-- numerical health --\n%s",

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "linalg/blas.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/telemetry.hpp"
 #include "pme/validate.hpp"
 
@@ -179,6 +181,12 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
       const long long v = std::atoll(inj);
       if (v >= 0) inject_step_ = static_cast<std::uint64_t>(v);
     }
+    // Layer 7: the drift audit's roofline records normalize against the
+    // model's hardware roofs; HBD_ROOFLINE=<path> dumps the full
+    // timer/model/counter evidence at destruction.
+    drift_.set_roofs(model_hw_.stream_bw_gbs, model_hw_.peak_dp_gflops);
+    if (const char* path = std::getenv("HBD_ROOFLINE"))
+      roofline_path_ = path;
   }
 }
 
@@ -194,7 +202,39 @@ MatrixFreeBdSimulation::~MatrixFreeBdSimulation() {
   if constexpr (obs::kEnabled) {
     if (!health_.export_path().empty())
       health_.write_json(health_.export_path(), manifest());
+    if (!roofline_path_.empty()) write_roofline_json(roofline_path_);
   }
+}
+
+bool MatrixFreeBdSimulation::write_roofline_json(const std::string& path) {
+  if constexpr (!obs::kEnabled) {
+    (void)path;
+    return false;
+  }
+  // Close the open audit window so the export covers every apply so far.
+  if (pme_) audit_drift();
+  std::ofstream out(path);
+  if (!out) return false;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "hbd.roofline.v1");
+  w.key("manifest");
+  manifest().write_json(w);
+  const obs::PerfCounters& perf = obs::PerfCounters::global();
+  w.key("perf");
+  w.begin_object();
+  w.field("mode", obs::perf_mode_name(perf.mode()));
+  w.field("fallback", perf.fallback_reason());
+  w.field("line_bytes", obs::PerfCounters::line_bytes());
+  w.key("events");
+  w.begin_array();
+  for (const std::string& ev : perf.events()) w.value(ev);
+  w.end_array();
+  w.end_object();
+  drift_.write_json_fields(w);
+  w.end_object();
+  out << "\n";
+  return out.good();
 }
 
 obs::RunManifest MatrixFreeBdSimulation::manifest() const {
@@ -391,7 +431,9 @@ void MatrixFreeBdSimulation::step(std::size_t nsteps) {
 }
 
 void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
-  if (!stream_ && !flight_) return;
+  obs::PerfCounters& perf = obs::PerfCounters::global();
+  const bool counting = perf.counting();
+  if (!stream_ && !flight_ && !counting) return;
   const Timer obs_timer;
   const bool rebuilt = block_cursor_ == 1;  // rebuild() ran on this step
   const std::size_t n = system_.size();
@@ -420,6 +462,12 @@ void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
         rebuilt ? effective_rebuild_fraction(*nlist_) : -1.0;
     rec.rebuilt = rebuilt;
     rec.rng_draws = rng_.draws();
+    // Roofline summaries exist only on rebuild steps with hardware
+    // counters live; -1 keeps counters-off stream output unchanged.
+    if (rebuilt) {
+      rec.roof_bytes_ratio = last_roof_bytes_ratio_;
+      rec.roof_gbs = last_roof_gbs_;
+    }
     stream_->push(rec);
   }
 
@@ -439,7 +487,15 @@ void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
   }
 
   // Self-accounting for the <2% budget: everything this hook spent,
-  // including the hashes above, relative to total stepped time.
+  // including the hashes above, relative to total stepped time.  The perf
+  // scopes' self-measured read cost accrued inside the step's wall time;
+  // folding its delta into obs_seconds_ keeps counter overhead under the
+  // same obs.overhead_frac gate.
+  if (counting) {
+    const double perf_total = perf.overhead_seconds();
+    obs_seconds_ += perf_total - perf_overhead_seen_;
+    perf_overhead_seen_ = perf_total;
+  }
   const double spent = obs_timer.seconds();
   obs_seconds_ += spent;
   step_seconds_ += wall_seconds + spent;
@@ -592,12 +648,64 @@ void MatrixFreeBdSimulation::audit_drift() {
            nb * model.t_realspace_block(n, nbr, width, sym),
        obs::PhaseScaling::bandwidth},
   };
+  // Layer 7: hardware-counter evidence for the same windows.  Modeled
+  // bytes invert the bandwidth model exactly (t = bytes / stream_bw), so
+  // bytes_ratio isolates *traffic* drift from *rate* drift; flop counts
+  // are the model's operation accounting (theory.md §12):
+  //   spread/interp   6 p³ n per column (one FMA per weight per component)
+  //   fft/ifft        3 · 2.5 K³ log2(K³) per column
+  //   influence       9 K³ per column (3 complex scalings, half spectrum)
+  //   realspace       18 flops per logical 3×3 block per column
+  obs::PerfCounters& perf = obs::PerfCounters::global();
+  const bool count_bytes = perf.mode() == obs::PerfMode::hardware;
+  const double cols = ns + nb * static_cast<double>(width);
+  const double k3 = static_cast<double>(mesh) * static_cast<double>(mesh) *
+                    static_cast<double>(mesh);
+  const double log2k3 = std::log2(std::max(2.0, k3));
+  const double p3 = static_cast<double>(order) * static_cast<double>(order) *
+                    static_cast<double>(order);
+  const double fft_flops = cols * 3.0 * 2.5 * k3 * log2k3;
+  const double interp_flops = cols * 6.0 * p3 * static_cast<double>(n);
+  const double nnz =
+      static_cast<double>(pme_->realspace().logical_nnz_blocks());
+  auto phase_flops = [&](std::string_view phase) {
+    if (phase == "spreading" || phase == "interpolation")
+      return interp_flops;
+    if (phase == "fft" || phase == "ifft") return fft_flops;
+    if (phase == "influence") return cols * 9.0 * k3;
+    if (phase == "realspace") return cols * 18.0 * nnz;
+    return 0.0;
+  };
+  double window_bytes = 0.0, window_seconds = 0.0;
+  obs::PerfSample window_delta;
+  auto roofline_row = [&](const char* phase, double measured, double modeled,
+                          obs::PhaseScaling scaling) {
+    if (!count_bytes) return;
+    const obs::PerfSample cum = perf.phase_totals(phase);
+    const obs::PerfSample delta = cum - perf_seen_[phase];
+    perf_seen_[phase] = cum;
+    window_delta += delta;
+    const double bytes = delta.llc_misses * obs::PerfCounters::line_bytes();
+    // Bandwidth phases have an exact byte model; FFT phases are modeled as
+    // compute-bound, so they contribute rates but no bytes_ratio.
+    const double modeled_bytes =
+        scaling == obs::PhaseScaling::bandwidth
+            ? modeled * model_hw_.stream_bw_gbs * 1e9
+            : 0.0;
+    if (scaling == obs::PhaseScaling::bandwidth && measured > 0.0) {
+      window_bytes += bytes;
+      window_seconds += measured;
+    }
+    drift_.record_roofline(phase, scaling, measured, bytes, modeled_bytes,
+                           phase_flops(phase));
+  };
   for (const auto& row : rows) {
     const auto it = totals.find(row.phase);
     const double total = it == totals.end() ? 0.0 : it->second;
     const double measured = total - phase_seen_[row.phase];
     phase_seen_[row.phase] = total;
     drift_.record(row.phase, measured, row.modeled, row.scaling);
+    roofline_row(row.phase, measured, row.modeled, row.scaling);
   }
   // Wave-space sampling runs under its own phase so the deterministic
   // pipeline's per-phase accounting above stays clean; it is iFFT-dominated,
@@ -608,10 +716,39 @@ void MatrixFreeBdSimulation::audit_drift() {
     const double total = it == totals.end() ? 0.0 : it->second;
     const double measured = total - phase_seen_["wave_sample"];
     phase_seen_["wave_sample"] = total;
-    drift_.record("wave_sample", measured,
-                  static_cast<double>(d_wave) *
-                      model.t_wave_sample(mesh, order, n, wwidth),
+    const double modeled_wave =
+        static_cast<double>(d_wave) *
+        model.t_wave_sample(mesh, order, n, wwidth);
+    drift_.record("wave_sample", measured, modeled_wave,
                   obs::PhaseScaling::ifft);
+    roofline_row("wave_sample", measured, modeled_wave,
+                 obs::PhaseScaling::ifft);
+  }
+
+  // Window roofline summaries into the registry (gauges/counters appear
+  // only when hardware counting is live, so counters-off metrics dumps are
+  // unchanged) and into the stream records of the steps ahead.
+  if (count_bytes) {
+    auto& reg = obs::Registry::global();
+    reg.counter("perf.cycles")
+        .add(static_cast<std::int64_t>(window_delta.cycles));
+    reg.counter("perf.instructions")
+        .add(static_cast<std::int64_t>(window_delta.instructions));
+    reg.counter("perf.llc_misses")
+        .add(static_cast<std::int64_t>(window_delta.llc_misses));
+    reg.counter("perf.llc_references")
+        .add(static_cast<std::int64_t>(window_delta.llc_references));
+    for (const obs::RooflineRecord& rec : drift_.roofline()) {
+      const std::string prefix = "roofline." + rec.name + ".";
+      reg.gauge(prefix + "gbs").set(rec.gbs);
+      reg.gauge(prefix + "gfs").set(rec.gfs);
+      reg.gauge(prefix + "frac_bw_roof").set(rec.frac_bw_roof);
+      if (rec.bytes_ratio_median > 0.0)
+        reg.gauge(prefix + "bytes_ratio").set(rec.bytes_ratio_median);
+    }
+    last_roof_bytes_ratio_ = drift_.recalibration().bytes_ratio;
+    if (window_seconds > 0.0)
+      last_roof_gbs_ = window_bytes / window_seconds * 1e-9;
   }
 }
 

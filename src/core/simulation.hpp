@@ -26,6 +26,7 @@
 #include "obs/drift.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/stream.hpp"
 #include "pme/pme_operator.hpp"
 
@@ -130,6 +131,13 @@ class MatrixFreeBdSimulation {
   /// PmeParams + system size) — embedded in the health report and suitable
   /// for checkpoints.
   obs::RunManifest manifest() const;
+
+  /// Writes the layer-7 roofline/drift evidence bundle ("hbd.roofline.v1":
+  /// manifest + effective perf mode + per-phase timer/model/counter records
+  /// + recalibration).  Closes the open audit window first.  Also written
+  /// at destruction when HBD_ROOFLINE=<path> is set.  False when telemetry
+  /// is compiled out or the file cannot be written.
+  bool write_roofline_json(const std::string& path);
 
   // --- Telemetry: model-vs-measured drift audit (Eq. 10–11) ----------------
 
@@ -239,6 +247,16 @@ class MatrixFreeBdSimulation {
   bool recalibrate_ = false;
   PmeOperator::ApplyCounts counts_seen_;
   std::map<std::string, double> phase_seen_;
+  /// Hardware-counter phase totals at the previous audit window boundary
+  /// (layer 7); empty unless HBD_PERF counted in hardware mode.
+  std::map<std::string, obs::PerfSample> perf_seen_;
+  /// PerfCounters::overhead_seconds() already folded into obs_seconds_.
+  double perf_overhead_seen_ = 0.0;
+  /// Latest pooled roofline summaries for the stream records (-1 = none).
+  double last_roof_bytes_ratio_ = -1.0;
+  double last_roof_gbs_ = -1.0;
+  /// HBD_ROOFLINE export path (written at destruction when non-empty).
+  std::string roofline_path_;
 
   // Live streaming + flight recorder (telemetry layers 5–6).  unique_ptr
   // members keep the driver movable; both are null unless requested.

@@ -33,6 +33,38 @@ void DriftAudit::record(std::string_view phase, double measured_s,
   }
 }
 
+void DriftAudit::record_roofline(std::string_view phase,
+                                 PhaseScaling scaling, double measured_s,
+                                 double measured_bytes, double modeled_bytes,
+                                 double modeled_flops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = roof_entries_.find(phase);
+  if (it == roof_entries_.end())
+    it = roof_entries_.emplace(std::string(phase), RoofEntry{}).first;
+  RoofEntry& e = it->second;
+  e.scaling = scaling;
+  ++e.windows;
+  e.measured_s += measured_s;
+  e.measured_bytes += measured_bytes;
+  e.modeled_bytes += modeled_bytes;
+  e.modeled_flops += modeled_flops;
+  if (measured_bytes > 0.0 && modeled_bytes > 0.0) {
+    e.bytes_ratio_last = measured_bytes / modeled_bytes;
+    if (e.bytes_ratios.size() < kHistory) {
+      e.bytes_ratios.push_back(e.bytes_ratio_last);
+    } else {
+      e.bytes_ratios[e.ring_head] = e.bytes_ratio_last;
+      e.ring_head = (e.ring_head + 1) % kHistory;
+    }
+  }
+}
+
+void DriftAudit::set_roofs(double stream_bw_gbs, double peak_gflops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roof_bw_gbs_ = stream_bw_gbs;
+  roof_gflops_ = peak_gflops;
+}
+
 double DriftAudit::median(std::vector<double> v) {
   if (v.empty()) return 0.0;
   const std::size_t mid = v.size() / 2;
@@ -52,6 +84,37 @@ PhaseDrift DriftAudit::drift_of(const std::string& name,
   d.ratio_last = e.ratio_last;
   d.ratio_median = median(e.ratios);
   return d;
+}
+
+RooflineRecord DriftAudit::roofline_of(const std::string& name,
+                                       const RoofEntry& e) const {
+  RooflineRecord r;
+  r.name = name;
+  r.scaling = e.scaling;
+  r.windows = e.windows;
+  r.measured_s = e.measured_s;
+  r.measured_bytes = e.measured_bytes;
+  r.modeled_bytes = e.modeled_bytes;
+  r.modeled_flops = e.modeled_flops;
+  if (e.measured_s > 0.0) {
+    r.gbs = e.measured_bytes / e.measured_s * 1e-9;
+    r.gfs = e.modeled_flops / e.measured_s * 1e-9;
+  }
+  if (e.measured_bytes > 0.0) r.intensity = e.modeled_flops / e.measured_bytes;
+  if (roof_bw_gbs_ > 0.0) r.frac_bw_roof = r.gbs / roof_bw_gbs_;
+  if (roof_gflops_ > 0.0) r.frac_flop_roof = r.gfs / roof_gflops_;
+  r.bytes_ratio_last = e.bytes_ratio_last;
+  r.bytes_ratio_median = median(e.bytes_ratios);
+  return r;
+}
+
+std::vector<RooflineRecord> DriftAudit::roofline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RooflineRecord> out;
+  out.reserve(roof_entries_.size());
+  for (const auto& [name, entry] : roof_entries_)
+    out.push_back(roofline_of(name, entry));
+  return out;
 }
 
 std::vector<PhaseDrift> DriftAudit::phases() const {
@@ -102,6 +165,15 @@ DriftAudit::Recalibration DriftAudit::recalibration() const {
   if (!bw.empty()) r.bandwidth_scale = median(bw);
   if (!fft.empty()) r.fft_scale = median(fft);
   if (!ifft.empty()) r.ifft_scale = median(ifft);
+  // Counter evidence: pooled measured/modeled bytes of the bandwidth-bound
+  // phases.  Kept separate from bandwidth_scale (a *time* correction) —
+  // together they say whether drift comes from traffic or from rate.
+  std::vector<double> bytes;
+  for (const RooflineRecord& rec : roofline()) {
+    if (rec.scaling != PhaseScaling::bandwidth) continue;
+    if (rec.bytes_ratio_median > 0.0) bytes.push_back(rec.bytes_ratio_median);
+  }
+  if (!bytes.empty()) r.bytes_ratio = median(bytes);
   return r;
 }
 
@@ -118,18 +190,31 @@ std::string DriftAudit::report() const {
                   d.ratio_median);
     out << line;
   }
+  const std::vector<RooflineRecord> roofs = roofline();
+  if (!roofs.empty()) {
+    out << "roofline                 windows          GB/s          GF/s  "
+           "bytes(meas/mod)   %bw-roof\n";
+    for (const RooflineRecord& r : roofs) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "%-24s %7llu %13.3f %13.3f %16.3f %10.1f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.windows), r.gbs, r.gfs,
+                    r.bytes_ratio_median, 100.0 * r.frac_bw_roof);
+      out << line;
+    }
+  }
   const Recalibration r = recalibration();
   char tail[160];
   std::snprintf(tail, sizeof(tail),
-                "recalibration: bandwidth x%.3f, fft x%.3f, ifft x%.3f\n",
-                r.bandwidth_scale, r.fft_scale, r.ifft_scale);
+                "recalibration: bandwidth x%.3f, fft x%.3f, ifft x%.3f, "
+                "bytes x%.3f\n",
+                r.bandwidth_scale, r.fft_scale, r.ifft_scale, r.bytes_ratio);
   out << tail;
   return out.str();
 }
 
-void DriftAudit::write_json(std::ostream& out) const {
-  JsonWriter w(out);
-  w.begin_object();
+void DriftAudit::write_json_fields(JsonWriter& w) const {
   w.key("phases");
   w.begin_object();
   for (const PhaseDrift& d : phases()) {
@@ -143,13 +228,40 @@ void DriftAudit::write_json(std::ostream& out) const {
     w.end_object();
   }
   w.end_object();
+  w.key("roofline");
+  w.begin_object();
+  for (const RooflineRecord& r : roofline()) {
+    w.key(r.name);
+    w.begin_object();
+    w.field("windows", static_cast<double>(r.windows));
+    w.field("measured_s", r.measured_s);
+    w.field("measured_gb", r.measured_bytes * 1e-9);
+    w.field("modeled_gb", r.modeled_bytes * 1e-9);
+    w.field("modeled_gflop", r.modeled_flops * 1e-9);
+    w.field("gbs", r.gbs);
+    w.field("gfs", r.gfs);
+    w.field("intensity", r.intensity);
+    w.field("frac_bw_roof", r.frac_bw_roof);
+    w.field("frac_flop_roof", r.frac_flop_roof);
+    w.field("bytes_ratio_last", r.bytes_ratio_last);
+    w.field("bytes_ratio_median", r.bytes_ratio_median);
+    w.end_object();
+  }
+  w.end_object();
   const Recalibration r = recalibration();
   w.key("recalibration");
   w.begin_object();
   w.field("bandwidth_scale", r.bandwidth_scale);
   w.field("fft_scale", r.fft_scale);
   w.field("ifft_scale", r.ifft_scale);
+  w.field("bytes_ratio", r.bytes_ratio);
   w.end_object();
+}
+
+void DriftAudit::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  write_json_fields(w);
   w.end_object();
   out << "\n";
 }
@@ -157,6 +269,7 @@ void DriftAudit::write_json(std::ostream& out) const {
 void DriftAudit::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  roof_entries_.clear();
 }
 
 }  // namespace hbd::obs

@@ -21,6 +21,8 @@
 
 namespace hbd::obs {
 
+class JsonWriter;
+
 /// Which hardware rate a phase's modeled time is inversely proportional to;
 /// used to map measured drift back onto HardwareParams knobs.
 enum class PhaseScaling { bandwidth, fft, ifft, other };
@@ -36,6 +38,28 @@ struct PhaseDrift {
   double ratio_median = 0.0;    ///< median of per-window ratios
 };
 
+/// Aggregated hardware-counter roofline evidence of one phase (layer 7):
+/// the third audit stream next to the wall-clock timers and the Eq. 10
+/// model.  Bytes are LLC-miss × line-size measurements; flops are the
+/// model's operation counts (counters measure traffic, the model counts
+/// work), so `gfs` is "modeled work over measured time".
+struct RooflineRecord {
+  std::string name;
+  PhaseScaling scaling = PhaseScaling::other;
+  std::uint64_t windows = 0;
+  double measured_s = 0.0;        ///< timer seconds of the audited windows
+  double measured_bytes = 0.0;    ///< LLC-miss traffic
+  double modeled_bytes = 0.0;     ///< Eq. 10 byte accounting
+  double modeled_flops = 0.0;     ///< Eq. 10 operation count
+  double gbs = 0.0;               ///< achieved GB/s (measured bytes/time)
+  double gfs = 0.0;               ///< achieved GF/s (modeled flops/time)
+  double intensity = 0.0;         ///< flops per measured byte
+  double frac_bw_roof = 0.0;      ///< gbs / HardwareParams stream bandwidth
+  double frac_flop_roof = 0.0;    ///< gfs / HardwareParams peak flops
+  double bytes_ratio_last = 0.0;  ///< measured/modeled bytes, last window
+  double bytes_ratio_median = 0.0;
+};
+
 class DriftAudit {
  public:
   /// Records one audit window for `phase`: `measured_s` seconds observed
@@ -44,8 +68,23 @@ class DriftAudit {
   void record(std::string_view phase, double measured_s, double modeled_s,
               PhaseScaling scaling = PhaseScaling::other);
 
+  /// Records one hardware-counter window for `phase`.  `measured_s` is the
+  /// timer seconds covering the same work; `measured_bytes` the LLC-miss
+  /// traffic; `modeled_bytes`/`modeled_flops` the Eq. 10 accounting.
+  /// Windows lacking either byte side keep the rates but skip the ratio
+  /// history (mirrors record()).
+  void record_roofline(std::string_view phase, PhaseScaling scaling,
+                       double measured_s, double measured_bytes,
+                       double modeled_bytes, double modeled_flops);
+
+  /// Roofs used for the frac-of-roof fields (HardwareParams values).
+  void set_roofs(double stream_bw_gbs, double peak_gflops);
+
   /// All audited phases, sorted by name.
   std::vector<PhaseDrift> phases() const;
+
+  /// All roofline-audited phases, sorted by name (empty without counters).
+  std::vector<RooflineRecord> roofline() const;
 
   /// Median measured/modeled ratio of one phase (0 when unaudited).
   double ratio(std::string_view phase) const;
@@ -60,12 +99,22 @@ class DriftAudit {
     double bandwidth_scale = 1.0;  ///< multiply stream_bw_gbs by this
     double fft_scale = 1.0;        ///< multiply the forward-FFT rate
     double ifft_scale = 1.0;       ///< multiply the inverse-FFT rate
+    /// Pooled median measured/modeled *bytes* of the bandwidth-bound
+    /// phases (counter evidence; 1 until roofline data exists).  A phase
+    /// hitting its modeled time with bytes_ratio far from 1 is right for
+    /// the wrong reason — time drift and byte drift recalibrate
+    /// independently.
+    double bytes_ratio = 1.0;
   };
   Recalibration recalibration() const;
 
-  /// Human-readable per-phase table.
+  /// Human-readable per-phase table (plus a roofline table when counter
+  /// evidence exists).
   std::string report() const;
   void write_json(std::ostream& out) const;
+  /// Writes the "phases"/"roofline"/"recalibration" members into an
+  /// already-open JSON object (shared by the HBD_ROOFLINE export).
+  void write_json_fields(JsonWriter& w) const;
 
   void clear();
 
@@ -82,11 +131,28 @@ class DriftAudit {
     std::size_t ring_head = 0;
   };
 
+  struct RoofEntry {
+    PhaseScaling scaling = PhaseScaling::other;
+    std::uint64_t windows = 0;
+    double measured_s = 0.0;
+    double measured_bytes = 0.0;
+    double modeled_bytes = 0.0;
+    double modeled_flops = 0.0;
+    double bytes_ratio_last = 0.0;
+    std::vector<double> bytes_ratios;  // ring of the last kHistory ratios
+    std::size_t ring_head = 0;
+  };
+
   static double median(std::vector<double> v);
   PhaseDrift drift_of(const std::string& name, const Entry& e) const;
+  RooflineRecord roofline_of(const std::string& name,
+                             const RoofEntry& e) const;
 
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, RoofEntry, std::less<>> roof_entries_;
+  double roof_bw_gbs_ = 0.0;
+  double roof_gflops_ = 0.0;
 };
 
 }  // namespace hbd::obs

@@ -83,8 +83,10 @@ std::string prometheus_text() {
     append_number(out, value);
     out += "\n";
   }
-  // Log-scale histograms export as summaries: our buckets are geometric, so
-  // quantile labels carry more information than cumulative le-buckets would.
+  // Log-scale histograms export twice: as summaries (quantile labels carry
+  // more information at a glance) and as native cumulative histograms under
+  // a distinct `_hist` family (PromQL histogram_quantile() needs le
+  // buckets; a name can't be both TYPEs at once).
   for (const auto& [name, h] : snap.histograms) {
     const std::string p = prometheus_name(name);
     out += "# TYPE " + p + " summary\n";
@@ -101,6 +103,24 @@ std::string prometheus_text() {
     append_number(out, h.sum);
     out += "\n";
     out += p + "_count ";
+    append_number(out, static_cast<double>(h.count));
+    out += "\n";
+    const std::string ph = p + "_hist";
+    out += "# TYPE " + ph + " histogram\n";
+    for (const auto& bucket : h.buckets) {
+      out += ph + "_bucket{le=\"";
+      append_number(out, bucket.le);
+      out += "\"} ";
+      append_number(out, static_cast<double>(bucket.cumulative));
+      out += "\n";
+    }
+    out += ph + "_bucket{le=\"+Inf\"} ";
+    append_number(out, static_cast<double>(h.count));
+    out += "\n";
+    out += ph + "_sum ";
+    append_number(out, h.sum);
+    out += "\n";
+    out += ph + "_count ";
     append_number(out, static_cast<double>(h.count));
     out += "\n";
   }
@@ -160,17 +180,36 @@ void MetricsServer::run() {
 }
 
 void MetricsServer::serve(int client) {
-  char req[1024];
-  const ssize_t got = ::recv(client, req, sizeof(req) - 1, 0);
-  if (got <= 0) return;
-  req[got] = '\0';
+  // Read until the request line is complete: one recv is not enough for
+  // clients that trickle the request in pieces.  A per-read poll timeout
+  // bounds how long a stalled client can hold the accept loop, and a cap
+  // on the request size turns oversized lines into 414 instead of an
+  // unbounded buffer.
+  constexpr std::size_t kMaxRequest = 4096;
+  std::string req;
+  bool oversized = false;
+  for (;;) {
+    if (req.find('\n') != std::string::npos) break;
+    if (req.size() >= kMaxRequest) {
+      oversized = true;
+      break;
+    }
+    pollfd pfd{client, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+    if (r <= 0) break;  // stalled client: give up (no response owed)
+    char buf[512];
+    const ssize_t got = ::recv(client, buf, sizeof(buf), 0);
+    if (got <= 0) break;  // peer closed or error; parse what we have
+    req.append(buf, static_cast<std::size_t>(got));
+  }
+  if (req.empty() && !oversized) return;
   // Request line only: "GET <path> HTTP/1.x".
   std::string path = "/";
   {
-    const char* sp1 = std::strchr(req, ' ');
-    if (sp1) {
-      const char* sp2 = std::strchr(sp1 + 1, ' ');
-      if (sp2) path.assign(sp1 + 1, sp2);
+    const std::size_t sp1 = req.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t sp2 = req.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
     }
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -178,7 +217,10 @@ void MetricsServer::serve(int client) {
   std::string body;
   std::string content_type = "text/plain; charset=utf-8";
   std::string status = "200 OK";
-  if (path == "/metrics") {
+  if (oversized) {
+    status = "414 URI Too Long";
+    body = "request line too long\n";
+  } else if (path == "/metrics") {
     body = prometheus_text();
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/health") {
@@ -213,6 +255,16 @@ void MetricsServer::serve(int client) {
         ::send(client, resp.data() + off, resp.size() - off, 0);
     if (sent <= 0) break;
     off += static_cast<std::size_t>(sent);
+  }
+  // Lingering close: an oversized request leaves bytes unread, and closing
+  // with a non-empty receive queue RSTs the in-flight response away.
+  // Signal end-of-response, then drain (bounded) until the peer closes.
+  ::shutdown(client, SHUT_WR);
+  for (int spins = 0; spins < 8; ++spins) {
+    pollfd pfd{client, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/100) <= 0) break;
+    char sink[1024];
+    if (::recv(client, sink, sizeof(sink), 0) <= 0) break;
   }
 }
 

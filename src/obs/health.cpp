@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "hbd_version.hpp"
+#include "obs/hwcounters.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -69,6 +70,10 @@ RunManifest RunManifest::build_info() {
 #else
   m.omp_threads = 1;
 #endif
+  const PerfCounters& perf = PerfCounters::global();
+  m.perf_mode = perf_mode_name(perf.mode());
+  m.perf_fallback = perf.fallback_reason();
+  m.perf_events = perf.events();
   return m;
 }
 
@@ -113,6 +118,16 @@ void RunManifest::write_json(JsonWriter& w) const {
   w.field("name", hw_name);
   w.field("peak_dp_gflops", hw_gflops);
   w.field("stream_bw_gbs", hw_bw_gbs);
+  w.end_object();
+  w.key("perf");
+  w.begin_object();
+  w.field("mode", perf_mode);
+  w.field("fallback", perf_fallback);
+  w.field("line_bytes", PerfCounters::line_bytes());
+  w.key("events");
+  w.begin_array();
+  for (const std::string& ev : perf_events) w.value(ev);
+  w.end_array();
   w.end_object();
   w.end_object();
 }

@@ -138,7 +138,16 @@ struct RunManifest {
   std::string hw_name;
   double hw_gflops = 0.0, hw_bw_gbs = 0.0;
 
-  /// Build fields and the OMP thread count filled in; run fields zero.
+  // Hardware-counter subsystem (layer 7): the *effective* state after
+  // probing perf_event_open, so every artifact records whether roofline
+  // numbers existed and, if not, why ("off"/"unavailable"/"software"/
+  // "hardware"; see obs/hwcounters.hpp).
+  std::string perf_mode = "off";
+  std::string perf_fallback;            ///< why mode is below "hardware"
+  std::vector<std::string> perf_events; ///< events that actually opened
+
+  /// Build fields, the OMP thread count, and the probed perf-counter state
+  /// filled in; run fields zero.
   static RunManifest build_info();
 
   /// Writes the manifest object (the caller has already emitted the key).

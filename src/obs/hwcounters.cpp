@@ -1,0 +1,464 @@
+#include "obs/hwcounters.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if HBD_PERF_ENABLED && defined(__linux__)
+#define HBD_PERF_SYSCALLS 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define HBD_PERF_SYSCALLS 0
+#endif
+
+namespace hbd::obs {
+
+PerfSample& PerfSample::operator+=(const PerfSample& o) {
+  seconds += o.seconds;
+  cycles += o.cycles;
+  instructions += o.instructions;
+  llc_references += o.llc_references;
+  llc_misses += o.llc_misses;
+  stalled_cycles += o.stalled_cycles;
+  if (raw.size() < o.raw.size()) raw.resize(o.raw.size(), 0.0);
+  for (std::size_t i = 0; i < o.raw.size(); ++i) raw[i] += o.raw[i];
+  return *this;
+}
+
+PerfSample& PerfSample::operator-=(const PerfSample& o) {
+  seconds -= o.seconds;
+  cycles -= o.cycles;
+  instructions -= o.instructions;
+  llc_references -= o.llc_references;
+  llc_misses -= o.llc_misses;
+  stalled_cycles -= o.stalled_cycles;
+  if (raw.size() < o.raw.size()) raw.resize(o.raw.size(), 0.0);
+  for (std::size_t i = 0; i < o.raw.size(); ++i) raw[i] -= o.raw[i];
+  return *this;
+}
+
+const char* perf_mode_name(PerfMode mode) {
+  switch (mode) {
+    case PerfMode::off:
+      return "off";
+    case PerfMode::unavailable:
+      return "unavailable";
+    case PerfMode::software:
+      return "software";
+    case PerfMode::hardware:
+      return "hardware";
+  }
+  return "off";
+}
+
+namespace {
+
+/// Which PerfSample field a configured event feeds.
+enum class Role {
+  task_clock,
+  cycles,
+  instructions,
+  llc_references,
+  llc_misses,
+  stalled_cycles,
+  raw,
+  ignored,
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::mutex g_global_mu;
+std::unique_ptr<PerfCounters> g_global;
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+PerfCounters::Options options_from_env() {
+  PerfCounters::Options opts;
+  const char* flag = std::getenv("HBD_PERF");
+  opts.enabled = flag != nullptr && *flag != '\0' &&
+                 std::string_view(flag) != "0";
+  if (const char* extra = std::getenv("HBD_PERF_EVENTS"))
+    opts.raw_events = extra;
+  return opts;
+}
+
+}  // namespace
+
+struct PerfCounters::Event {
+  std::string name;
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+  Role role = Role::ignored;
+  std::size_t raw_index = 0;  // position in PerfSample::raw for Role::raw
+};
+
+struct PerfCounters::Group {
+  std::thread::id owner;
+  bool ok = false;
+  int leader = -1;
+  std::vector<int> fds;  // leader first, then members, specs_ order
+
+  ~Group() {
+#if HBD_PERF_SYSCALLS
+    for (int fd : fds)
+      if (fd >= 0) ::close(fd);
+#endif
+  }
+};
+
+#if HBD_PERF_SYSCALLS
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // enable the whole group at the end
+  attr.exclude_kernel = 1;               // perf_event_paranoid >= 1 safe
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU.  inherit stays 0: inheritance is
+  // incompatible with PERF_FORMAT_GROUP reads, so counts are per calling
+  // thread by design (see header).
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0UL));
+}
+
+}  // namespace
+
+#endif  // HBD_PERF_SYSCALLS
+
+PerfCounters& PerfCounters::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global)
+    g_global = std::make_unique<PerfCounters>(options_from_env());
+  return *g_global;
+}
+
+void PerfCounters::reinit_from_env() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global = std::make_unique<PerfCounters>(options_from_env());
+}
+
+PerfCounters::PerfCounters(const Options& opts)
+    : instance_id_(g_next_instance_id.fetch_add(1)) {
+  configure(opts);
+}
+
+PerfCounters::~PerfCounters() = default;
+
+double PerfCounters::line_bytes() {
+#if HBD_PERF_SYSCALLS
+  const long line = ::sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (line > 0) return static_cast<double>(line);
+#endif
+  return 64.0;
+}
+
+void PerfCounters::configure(const Options& opts) {
+  mode_ = PerfMode::off;
+  if (!kEnabled) {
+    fallback_reason_ = "telemetry compiled out (-DHBD_TELEMETRY=OFF)";
+    return;
+  }
+  if (!opts.enabled) {
+    fallback_reason_ = "not requested (HBD_PERF unset)";
+    return;
+  }
+#if !HBD_PERF_SYSCALLS
+#if HBD_PERF_ENABLED
+  mode_ = PerfMode::unavailable;
+  fallback_reason_ = "perf_event_open requires Linux";
+#else
+  fallback_reason_ = "counters compiled out (-DHBD_PERF=OFF)";
+#endif
+  (void)opts;
+  return;
+#else
+  // Candidate hardware group: cycles leads; every member that fails to open
+  // is dropped (e.g. stalled-cycles is absent on some PMUs) so the recorded
+  // event list is exactly what counted.
+  std::vector<Event> hardware = {
+      {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, Role::cycles,
+       0},
+      {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+       Role::instructions, 0},
+      {"llc_references", PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_CACHE_REFERENCES, Role::llc_references, 0},
+      {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+       Role::llc_misses, 0},
+      {"stalled_cycles_frontend", PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_STALLED_CYCLES_FRONTEND, Role::stalled_cycles, 0},
+      {"task_clock", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+       Role::task_clock, 0},
+  };
+  // HBD_PERF_EVENTS="name=r01b7,rc0" appends raw PMU events.
+  std::size_t raw_index = 0;
+  std::string_view spec(opts.raw_events);
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    std::string name(eq == std::string_view::npos ? item
+                                                  : item.substr(0, eq));
+    std::string_view code =
+        eq == std::string_view::npos ? item : item.substr(eq + 1);
+    if (code.size() < 2 || (code[0] != 'r' && code[0] != 'R')) continue;
+    char* end = nullptr;
+    const std::string hex(code.substr(1));
+    const std::uint64_t config = std::strtoull(hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') continue;
+    hardware.push_back(
+        {std::move(name), PERF_TYPE_RAW, config, Role::raw, raw_index++});
+  }
+
+  auto probe = [this](std::vector<Event>& candidates) -> bool {
+    // Opens the leader then each member on this thread; members that fail
+    // are dropped from specs_.  The probe group is kept as this thread's
+    // live group.
+    auto group = std::make_unique<Group>();
+    group->owner = std::this_thread::get_id();
+    const int leader =
+        perf_open(candidates.front().type, candidates.front().config, -1);
+    if (leader < 0) {
+      fallback_reason_ = candidates.front().name + ": " +
+                         std::strerror(errno);
+      return false;
+    }
+    specs_.clear();
+    events_.clear();
+    group->leader = leader;
+    group->fds.push_back(leader);
+    specs_.push_back(candidates.front());
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const int fd = perf_open(candidates[i].type, candidates[i].config,
+                               leader);
+      if (fd < 0) continue;
+      group->fds.push_back(fd);
+      specs_.push_back(candidates[i]);
+    }
+    // Re-pack raw indices after drops so PerfSample::raw stays dense.
+    std::size_t next_raw = 0;
+    for (Event& ev : specs_) {
+      if (ev.role == Role::raw) ev.raw_index = next_raw++;
+      events_.push_back(ev.name);
+    }
+    ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    group->ok = true;
+    std::lock_guard<std::mutex> lock(groups_mu_);
+    groups_.push_back(std::move(group));
+    return true;
+  };
+
+  if (probe(hardware)) {
+    mode_ = PerfMode::hardware;
+    fallback_reason_.clear();
+    return;
+  }
+  // No PMU (VMs, containers) or access denied (perf_event_paranoid): fall
+  // back to a software-only group — proves the plumbing end to end and
+  // still times phases, but yields no traffic data (no roofline records).
+  std::string hw_reason = fallback_reason_;
+  std::vector<Event> software = {
+      {"task_clock", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+       Role::task_clock, 0},
+      {"page_faults", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS,
+       Role::ignored, 0},
+  };
+  if (probe(software)) {
+    mode_ = PerfMode::software;
+    fallback_reason_ = "hardware events unavailable (" + hw_reason +
+                       "); software group only";
+    return;
+  }
+  mode_ = PerfMode::unavailable;
+  fallback_reason_ = "perf_event_open denied (hardware: " + hw_reason +
+                     "; software: " + fallback_reason_ + ")";
+#endif  // HBD_PERF_SYSCALLS
+}
+
+PerfCounters::Group* PerfCounters::group_for_this_thread() const {
+  // Instance ids are process-unique and never reused, so a stale cache
+  // entry for a destroyed instance can never be looked up again.
+  thread_local std::vector<std::pair<std::uint64_t, Group*>> cache;
+  for (const auto& [id, group] : cache)
+    if (id == instance_id_) return group;
+  Group* group = open_group();
+  cache.emplace_back(instance_id_, group);
+  return group;
+}
+
+PerfCounters::Group* PerfCounters::open_group() const {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  for (const auto& group : groups_)
+    if (group->owner == self) return group.get();
+  auto group = std::make_unique<Group>();
+  group->owner = self;
+#if HBD_PERF_SYSCALLS
+  // Per-thread groups re-open the exact probed spec list; order must match
+  // specs_ so group reads route values by index.  Any failure marks the
+  // group bad (zero reads) rather than reordering.
+  for (const Event& ev : specs_) {
+    const int fd = perf_open(ev.type, ev.config, group->leader);
+    if (fd < 0) {
+      group->ok = false;
+      break;
+    }
+    if (group->leader < 0) group->leader = fd;
+    group->fds.push_back(fd);
+    group->ok = true;
+  }
+  if (group->ok && group->fds.size() != specs_.size()) group->ok = false;
+  if (group->ok) {
+    ::ioctl(group->leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(group->leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+  Group* out = group.get();
+  groups_.push_back(std::move(group));
+  return out;
+}
+
+PerfSample PerfCounters::read() const {
+  PerfSample sample;
+  if (!counting()) return sample;
+#if HBD_PERF_SYSCALLS
+  Group* group = group_for_this_thread();
+  if (group == nullptr || !group->ok) return sample;
+  // PERF_FORMAT_GROUP layout: u64 nr, time_enabled, time_running, values[].
+  std::uint64_t buf[3 + 32];
+  const std::size_t want = 3 + specs_.size();
+  if (want > sizeof(buf) / sizeof(buf[0])) return sample;
+  const ssize_t got =
+      ::read(group->leader, buf, want * sizeof(std::uint64_t));
+  if (got < static_cast<ssize_t>(want * sizeof(std::uint64_t)))
+    return sample;
+  const std::uint64_t nr = buf[0];
+  const double enabled = static_cast<double>(buf[1]);
+  const double running = static_cast<double>(buf[2]);
+  // Multiplexing correction: the kernel timeshares the PMU across groups;
+  // scaling by enabled/running extrapolates to the full window.
+  const double scale = running > 0.0 ? enabled / running : 1.0;
+  sample.raw.assign(
+      static_cast<std::size_t>(std::count_if(
+          specs_.begin(), specs_.end(),
+          [](const Event& ev) { return ev.role == Role::raw; })),
+      0.0);
+  for (std::size_t i = 0; i < nr && i < specs_.size(); ++i) {
+    const double value = static_cast<double>(buf[3 + i]) * scale;
+    switch (specs_[i].role) {
+      case Role::task_clock:
+        sample.seconds = value * 1e-9;  // task-clock counts nanoseconds
+        break;
+      case Role::cycles:
+        sample.cycles = value;
+        break;
+      case Role::instructions:
+        sample.instructions = value;
+        break;
+      case Role::llc_references:
+        sample.llc_references = value;
+        break;
+      case Role::llc_misses:
+        sample.llc_misses = value;
+        break;
+      case Role::stalled_cycles:
+        sample.stalled_cycles = value;
+        break;
+      case Role::raw:
+        sample.raw[specs_[i].raw_index] = value;
+        break;
+      case Role::ignored:
+        break;
+    }
+  }
+#endif
+  return sample;
+}
+
+void PerfCounters::accumulate(const char* name, const PerfSample& delta,
+                              double overhead_s) {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  overhead_seconds_ += overhead_s;
+  for (auto& [phase, entry] : phase_entries_) {
+    if (phase == name) {
+      ++entry.scopes;
+      entry.totals += delta;
+      return;
+    }
+  }
+  phase_entries_.emplace_back(std::string(name), PhaseEntry{});
+  auto& entry = phase_entries_.back().second;
+  entry.scopes = 1;
+  entry.totals += delta;
+}
+
+std::vector<PerfCounters::PhaseCounts> PerfCounters::phases() const {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  std::vector<PhaseCounts> out;
+  out.reserve(phase_entries_.size());
+  for (const auto& [name, entry] : phase_entries_)
+    out.push_back({name, entry.scopes, entry.totals});
+  std::sort(out.begin(), out.end(),
+            [](const PhaseCounts& a, const PhaseCounts& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+PerfSample PerfCounters::phase_totals(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  for (const auto& [phase, entry] : phase_entries_)
+    if (phase == name) return entry.totals;
+  return PerfSample{};
+}
+
+double PerfCounters::overhead_seconds() const {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  return overhead_seconds_;
+}
+
+void PerfCounters::clear() {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  phase_entries_.clear();
+  overhead_seconds_ = 0.0;
+}
+
+PerfScope::PerfScope(const char* name) : name_(name) {
+  PerfCounters& counters = PerfCounters::global();
+  if (!counters.counting()) return;
+  const double t0 = now_seconds();
+  begin_ = counters.read();
+  overhead_s_ = now_seconds() - t0;
+  counters_ = &counters;
+}
+
+PerfScope::~PerfScope() {
+  if (counters_ == nullptr) return;
+  const double t0 = now_seconds();
+  PerfSample delta = counters_->read();
+  delta -= begin_;
+  const double overhead = overhead_s_ + (now_seconds() - t0);
+  counters_->accumulate(name_, delta, overhead);
+}
+
+}  // namespace hbd::obs

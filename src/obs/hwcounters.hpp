@@ -1,0 +1,171 @@
+// Hardware performance counters (telemetry layer 7).
+//
+// perf_event_open(2)-based counter groups attached to the phase scopes the
+// span tracer already marks: HBD_PERF_SCOPE("realspace") nests inside the
+// corresponding HBD_TRACE_SCOPE and accumulates, per phase name, the deltas
+// of one grouped read — cycles, instructions, LLC references/misses,
+// stalled front-end cycles, and a task-clock time base — multiplexing-
+// corrected via the group's time_enabled/time_running.  Optional raw events
+// (uncore IMC, offcore response) ride along via HBD_PERF_EVENTS.
+//
+// The subsystem degrades gracefully and *records* the degradation:
+//
+//   mode "hardware"     PMU events opened; roofline records are derived
+//   mode "software"     PMU missing/denied, software task-clock group only
+//   mode "unavailable"  perf_event_open failed outright (or non-Linux)
+//   mode "off"          HBD_PERF unset, telemetry off, or -DHBD_PERF=OFF
+//
+// The effective mode, event list, and fallback reason land in the run
+// manifest; with counters off the simulation's behavior is bitwise
+// identical to a build without this file.  Counting is per calling thread
+// (PERF_FORMAT_GROUP is incompatible with inherit=1), which matches the
+// phase scopes: they wrap whole parallel regions from the orchestrating
+// thread, so OMP-parallel phases under-count worker-thread traffic; on the
+// single-socket targets the model audits this is a documented caveat, not
+// an error (docs/observability.md, Layer 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace hbd::obs {
+
+/// One multiplex-corrected counter reading (totals or a delta of two).
+struct PerfSample {
+  double seconds = 0.0;         ///< task-clock seconds (software time base)
+  double cycles = 0.0;          ///< CPU cycles
+  double instructions = 0.0;    ///< retired instructions
+  double llc_references = 0.0;  ///< last-level cache references
+  double llc_misses = 0.0;      ///< last-level cache misses
+  double stalled_cycles = 0.0;  ///< stalled front-end cycles
+  std::vector<double> raw;      ///< HBD_PERF_EVENTS extras, spec order
+
+  PerfSample& operator+=(const PerfSample& o);
+  PerfSample& operator-=(const PerfSample& o);
+};
+
+inline PerfSample operator-(PerfSample a, const PerfSample& b) {
+  a -= b;
+  return a;
+}
+
+/// Effective counting mode after probing the host (see file comment).
+enum class PerfMode { off, unavailable, software, hardware };
+
+/// Stable lowercase name ("off", "unavailable", "software", "hardware").
+const char* perf_mode_name(PerfMode mode);
+
+class PerfCounters {
+ public:
+  struct Options {
+    bool enabled = false;     ///< request counting (HBD_PERF=1)
+    std::string raw_events;   ///< "name=r01b7,..." extra raw PMU events
+  };
+
+  /// Process-wide instance configured from HBD_PERF / HBD_PERF_EVENTS on
+  /// first use.  reinit_from_env() rebuilds it (tests flip the env between
+  /// sections; per-thread groups re-open lazily against the new instance).
+  static PerfCounters& global();
+  static void reinit_from_env();
+
+  explicit PerfCounters(const Options& opts);
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  PerfMode mode() const { return mode_; }
+  bool counting() const {
+    return mode_ == PerfMode::software || mode_ == PerfMode::hardware;
+  }
+  /// Events that actually opened, e.g. {"cycles", "instructions", ...}.
+  const std::vector<std::string>& events() const { return events_; }
+  /// Why the mode is below "hardware" (empty when mode == hardware).
+  const std::string& fallback_reason() const { return fallback_reason_; }
+  /// Cache line size used for miss→bytes conversion (64 when unknown).
+  static double line_bytes();
+
+  /// Current multiplex-corrected totals of the calling thread's group.
+  /// Zero sample when not counting (or the thread's group failed to open).
+  PerfSample read() const;
+
+  /// Folds a scope's delta into the per-phase totals.  `name` must outlive
+  /// the process (string literals at the call sites).
+  void accumulate(const char* name, const PerfSample& delta,
+                  double overhead_s);
+
+  struct PhaseCounts {
+    std::string name;
+    std::uint64_t scopes = 0;  ///< completed HBD_PERF_SCOPEs
+    PerfSample totals;
+  };
+  std::vector<PhaseCounts> phases() const;
+  /// Totals of one phase (zero sample when the phase never counted).
+  PerfSample phase_totals(std::string_view name) const;
+
+  /// Self-measured cost of all scope reads so far, in seconds; the
+  /// simulation folds the delta into obs.overhead_frac.
+  double overhead_seconds() const;
+
+  /// Drops accumulated phase totals (groups stay open).
+  void clear();
+
+ private:
+  struct Event;  // type/config/role of one configured event
+  struct Group;  // per-thread fd group (leader + members)
+
+  void configure(const Options& opts);
+  Group* group_for_this_thread() const;
+  Group* open_group() const;
+
+  PerfMode mode_ = PerfMode::off;
+  std::vector<std::string> events_;
+  std::string fallback_reason_;
+  std::vector<Event> specs_;
+  std::uint64_t instance_id_ = 0;  // thread-local group-cache key
+
+  mutable std::mutex groups_mu_;
+  mutable std::vector<std::unique_ptr<Group>> groups_;
+
+  mutable std::mutex phases_mu_;
+  struct PhaseEntry {
+    std::uint64_t scopes = 0;
+    PerfSample totals;
+  };
+  std::vector<std::pair<std::string, PhaseEntry>> phase_entries_;
+  double overhead_seconds_ = 0.0;
+};
+
+/// RAII scope: reads the group at entry and exit, accumulates the delta
+/// under `name`.  Near-zero cost when the global instance is not counting
+/// (one branch, no syscalls).
+class PerfScope {
+ public:
+  explicit PerfScope(const char* name);
+  ~PerfScope();
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  const char* name_;
+  PerfCounters* counters_ = nullptr;  // nullptr when not counting
+  PerfSample begin_;
+  double overhead_s_ = 0.0;
+};
+
+}  // namespace hbd::obs
+
+#if HBD_TELEMETRY_ENABLED
+/// Counts the enclosing scope's hardware events under `name` (static
+/// lifetime; use the same phase names as the operator timers so the drift
+/// audit can join timer, model, and counter evidence).
+#define HBD_PERF_SCOPE(name) \
+  ::hbd::obs::PerfScope HBD_OBS_CONCAT(hbd_perf_scope_, __LINE__)(name)
+#else
+#define HBD_PERF_SCOPE(name) ((void)0)
+#endif

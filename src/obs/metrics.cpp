@@ -90,6 +90,25 @@ std::vector<std::uint64_t> Histogram::merged() const {
   return out;
 }
 
+std::vector<Histogram::Bucket> Histogram::cumulative_buckets() const {
+  std::vector<Bucket> out;
+  const std::vector<std::uint64_t> buckets = merged();
+  int first = -1, last = -1;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[static_cast<std::size_t>(b)] == 0) continue;
+    if (first < 0) first = b;
+    last = b;
+  }
+  if (first < 0) return out;
+  out.reserve(static_cast<std::size_t>(last - first + 1));
+  std::uint64_t seen = 0;
+  for (int b = first; b <= last; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    out.push_back({std::exp2((b + kMinExp + 1.0) / kSubBuckets), seen});
+  }
+  return out;
+}
+
 double Histogram::percentile(double p) const {
   const std::uint64_t total = count();
   if (total == 0) return 0.0;
@@ -195,7 +214,8 @@ MetricsSnapshot Registry::snapshot() const {
     s.p50 = h->percentile(0.50);
     s.p90 = h->percentile(0.90);
     s.p99 = h->percentile(0.99);
-    snap.histograms.emplace_back(name, s);
+    s.buckets = h->cumulative_buckets();
+    snap.histograms.emplace_back(name, std::move(s));
   }
   return snap;
 }

@@ -109,6 +109,17 @@ class Histogram {
   double percentile(double p) const;
   void reset();
 
+  /// One Prometheus-style cumulative bucket: count of observations with
+  /// value <= `le` (the bucket's upper edge).
+  struct Bucket {
+    double le = 0.0;
+    std::uint64_t cumulative = 0;
+  };
+  /// Cumulative buckets over the occupied range (empty histogram → empty);
+  /// the final implicit +Inf bucket is count().  Feeds the native
+  /// Prometheus histogram exposition (obs/exposition.cpp).
+  std::vector<Bucket> cumulative_buckets() const;
+
  private:
   static int bucket_of(double v);
 
@@ -130,6 +141,9 @@ struct HistogramStats {
   std::uint64_t count = 0;
   double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0;
   double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  /// Cumulative buckets over the occupied range (native Prometheus
+  /// histogram exposition; empty for an empty histogram).
+  std::vector<Histogram::Bucket> buckets;
 };
 
 /// Point-in-time view of the whole registry.

@@ -55,6 +55,12 @@ struct StreamRecord {
   double rebuild_fraction = -1.0; ///< cells rebuilt / total (< 0: no rebuild)
   bool rebuilt = false;           ///< mobility rebuilt on this step
   std::uint64_t rng_draws = 0;    ///< trajectory-stream draw counter
+  /// Layer-7 roofline summaries of the audit window closed by this step's
+  /// rebuild (< 0: no hardware counters / not a rebuild step).  Windows
+  /// emit a "roofline" object only when a value was seen, so counters-off
+  /// NDJSON output is byte-identical to pre-layer-7 builds.
+  double roof_bytes_ratio = -1.0; ///< pooled measured/modeled bytes
+  double roof_gbs = -1.0;         ///< bandwidth phases' achieved GB/s
 };
 
 /// Background NDJSON/CSV window writer over a lock-free SPSC ring.

@@ -1,0 +1,397 @@
+// Hardware-counter tests (telemetry layer 7): PerfSample arithmetic, the
+// off/software/hardware fallback ladder with recorded reasons, per-phase
+// scope accumulation, roofline-record rate derivation and bytes_ratio
+// recalibration in the drift audit, the HBD_ROOFLINE JSON bundle, manifest
+// perf provenance, and the perf-on trajectory staying bitwise identical to
+// a counters-off run.  Hardware-band assertions GTEST_SKIP on hosts whose
+// perf_event_open denies PMU events (CI containers typically land in
+// "software" or "unavailable" mode — that path is itself under test).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/forces.hpp"
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "obs/drift.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
+#include "obs/hwcounters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace hbd {
+namespace {
+
+ParticleSystem test_suspension(std::size_t n, double phi = 0.1) {
+  const double box =
+      std::cbrt(4.0 / 3.0 * 3.14159265358979 * static_cast<double>(n) / phi);
+  ParticleSystem sys;
+  sys.box = box;
+  sys.radius = 1.0;
+  sys.positions.resize(n);
+  Xoshiro256 rng(7);
+  for (auto& p : sys.positions) {
+    p.x = rng.next_double() * box;
+    p.y = rng.next_double() * box;
+    p.z = rng.next_double() * box;
+  }
+  return sys;
+}
+
+MatrixFreeBdSimulation make_sim(std::size_t n, std::uint64_t seed = 42) {
+  BdConfig config;
+  config.dt = 1e-4;
+  config.lambda_rpy = 4;
+  config.seed = seed;
+  PmeParams pp;
+  pp.mesh = 24;
+  pp.order = 4;
+  ParticleSystem sys = test_suspension(n);
+  pp.rmax = std::min(4.0, 0.49 * sys.box);
+  pp.xi = std::sqrt(std::log(1e3)) / pp.rmax;
+  return MatrixFreeBdSimulation(std::move(sys), nullptr, config, pp,
+                                /*krylov_tol=*/1e-2);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Enables counting via the env path for the RAII scope's lifetime, then
+/// restores the counters-off default so tests stay order-independent.
+struct ScopedPerfEnv {
+  explicit ScopedPerfEnv(const char* value = "1") {
+    ::setenv("HBD_PERF", value, 1);
+    obs::PerfCounters::reinit_from_env();
+  }
+  ~ScopedPerfEnv() {
+    ::unsetenv("HBD_PERF");
+    ::unsetenv("HBD_PERF_EVENTS");
+    obs::PerfCounters::reinit_from_env();
+  }
+};
+
+// ---- PerfSample arithmetic --------------------------------------------------
+
+TEST(PerfSample, DeltasAndAccumulationCoverRawSlots) {
+  obs::PerfSample a;
+  a.seconds = 2.0;
+  a.cycles = 100.0;
+  a.instructions = 50.0;
+  a.llc_references = 40.0;
+  a.llc_misses = 10.0;
+  a.stalled_cycles = 5.0;
+  a.raw = {7.0, 9.0};
+  obs::PerfSample b;
+  b.seconds = 0.5;
+  b.cycles = 60.0;
+  b.instructions = 20.0;
+  b.llc_references = 15.0;
+  b.llc_misses = 4.0;
+  b.stalled_cycles = 1.0;
+  b.raw = {3.0};  // shorter raw vector: missing slots treated as zero
+
+  const obs::PerfSample d = a - b;
+  EXPECT_DOUBLE_EQ(d.seconds, 1.5);
+  EXPECT_DOUBLE_EQ(d.cycles, 40.0);
+  EXPECT_DOUBLE_EQ(d.instructions, 30.0);
+  EXPECT_DOUBLE_EQ(d.llc_references, 25.0);
+  EXPECT_DOUBLE_EQ(d.llc_misses, 6.0);
+  EXPECT_DOUBLE_EQ(d.stalled_cycles, 4.0);
+  ASSERT_EQ(d.raw.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.raw[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.raw[1], 9.0);
+
+  obs::PerfSample sum = b;
+  sum += d;
+  EXPECT_DOUBLE_EQ(sum.seconds, a.seconds);
+  EXPECT_DOUBLE_EQ(sum.cycles, a.cycles);
+  ASSERT_EQ(sum.raw.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum.raw[0], a.raw[0]);
+  EXPECT_DOUBLE_EQ(sum.raw[1], a.raw[1]);
+}
+
+TEST(PerfMode, NamesAreStable) {
+  EXPECT_STREQ(obs::perf_mode_name(obs::PerfMode::off), "off");
+  EXPECT_STREQ(obs::perf_mode_name(obs::PerfMode::unavailable),
+               "unavailable");
+  EXPECT_STREQ(obs::perf_mode_name(obs::PerfMode::software), "software");
+  EXPECT_STREQ(obs::perf_mode_name(obs::PerfMode::hardware), "hardware");
+}
+
+// ---- fallback ladder --------------------------------------------------------
+
+TEST(PerfCounters, OffByDefaultWithRecordedReason) {
+  obs::PerfCounters pc({/*enabled=*/false, /*raw_events=*/""});
+  EXPECT_EQ(pc.mode(), obs::PerfMode::off);
+  EXPECT_FALSE(pc.counting());
+  EXPECT_FALSE(pc.fallback_reason().empty());
+  EXPECT_TRUE(pc.events().empty());
+  const obs::PerfSample s = pc.read();
+  EXPECT_EQ(s.seconds, 0.0);
+  EXPECT_EQ(s.cycles, 0.0);
+  EXPECT_TRUE(pc.phases().empty());
+}
+
+TEST(PerfCounters, EnabledInstanceLandsOnTheLadder) {
+  obs::PerfCounters pc({/*enabled=*/true, /*raw_events=*/""});
+  if (!obs::kEnabled || !pc.counting()) {
+    // Off (compiled out) or unavailable (no perf_event_open at all): the
+    // reason must say why — degradation is recorded, never silent.
+    EXPECT_FALSE(pc.fallback_reason().empty());
+    return;
+  }
+  EXPECT_FALSE(pc.events().empty());
+  if (pc.mode() == obs::PerfMode::hardware) {
+    EXPECT_TRUE(pc.fallback_reason().empty()) << pc.fallback_reason();
+  } else {
+    EXPECT_EQ(pc.mode(), obs::PerfMode::software);
+    EXPECT_FALSE(pc.fallback_reason().empty());
+  }
+  EXPECT_GT(obs::PerfCounters::line_bytes(), 0.0);
+
+  // The task-clock time base advances across real work in every counting
+  // mode; multiplex correction never produces negative deltas.
+  const obs::PerfSample before = pc.read();
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);
+  const obs::PerfSample after = pc.read();
+  const obs::PerfSample delta = after - before;
+  EXPECT_GT(delta.seconds, 0.0);
+  EXPECT_GE(delta.cycles, 0.0);
+  EXPECT_GE(delta.llc_misses, 0.0);
+}
+
+TEST(PerfCounters, PhaseAccumulationAndClear) {
+  obs::PerfCounters pc({/*enabled=*/false, /*raw_events=*/""});
+  obs::PerfSample d;
+  d.seconds = 0.25;
+  d.cycles = 1000.0;
+  d.llc_misses = 32.0;
+  pc.accumulate("spreading", d, /*overhead_s=*/1e-6);
+  pc.accumulate("spreading", d, /*overhead_s=*/1e-6);
+  pc.accumulate("fft", d, /*overhead_s=*/1e-6);
+
+  const std::vector<obs::PerfCounters::PhaseCounts> phases = pc.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  const obs::PerfSample spread = pc.phase_totals("spreading");
+  EXPECT_DOUBLE_EQ(spread.seconds, 0.5);
+  EXPECT_DOUBLE_EQ(spread.cycles, 2000.0);
+  EXPECT_DOUBLE_EQ(spread.llc_misses, 64.0);
+  EXPECT_DOUBLE_EQ(pc.phase_totals("fft").cycles, 1000.0);
+  EXPECT_DOUBLE_EQ(pc.phase_totals("absent").cycles, 0.0);
+  EXPECT_NEAR(pc.overhead_seconds(), 3e-6, 1e-12);
+  pc.clear();
+  EXPECT_TRUE(pc.phases().empty());
+  EXPECT_DOUBLE_EQ(pc.phase_totals("spreading").cycles, 0.0);
+}
+
+TEST(PerfCounters, ScopeMacroAccumulatesIntoTheGlobal) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ScopedPerfEnv env;
+  obs::PerfCounters& pc = obs::PerfCounters::global();
+  if (!pc.counting())
+    GTEST_SKIP() << "counters unavailable: " << pc.fallback_reason();
+  pc.clear();
+  {
+    HBD_PERF_SCOPE("hwtest.scope");
+    double sink = 0.0;
+    for (int i = 0; i < 1000000; ++i) sink += std::sqrt(static_cast<double>(i));
+    ASSERT_GT(sink, 0.0);
+  }
+  const obs::PerfSample totals = pc.phase_totals("hwtest.scope");
+  EXPECT_GT(totals.seconds, 0.0);
+  EXPECT_GT(pc.overhead_seconds(), 0.0);
+}
+
+// ---- roofline records in the drift audit ------------------------------------
+
+TEST(Roofline, RecordsDeriveRatesAndRoofFractions) {
+  obs::DriftAudit audit;
+  audit.set_roofs(/*stream_bw_gbs=*/40.0, /*peak_gflops=*/200.0);
+  // 0.01 s window moving 2e8 measured bytes against 1e8 modeled and 1e9
+  // modeled flops: 20 GB/s (half the bandwidth roof), 100 GF/s (half the
+  // flop roof), intensity 5 flop/byte, bytes_ratio 2.
+  audit.record_roofline("realspace", obs::PhaseScaling::bandwidth,
+                        /*measured_s=*/0.01, /*measured_bytes=*/2e8,
+                        /*modeled_bytes=*/1e8, /*modeled_flops=*/1e9);
+  const std::vector<obs::RooflineRecord> recs = audit.roofline();
+  ASSERT_EQ(recs.size(), 1u);
+  const obs::RooflineRecord& r = recs[0];
+  EXPECT_EQ(r.name, "realspace");
+  EXPECT_EQ(r.windows, 1u);
+  EXPECT_NEAR(r.gbs, 20.0, 1e-9);
+  EXPECT_NEAR(r.gfs, 100.0, 1e-9);
+  EXPECT_NEAR(r.intensity, 5.0, 1e-12);
+  EXPECT_NEAR(r.frac_bw_roof, 0.5, 1e-12);
+  EXPECT_NEAR(r.frac_flop_roof, 0.5, 1e-12);
+  EXPECT_NEAR(r.bytes_ratio_last, 2.0, 1e-12);
+  EXPECT_NEAR(r.bytes_ratio_median, 2.0, 1e-12);
+
+  // The pooled byte recalibration follows the bandwidth phases' medians.
+  audit.record_roofline("spreading", obs::PhaseScaling::bandwidth, 0.01,
+                        /*measured_bytes=*/5e7, /*modeled_bytes=*/1e8, 1e8);
+  // FFT-scaling phases never contribute to the byte pool.
+  audit.record_roofline("fft", obs::PhaseScaling::fft, 0.01, 1e9, 1e7, 1e9);
+  const obs::DriftAudit::Recalibration rc = audit.recalibration();
+  // Pooled median over the bandwidth phases' medians {2.0, 0.5}; for even
+  // counts median() returns the upper-middle element.
+  EXPECT_NEAR(rc.bytes_ratio, 2.0, 1e-12);
+
+  // Missing byte evidence keeps rates but skips the ratio history.
+  audit.record_roofline("interpolation", obs::PhaseScaling::bandwidth, 0.01,
+                        /*measured_bytes=*/0.0, /*modeled_bytes=*/1e8, 1e8);
+  for (const obs::RooflineRecord& rec : audit.roofline())
+    if (rec.name == "interpolation") {
+      EXPECT_EQ(rec.bytes_ratio_median, 0.0);
+      EXPECT_EQ(rec.gbs, 0.0);
+    }
+  EXPECT_NE(audit.report().find("roofline"), std::string::npos);
+}
+
+TEST(Roofline, JsonFieldsRoundTripThroughTheParser) {
+  obs::DriftAudit audit;
+  audit.set_roofs(40.0, 200.0);
+  audit.record("realspace", 0.01, 0.008, obs::PhaseScaling::bandwidth);
+  audit.record_roofline("realspace", obs::PhaseScaling::bandwidth, 0.01, 2e8,
+                        1e8, 1e9);
+  std::ostringstream os;
+  audit.write_json(os);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(os.str(), doc)) << os.str();
+  const obs::JsonValue* roof = doc.find("roofline");
+  ASSERT_NE(roof, nullptr);
+  const obs::JsonValue* phase = roof->find("realspace");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_NEAR(phase->num_or("gbs", 0.0), 20.0, 1e-6);
+  EXPECT_NEAR(phase->num_or("bytes_ratio_last", 0.0), 2.0, 1e-9);
+  EXPECT_NEAR(phase->num_or("frac_bw_roof", 0.0), 0.5, 1e-9);
+  const obs::JsonValue* recal = doc.find("recalibration");
+  ASSERT_NE(recal, nullptr);
+  EXPECT_NEAR(recal->num_or("bytes_ratio", 0.0), 2.0, 1e-9);
+}
+
+// ---- manifest + simulation integration --------------------------------------
+
+TEST(Roofline, ManifestRecordsModeAndFallback) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const obs::RunManifest m = obs::RunManifest::build_info();
+  EXPECT_FALSE(m.perf_mode.empty());
+  if (m.perf_mode != "hardware") EXPECT_FALSE(m.perf_fallback.empty());
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  m.write_json(w);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(os.str(), doc)) << os.str();
+  const obs::JsonValue* perf = doc.find("perf");
+  ASSERT_NE(perf, nullptr) << "manifest must carry the perf section";
+  EXPECT_EQ(perf->str_or("mode", ""), m.perf_mode);
+  EXPECT_GT(perf->num_or("line_bytes", 0.0), 0.0);
+}
+
+TEST(Roofline, ExportBundleCarriesSchemaManifestAndPerf) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ScopedPerfEnv env;
+  const std::string path = temp_path("roofline_export.json");
+  {
+    MatrixFreeBdSimulation sim = make_sim(64);
+    sim.step(9);  // two rebuilds: at least one closed audit window
+    ASSERT_TRUE(sim.write_roofline_json(path));
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(buf.str(), doc)) << buf.str();
+  EXPECT_EQ(doc.str_or("schema", ""), "hbd.roofline.v1");
+  ASSERT_NE(doc.find("manifest"), nullptr);
+  ASSERT_NE(doc.find("phases"), nullptr);
+  const obs::JsonValue* perf = doc.find("perf");
+  ASSERT_NE(perf, nullptr);
+  const std::string mode = perf->str_or("mode", "");
+  EXPECT_TRUE(mode == "off" || mode == "unavailable" || mode == "software" ||
+              mode == "hardware")
+      << mode;
+  if (mode != "hardware")
+    EXPECT_FALSE(perf->str_or("fallback", "").empty())
+        << "sub-hardware modes must record why";
+  std::remove(path.c_str());
+}
+
+TEST(Roofline, BandwidthPhasesStayInsideTheSanityBand) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ScopedPerfEnv env;
+  obs::PerfCounters& pc = obs::PerfCounters::global();
+  if (pc.mode() != obs::PerfMode::hardware)
+    GTEST_SKIP() << "no PMU access (" << pc.fallback_reason()
+                 << "): bytes_ratio needs LLC-miss counts";
+  MatrixFreeBdSimulation sim = make_sim(125);
+  sim.step(17);  // several rebuild-closed audit windows
+  bool bandwidth_seen = false;
+  for (const obs::RooflineRecord& rec : sim.drift_audit().roofline()) {
+    if (rec.scaling != obs::PhaseScaling::bandwidth || rec.windows == 0)
+      continue;
+    if (rec.bytes_ratio_median <= 0.0) continue;
+    bandwidth_seen = true;
+    EXPECT_GT(rec.gbs, 0.0) << rec.name;
+    EXPECT_GE(rec.bytes_ratio_median, 0.25)
+        << rec.name << ": measured traffic implausibly low";
+    EXPECT_LE(rec.bytes_ratio_median, 4.0)
+        << rec.name << ": measured traffic implausibly high";
+  }
+  EXPECT_TRUE(bandwidth_seen)
+      << "hardware mode must produce bandwidth-phase roofline records";
+  const obs::DriftAudit::Recalibration rc = sim.drift_audit().recalibration();
+  EXPECT_GE(rc.bytes_ratio, 0.25);
+  EXPECT_LE(rc.bytes_ratio, 4.0);
+}
+
+// ---- bitwise identity + overhead budget -------------------------------------
+
+TEST(Roofline, CountersNeverPerturbTheTrajectory) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const std::size_t n = 64, steps = 10;
+  MatrixFreeBdSimulation bare = make_sim(n, /*seed=*/11);
+  bare.step(steps);
+
+  std::uint64_t hb = 0;
+  {
+    ScopedPerfEnv env;
+    MatrixFreeBdSimulation counted = make_sim(n, /*seed=*/11);
+    counted.step(steps);
+    const auto& b = counted.system().positions;
+    hb = obs::hash_doubles({&b[0].x, 3 * b.size()});
+  }
+  const auto& a = bare.system().positions;
+  const std::uint64_t ha = obs::hash_doubles({&a[0].x, 3 * a.size()});
+  EXPECT_EQ(ha, hb) << "hardware counters must be observation-only";
+}
+
+TEST(Roofline, CountingOverheadStaysUnderTwoPercent) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ScopedPerfEnv env;
+  obs::PerfCounters& pc = obs::PerfCounters::global();
+  if (!pc.counting())
+    GTEST_SKIP() << "counters unavailable: " << pc.fallback_reason();
+  MatrixFreeBdSimulation sim = make_sim(400);
+  sim.step(1);  // prime (plans, first rebuild)
+  sim.step(8);
+  const double frac =
+      obs::Registry::global().gauge("obs.overhead_frac").value();
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.02) << "perf scopes burned " << frac * 100
+                        << "% of step time";
+}
+
+}  // namespace
+}  // namespace hbd

@@ -366,6 +366,127 @@ TEST(Expo, ServesMetricsHealthAndManifest) {
   EXPECT_GE(server.requests(), 4u);
 }
 
+TEST(Expo, ServesRequestsTrickledAcrossPartialSends) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsServer server(0);
+  ASSERT_TRUE(server.ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Fragment the request line mid-path and mid-version: a single-recv
+  // server would parse a truncated path and 404.
+  const char* pieces[] = {"GET /hea", "lth HT", "TP/1.0\r\n\r\n"};
+  for (const char* piece : pieces) {
+    ASSERT_GT(::send(fd, piece, std::strlen(piece), 0), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(got));
+  ::close(fd);
+  EXPECT_NE(response.find("200"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(Expo, ServesManySequentialConnections) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsServer server(0);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 12; ++i) {
+    const std::string response =
+        http_get(server.port(), i % 2 == 0 ? "/health" : "/metrics");
+    ASSERT_NE(response.find("200"), std::string::npos)
+        << "connection " << i << ": " << response;
+  }
+  server.stop();
+  EXPECT_GE(server.requests(), 12u);
+}
+
+TEST(Expo, ServesConcurrentConnections) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsServer server(0);
+  ASSERT_TRUE(server.ok());
+  constexpr int kThreads = 4, kRequests = 3;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    clients.emplace_back([&server, &ok_count] {
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string response = http_get(server.port(), "/health");
+        if (response.find("200") != std::string::npos)
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& c : clients) c.join();
+  server.stop();
+  // The accept loop serves one client at a time; concurrent connects queue
+  // in the listen backlog and every request still completes.
+  EXPECT_EQ(ok_count.load(), kThreads * kRequests);
+  EXPECT_GE(server.requests(), static_cast<std::size_t>(kThreads * kRequests));
+}
+
+TEST(Expo, OversizedRequestLineGets414) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsServer server(0);
+  ASSERT_TRUE(server.ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // 8 KB request "line" with no terminator: the server must cap its read
+  // buffer and answer 414 instead of growing without bound.
+  const std::string flood = "GET /" + std::string(8192, 'a');
+  std::size_t off = 0;
+  while (off < flood.size()) {
+    const ssize_t sent =
+        ::send(fd, flood.data() + off, flood.size() - off, 0);
+    if (sent <= 0) break;
+    off += static_cast<std::size_t>(sent);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(got));
+  ::close(fd);
+  EXPECT_NE(response.find("414"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(Expo, PrometheusTextCarriesNativeHistogramBuckets) {
+  if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  obs::Registry& reg = obs::Registry::global();
+  reg.histogram("expo.test.native").observe(1.0);
+  reg.histogram("expo.test.native").observe(4.0);
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("# TYPE hbd_expo_test_native_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hbd_expo_test_native_hist_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("hbd_expo_test_native_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hbd_expo_test_native_hist_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("hbd_expo_test_native_hist_count 2"),
+            std::string::npos);
+  // Buckets are cumulative and end exactly at the total count.
+  const std::size_t at = text.find("hbd_expo_test_native_hist_bucket");
+  ASSERT_NE(at, std::string::npos);
+}
+
 TEST(Expo, ConcurrentScrapeDuringStepping) {
   if (!obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
   const std::string path = temp_path("stream_scrape.ndjson");

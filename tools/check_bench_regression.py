@@ -6,6 +6,16 @@ Usage:
         --candidate build/BENCH_realspace.json [--threshold 0.30] \
         [--metric t_rebuild_s] [--max fp32_ep=5e-3] ...
     check_bench_regression.py --health health.json --ep-max 5e-3
+    check_bench_regression.py --candidate build/BENCH_realspace.json \
+        --history BENCH_HISTORY.ndjson [--history-window 5]
+
+Trend: --history gates the candidate's p50s against the *median of the
+last N committed history entries* for the same bench
+(tools/bench_history.py NDJSON) with the same threshold rules — a slow
+creep that stays under the single-baseline threshold each PR still trips
+once the cumulative drift shows against the trend median.  An empty (or
+bench-less) history passes vacuously with a note, so the first run seeds
+the file without ceremony.
 
 Throughput: compares the p50 of each metric between the committed baseline
 report and a freshly measured candidate (both in the shared BENCH_*.json
@@ -109,6 +119,73 @@ def check_bounds(args, failures):
             failures.append(f"{key}: {value:g} exceeds bound {limit:g}")
 
 
+def median(values):
+    values = sorted(values)
+    mid = len(values) // 2
+    if len(values) % 2 == 1:
+        return values[mid]
+    return 0.5 * (values[mid - 1] + values[mid])
+
+
+def check_history(args, failures):
+    """Trend gate: candidate p50s vs the median of the last N history
+    entries for the same bench (tools/bench_history.py NDJSON).  A creeping
+    regression that stays under the single-baseline threshold each PR still
+    trips here once the drift from the recent median exceeds it."""
+    candidate = load(args.candidate)
+    bench = candidate.get("bench")
+    if not bench:
+        sys.exit(f"{args.candidate}: missing bench name")
+    entries = []
+    try:
+        with open(args.history, encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    sys.exit(f"{args.history}:{i + 1}: bad NDJSON: {exc}")
+                if entry.get("bench") == bench:
+                    entries.append(entry)
+    except OSError as exc:
+        sys.exit(f"{args.history}: not readable: {exc}")
+    window = entries[-args.history_window:]
+    if not window:
+        print(f"  {args.history}: no history for bench {bench!r} yet — "
+              f"trend gate passes vacuously")
+        return
+    keys = sorted(
+        k for k in candidate.get("percentiles", {})
+        if (k.startswith("t_") or "speedup" in k or "reduction" in k)
+        and any(k in e.get("metrics", {}) for e in window))
+    if not keys:
+        sys.exit(f"{args.history}: no shared metrics with {args.candidate}")
+    print(f"  trend window: last {len(window)} {bench!r} entries")
+    for key in keys:
+        history = [float(e["metrics"][key]) for e in window
+                   if key in e.get("metrics", {})]
+        base = median(history)
+        cand = p50(candidate, key, args.candidate)
+        if base <= 0:
+            print(f"  skip {key}: non-positive history median {base:g}")
+            continue
+        higher_better = "speedup" in key or "reduction" in key
+        ratio = cand / base
+        if higher_better:
+            ok = ratio >= 1.0 - args.threshold
+            verdict = (f"{ratio:.3f}x of trend median "
+                       f"(floor {1 - args.threshold:.2f})")
+        else:
+            ok = ratio <= 1.0 + args.threshold
+            verdict = (f"{ratio:.3f}x of trend median "
+                       f"(ceiling {1 + args.threshold:.2f})")
+        status = "ok" if ok else "TREND REGRESSION"
+        print(f"  {status} {key}: median {base:g} -> {cand:g}, {verdict}")
+        if not ok:
+            failures.append(f"{key} (trend): {verdict}")
+
+
 def check_health(args, failures):
     doc = load(args.health)
     ep = doc.get("ep", {})
@@ -182,6 +259,12 @@ def main():
     parser.add_argument("--cov-max", type=float, default=None,
                         help="maximum allowed probed Brownian covariance "
                              "error (wavespace sampler runs)")
+    parser.add_argument("--history",
+                        help="BENCH_HISTORY.ndjson trend file "
+                             "(tools/bench_history.py); gates the candidate "
+                             "against the median of its recent entries")
+    parser.add_argument("--history-window", type=int, default=5,
+                        help="history entries per bench in the trend median")
     parser.add_argument("--metrics", help="HBD_METRICS registry JSON dump")
     parser.add_argument("--max-gauge", action="append", default=[],
                         metavar="KEY=BOUND",
@@ -191,19 +274,27 @@ def main():
 
     if args.baseline and not args.candidate:
         parser.error("--baseline requires --candidate")
-    if args.candidate and not args.baseline and not args.max:
-        parser.error("--candidate without --baseline needs --max bounds")
+    if args.candidate and not args.baseline and not args.max \
+            and not args.history:
+        parser.error("--candidate without --baseline needs --max bounds "
+                     "or --history")
     if args.max and not args.candidate:
         parser.error("--max requires --candidate")
+    if args.history and not args.candidate:
+        parser.error("--history requires --candidate")
+    if args.history_window < 1:
+        parser.error("--history-window must be >= 1")
     if bool(args.metrics) != bool(args.max_gauge):
         parser.error("--metrics and --max-gauge go together")
     if not args.baseline and not args.health and not args.max \
-            and not args.metrics:
+            and not args.metrics and not args.history:
         parser.error("nothing to check")
 
     failures = []
     if args.baseline:
         check_throughput(args, failures)
+    if args.history:
+        check_history(args, failures)
     if args.max:
         check_bounds(args, failures)
     if args.health:

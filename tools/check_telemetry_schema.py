@@ -26,9 +26,15 @@ Validates that
     bit patterns and whose recorded steps are contiguous;
   * a Prometheus exposition dump (GET /metrics) lints as text format 0.0.4:
     every sample belongs to a # TYPE'd family, names match the identifier
-    grammar, counters carry the _total suffix, and hbd_build_info is there;
+    grammar, counters carry the _total suffix, native histogram families
+    carry cumulative le buckets ending at +Inf plus _sum/_count, and
+    hbd_build_info is there;
+  * a roofline bundle (HBD_ROOFLINE=<path>) is an hbd.roofline.v1 document
+    carrying the perf-counter provenance (mode/fallback/events) and, in
+    hardware mode, per-phase records whose measured/modeled byte ratio sits
+    inside the 0.25-4 sanity band;
   * every artifact embeds the run-provenance manifest (version, compiler,
-    run configuration, PME parameters).
+    run configuration, PME parameters, perf-counter state).
 
 Exits non-zero (with a message per problem) on the first malformed file.
 """
@@ -102,6 +108,32 @@ def check_manifest(doc, path):
     for key in ("peak_dp_gflops", "stream_bw_gbs"):
         require(is_num(hw.get(key)), path,
                 f"manifest.hardware.{key} must be numeric")
+    check_perf(m.get("perf"), path, "manifest.perf")
+
+
+PERF_MODES = ("off", "unavailable", "software", "hardware")
+
+
+def check_perf(perf, path, where):
+    """Layer-7 counter provenance: effective mode + recorded fallback."""
+    require(isinstance(perf, dict), path, f"missing {where} object")
+    require(perf.get("mode") in PERF_MODES, path,
+            f"{where}.mode must be one of {'/'.join(PERF_MODES)}")
+    require(isinstance(perf.get("fallback"), str), path,
+            f"{where}.fallback must be a string")
+    if perf["mode"] != "hardware":
+        require(perf["fallback"], path,
+                f"{where}: sub-hardware mode must record a fallback reason")
+    require(is_num(perf.get("line_bytes")) and perf["line_bytes"] > 0, path,
+            f"{where}.line_bytes must be positive")
+    events = perf.get("events")
+    require(isinstance(events, list), path, f"{where}.events must be a list")
+    for e in events:
+        require(isinstance(e, str) and e, path,
+                f"{where}.events entries must be non-empty strings")
+    if perf["mode"] in ("software", "hardware"):
+        require(events, path,
+                f"{where}: counting modes must list the opened events")
 
 
 def check_trace(path):
@@ -309,6 +341,13 @@ def check_stream(path):
             require(is_num(phases.get(name)), path,
                     f"{where}: phases.{name} not numeric")
         require(w["dropped"] >= 0, path, f"{where}: negative dropped count")
+        roof = w.get("roofline")
+        if roof is not None:  # optional: only hardware-counter runs emit it
+            require(isinstance(roof, dict), path,
+                    f"{where}: roofline must be an object")
+            for key in ("bytes_ratio", "gbs"):
+                require(is_num(roof.get(key)), path,
+                        f"{where}: roofline.{key} not numeric")
     require(steps_total > 0, path, "no window lines after the header")
     print(f"{path}: ok ({len(docs) - 1} windows, {steps_total} steps)")
 
@@ -380,6 +419,50 @@ def check_flight(path):
           f"particles, {verdict})")
 
 
+ROOFLINE_FIELDS = ("windows", "measured_s", "measured_gb", "modeled_gb",
+                   "modeled_gflop", "gbs", "gfs", "intensity",
+                   "frac_bw_roof", "frac_flop_roof", "bytes_ratio_last",
+                   "bytes_ratio_median")
+
+
+def check_roofline(path):
+    """hbd.roofline.v1 bundle (HBD_ROOFLINE=<path>, layer 7)."""
+    doc = load(path)
+    require(isinstance(doc, dict), path, "top level must be an object")
+    require(doc.get("schema") == "hbd.roofline.v1", path,
+            "schema must be hbd.roofline.v1")
+    check_manifest(doc, path)
+    perf = doc.get("perf")
+    check_perf(perf, path, "perf")
+    phases = doc.get("phases")
+    require(isinstance(phases, dict), path, "missing phases object")
+    roofline = doc.get("roofline")
+    require(isinstance(roofline, dict), path, "missing roofline object")
+    recal = doc.get("recalibration")
+    require(isinstance(recal, dict), path, "missing recalibration object")
+    require(is_num(recal.get("bytes_ratio")), path,
+            "recalibration.bytes_ratio must be numeric")
+    for name, rec in roofline.items():
+        require(isinstance(rec, dict), path,
+                f"roofline.{name} must be an object")
+        for key in ROOFLINE_FIELDS:
+            require(is_num(rec.get(key)), path,
+                    f"roofline.{name}.{key} must be numeric")
+    if perf["mode"] == "hardware":
+        # Measured-traffic sanity band: only meaningful with real LLC-miss
+        # counts, so sub-hardware modes skip it (their roofline is empty).
+        require(roofline, path,
+                "hardware mode must produce roofline records")
+        for name, rec in roofline.items():
+            ratio = rec["bytes_ratio_median"]
+            if ratio > 0:
+                require(0.25 <= ratio <= 4.0, path,
+                        f"roofline.{name}: bytes_ratio_median {ratio:g} "
+                        f"outside the 0.25-4 sanity band")
+    print(f"{path}: ok (perf mode {perf['mode']}, "
+          f"{len(roofline)} roofline phases)")
+
+
 def check_prom(path):
     """Prometheus text exposition format 0.0.4 lint (GET /metrics dump)."""
     import re
@@ -391,8 +474,11 @@ def check_prom(path):
     name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
     sample_re = re.compile(
         r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+    le_re = re.compile(r'le="([^"]*)"')
     typed = {}
     samples = 0
+    hist_buckets = {}  # histogram family -> list of (le, cumulative)
+    hist_parts = {}    # histogram family -> set of seen suffixes
     for i, line in enumerate(lines):
         where = f"line {i + 1}"
         if not line.strip():
@@ -429,10 +515,36 @@ def check_prom(path):
         require(value in ("NaN", "+Inf", "-Inf")
                 or _is_float(value), path,
                 f"{where}: bad sample value {value!r}")
+        if typed[family] == "histogram" and name != family:
+            suffix = name[len(family):]
+            hist_parts.setdefault(family, set()).add(suffix)
+            if suffix == "_bucket":
+                le = le_re.search(m.group(2) or "")
+                require(le, path,
+                        f"{where}: histogram bucket without an le label")
+                bound = (float("inf") if le.group(1) == "+Inf"
+                         else float(le.group(1)))
+                hist_buckets.setdefault(family, []).append(
+                    (bound, float(value)))
         samples += 1
     require(samples > 0, path, "no samples")
     require("hbd_build_info" in typed, path, "missing hbd_build_info gauge")
-    print(f"{path}: ok ({len(typed)} families, {samples} samples)")
+    histograms = [f for f, kind in typed.items() if kind == "histogram"]
+    for family in histograms:
+        parts = hist_parts.get(family, set())
+        for suffix in ("_bucket", "_sum", "_count"):
+            require(suffix in parts, path,
+                    f"histogram {family} missing {suffix} series")
+        buckets = hist_buckets[family]
+        require(buckets[-1][0] == float("inf"), path,
+                f"histogram {family}: final bucket must be le=\"+Inf\"")
+        for (lo_le, lo), (hi_le, hi) in zip(buckets, buckets[1:]):
+            require(lo_le < hi_le, path,
+                    f"histogram {family}: le bounds not increasing")
+            require(lo <= hi, path,
+                    f"histogram {family}: cumulative counts decrease")
+    print(f"{path}: ok ({len(typed)} families, {samples} samples, "
+          f"{len(histograms)} native histograms)")
 
 
 def _is_float(text):
@@ -459,9 +571,11 @@ def main():
                         help="HBD_FLIGHT post-mortem bundle")
     parser.add_argument("--prom", action="append", default=[],
                         help="saved GET /metrics Prometheus text dump")
+    parser.add_argument("--roofline", action="append", default=[],
+                        help="HBD_ROOFLINE hbd.roofline.v1 bundle")
     args = parser.parse_args()
     if not (args.trace or args.metrics or args.bench or args.health
-            or args.stream or args.flight or args.prom):
+            or args.stream or args.flight or args.prom or args.roofline):
         parser.error("nothing to check")
     for path in args.trace:
         check_trace(path)
@@ -477,6 +591,8 @@ def main():
         check_flight(path)
     for path in args.prom:
         check_prom(path)
+    for path in args.roofline:
+        check_roofline(path)
 
 
 if __name__ == "__main__":
