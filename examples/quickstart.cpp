@@ -60,6 +60,16 @@ int main() {
   MatrixFreeBdSimulation sim(std::move(system), forces, config, pme,
                              /*krylov_tol=*/1e-2);
 
+  // Fidelity tiers (docs/theory.md §13): HBD_TIER forces one of
+  // tea | pse_wavespace | pme_krylov | dense; HBD_ERROR_BUDGET=<ep> instead
+  // lets the TierPolicy route to the cheapest tier whose declared accuracy
+  // fits the budget, validated online by the e_p health probes.
+  if (const char* t = std::getenv("HBD_TIER"))
+    sim.set_tier(parse_mobility_tier(t));
+  if (const char* eb = std::getenv("HBD_ERROR_BUDGET"))
+    sim.set_error_budget(std::atof(eb));
+  std::printf("mobility tier: %s\n", mobility_tier_name(sim.tier()));
+
   // Live telemetry (docs/observability.md, layers 5–6): HBD_STREAM=<path>
   // streams one aggregated NDJSON/CSV window per HBD_STREAM_INTERVAL steps
   // while the run is in flight; HBD_EXPO_PORT=<port> serves /metrics
@@ -116,6 +126,9 @@ int main() {
                 sim.drift_audit().report().c_str());
     std::printf("\n-- numerical health --\n%s",
                 sim.health().summary().c_str());
+    std::printf("\n-- tier --\nactive %s, %llu switches\n",
+                mobility_tier_name(sim.tier()),
+                static_cast<unsigned long long>(sim.tier_switches()));
     std::printf("\n-- metrics --\n%s",
                 obs::Registry::global().report().c_str());
     if (sim.stream())

@@ -9,9 +9,11 @@ namespace hbd {
 
 namespace {
 // v1 files end after the positions; v2 appends the run manifest (so the
-// 48-byte header and positions block are layout-identical across versions).
+// 48-byte header and positions block are layout-identical across versions);
+// v3 appends the mobility-tier fields after the v2 manifest tail.
 constexpr char kMagicV1[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicV3[8] = {'H', 'B', 'D', 'C', 'K', 'P', 'T', '3'};
 
 template <class T>
 void write_pod(std::ofstream& out, const T& v) {
@@ -62,9 +64,14 @@ void write_manifest(std::ofstream& out, const obs::RunManifest& m) {
   write_string(out, m.hw_name);
   write_pod(out, m.hw_gflops);
   write_pod(out, m.hw_bw_gbs);
+  // v3 tail: the mobility tier active at save time, the backend swap count,
+  // and the TierPolicy error budget (0: routing disabled).
+  write_string(out, m.mobility_tier);
+  write_pod(out, m.tier_switches);
+  write_pod(out, m.error_budget);
 }
 
-void read_manifest(std::ifstream& in, obs::RunManifest* m) {
+void read_manifest(std::ifstream& in, obs::RunManifest* m, bool v3) {
   read_string(in, &m->version);
   read_string(in, &m->compiler);
   read_string(in, &m->flags);
@@ -93,13 +100,18 @@ void read_manifest(std::ifstream& in, obs::RunManifest* m) {
   read_string(in, &m->hw_name);
   read_pod(in, &m->hw_gflops);
   read_pod(in, &m->hw_bw_gbs);
+  if (v3) {
+    read_string(in, &m->mobility_tier);
+    read_pod(in, &m->tier_switches);
+    read_pod(in, &m->error_budget);
+  }
 }
 }  // namespace
 
 void save_checkpoint(const std::string& path, const Checkpoint& cp) {
   std::ofstream out(path, std::ios::binary);
   HBD_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
-  out.write(kMagicV2, sizeof(kMagicV2));
+  out.write(kMagicV3, sizeof(kMagicV3));
   write_pod(out, cp.system.box);
   write_pod(out, cp.system.radius);
   write_pod(out, cp.steps_taken);
@@ -117,11 +129,13 @@ Checkpoint load_checkpoint(const std::string& path) {
   HBD_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
   char magic[8];
   in.read(magic, sizeof(magic));
+  const bool v3 =
+      in.good() && std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0;
   const bool v2 =
       in.good() && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   const bool v1 =
       in.good() && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
-  HBD_CHECK_MSG(v1 || v2, "not a hydrobd checkpoint: " << path);
+  HBD_CHECK_MSG(v1 || v2 || v3, "not a hydrobd checkpoint: " << path);
   Checkpoint cp;
   read_pod(in, &cp.system.box);
   read_pod(in, &cp.system.radius);
@@ -134,7 +148,7 @@ Checkpoint load_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(cp.system.positions.data()),
           static_cast<std::streamsize>(n * sizeof(Vec3)));
   HBD_CHECK_MSG(in.good(), "truncated checkpoint " << path);
-  if (v2) read_manifest(in, &cp.manifest);
+  if (v2 || v3) read_manifest(in, &cp.manifest, v3);
   return cp;
 }
 

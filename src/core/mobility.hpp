@@ -3,8 +3,10 @@
 // the matrix-free PME operator.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
+#include "common/error.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "pme/pme_operator.hpp"
 
@@ -45,33 +47,64 @@ class DenseMobility final : public MobilityOperator {
 /// backstops it.
 class NearFieldMobility final : public MobilityOperator {
  public:
-  explicit NearFieldMobility(const PmeOperator& pme) : pme_(&pme) {}
-  std::size_t dim() const override { return 3 * pme_->particles(); }
+  explicit NearFieldMobility(const PmeOperator& pme)
+      : pme_(pme), generation_(pme.generation()), dim_(3 * pme.particles()) {}
+  std::size_t dim() const override { return dim_; }
   void apply_block(const Matrix& x, Matrix& y) override {
-    pme_->apply_real_block(x, y);
+    check_fresh();
+    pme_.apply_real_block(x, y);
   }
   void apply(std::span<const double> x, std::span<double> y) override {
-    pme_->apply_real(x, y);
+    check_fresh();
+    pme_.apply_real(x, y);
   }
 
  private:
-  const PmeOperator* pme_;
+  /// A view outliving an operator rebuild would silently apply different
+  /// mobility values than the caller captured it against — construct a
+  /// fresh view after every update() instead.
+  void check_fresh() const {
+    HBD_CHECK_MSG(pme_.generation() == generation_ &&
+                      3 * pme_.particles() == dim_,
+                  "stale NearFieldMobility view: the PME operator was "
+                  "rebuilt (generation " << pme_.generation() << " vs "
+                  << generation_ << ") after this view was constructed");
+  }
+
+  const PmeOperator& pme_;
+  std::uint64_t generation_;
+  std::size_t dim_;
 };
 
-/// Matrix-free PME mobility (borrows the operator).
+/// Matrix-free PME mobility (borrows the operator; the view is validated
+/// against the operator's rebuild generation on every apply, so a rebuilt
+/// operator cannot be driven through a stale view).
 class PmeMobility final : public MobilityOperator {
  public:
-  explicit PmeMobility(PmeOperator& pme) : pme_(&pme) {}
-  std::size_t dim() const override { return 3 * pme_->particles(); }
+  explicit PmeMobility(PmeOperator& pme)
+      : pme_(pme), generation_(pme.generation()), dim_(3 * pme.particles()) {}
+  std::size_t dim() const override { return dim_; }
   void apply_block(const Matrix& x, Matrix& y) override {
-    pme_->apply_block(x, y);
+    check_fresh();
+    pme_.apply_block(x, y);
   }
   void apply(std::span<const double> x, std::span<double> y) override {
-    pme_->apply(x, y);
+    check_fresh();
+    pme_.apply(x, y);
   }
 
  private:
-  PmeOperator* pme_;
+  void check_fresh() const {
+    HBD_CHECK_MSG(pme_.generation() == generation_ &&
+                      3 * pme_.particles() == dim_,
+                  "stale PmeMobility view: the PME operator was rebuilt "
+                  "(generation " << pme_.generation() << " vs " << generation_
+                  << ") after this view was constructed");
+  }
+
+  PmeOperator& pme_;
+  std::uint64_t generation_;
+  std::size_t dim_;
 };
 
 }  // namespace hbd

@@ -182,6 +182,14 @@ std::unique_ptr<MatrixFreeBdSimulation> simulation_from_bundle(
   const double krylov_tol = require_hex_double(strings, "krylov_tol");
   auto sim = std::make_unique<MatrixFreeBdSimulation>(
       std::move(system), std::move(forces), config, params, krylov_tol);
+  // Pre-tier bundles carry no "tier" key; the ctor's native tier (implied
+  // by brownian/kernel above) is already correct then.  A forced non-native
+  // tier must be restored before stepping or the resampled block differs.
+  const std::string tier = strings.str_or("tier", "");
+  if (!tier.empty()) {
+    const MobilityTier t = parse_mobility_tier(tier);
+    if (t != sim->tier()) sim->set_tier(t);
+  }
   sim->restore_flight(bundle.positions, bundle.rng_traj, bundle.rng_wave,
                       bundle.snapshot_step);
   if (bundle.has_failure && bundle.failure_phase == "inject")

@@ -35,7 +35,7 @@ void fill_run_fields(obs::RunManifest& m, const BdConfig& config,
 /// caller-owned scratch so steady-state stepping allocates nothing.
 void propagate(ParticleSystem& system,
                const std::shared_ptr<const ForceField>& forces,
-               const BdConfig& config, MobilityOperator& mobility,
+               const BdConfig& config, MobilityBackend& mobility,
                const Matrix& displacements, std::size_t column,
                NeighborList* neighbors, std::vector<Vec3>& wrapped,
                std::vector<double>& f, std::vector<double>& u) {
@@ -81,30 +81,26 @@ EwaldBdSimulation::EwaldBdSimulation(ParticleSystem system,
     : system_(std::move(system)),
       forces_(std::move(forces)),
       config_(config),
-      ewald_params_(
-          ewald_params_for_tolerance(system_.box, system_.radius, ewald_tol)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      backend_(system_.size(), system_.box, system_.radius, ewald_tol) {
   HBD_CHECK(config_.lambda_rpy >= 1);
 }
 
 void EwaldBdSimulation::rebuild() {
   HBD_TRACE_SCOPE("bd.rebuild");
   system_.wrapped_positions(wrapped_);
-  {
-    HBD_TRACE_SCOPE("ewald.mobility");
-    mobility_.emplace(
-        ewald_mobility_dense(wrapped_, system_.box, system_.radius,
-                             ewald_params_));
-  }
+  backend_.rebuild(wrapped_);
   if (config_.kbt == 0.0) {
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
   } else {
     HBD_TRACE_SCOPE("bd.sample");
-    sampler_.emplace(mobility_->matrix());
+    // The z block is drawn first; the backend's Cholesky factorization is
+    // lazy and consumes no RNG, so the draw sequence matches the historical
+    // factor-then-draw ordering bit for bit.
     const Matrix z =
         gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
-    displacements_ = sampler_->sample_block(
-        z, 2.0 * config_.kbt * config_.mu0 * config_.dt);
+    displacements_ = backend_.sample_block(
+        z, 2.0 * config_.kbt * config_.mu0 * config_.dt, nullptr);
   }
   block_cursor_ = 0;
   HBD_COUNTER_ADD("bd.rebuilds", 1);
@@ -116,7 +112,7 @@ void EwaldBdSimulation::step(std::size_t nsteps) {
     HBD_TRACE_SCOPE("bd.step");
     [[maybe_unused]] const Timer step_timer;
     if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
-    propagate(system_, forces_, config_, *mobility_, displacements_,
+    propagate(system_, forces_, config_, backend_, displacements_,
               block_cursor_, /*neighbors=*/nullptr, wrapped_, forces_scratch_,
               velocity_scratch_);
     ++block_cursor_;
@@ -137,6 +133,7 @@ obs::RunManifest EwaldBdSimulation::manifest() const {
   obs::RunManifest m = obs::RunManifest::build_info();
   fill_run_fields(m, config_, system_);
   m.brownian_method = "cholesky";
+  m.mobility_tier = mobility_tier_name(MobilityTier::dense);
   return m;
 }
 
@@ -160,6 +157,15 @@ MatrixFreeBdSimulation::MatrixFreeBdSimulation(
   if (pme_params_.partial_rebuilds) nlist_->set_partial_rebuilds(true);
   if (pme_params_.auto_skin && pme_params_.skin > 0.0)
     nlist_->enable_auto_skin(pme_params_.auto_skin_interval);
+  // The tier implied by the caller's params is the native tier; the factory
+  // enforces the kernel/method pairing (wavespace requires the PSE kernel).
+  native_tier_ = pme_params_.brownian == BrownianMethod::wavespace
+                     ? MobilityTier::pse_wavespace
+                     : MobilityTier::pme_krylov;
+  native_params_ = pme_params_;
+  backend_ = make_mobility_backend(native_tier_, system_.size(), system_.box,
+                                   system_.radius, pme_params_, krylov_config_,
+                                   nlist_);
   // FP32-store runs are gated by the e_p accuracy probes (ISSUE: storage
   // rounding must stay visible), so probing defaults on for them even when
   // no HBD_HEALTH export path was requested.
@@ -212,7 +218,7 @@ bool MatrixFreeBdSimulation::write_roofline_json(const std::string& path) {
     return false;
   }
   // Close the open audit window so the export covers every apply so far.
-  if (pme_) audit_drift();
+  if (pme()) audit_drift();
   std::ofstream out(path);
   if (!out) return false;
   obs::JsonWriter w(out);
@@ -250,9 +256,13 @@ obs::RunManifest MatrixFreeBdSimulation::manifest() const {
   m.skin_auto = pme_params_.auto_skin;
   m.precision = precision_name(pme_params_.precision);
   // 1.0 until the operator exists (every row colored / no hybrid split).
-  m.colored_fraction = pme_ ? pme_->realspace().colored_fraction() : 1.0;
+  const PmeOperator* op = pme();
+  m.colored_fraction = op ? op->realspace().colored_fraction() : 1.0;
   m.brownian_method = brownian_method_name(pme_params_.brownian);
   m.ewald_kernel = ewald_kernel_name(pme_params_.kernel);
+  m.mobility_tier = mobility_tier_name(backend_ ? tier() : native_tier_);
+  m.tier_switches = tier_switches_;
+  m.error_budget = error_budget_;
   m.rng_stream_trajectory = kTrajectoryStream;
   m.rng_stream_wavespace = kWavespaceStream;
   m.hw_name = model_hw_.name;
@@ -265,51 +275,35 @@ void MatrixFreeBdSimulation::rebuild() {
   HBD_TRACE_SCOPE("bd.rebuild");
   // Close the previous audit window before this rebuild's applies land in
   // the operator's phase timers.
-  if (pme_) audit_drift();
+  if (pme()) audit_drift();
   // Replay anchor: captured before the Brownian block is sampled, so a
   // restored run re-draws the identical displacements (obs/flight.hpp).
   if constexpr (obs::kEnabled) {
     if (flight_) snapshot_flight();
   }
+  // Tier routing happens at rebuild boundaries only — mid-block the active
+  // backend keeps serving its sampled displacements.
+  route_tier();
   system_.wrapped_positions(wrapped_);
-  // First rebuild constructs the operator (sharing the simulation-owned
-  // neighbor list); subsequent mobility updates refresh it in place,
-  // reusing the FFT plans, influence table, and the BCSR pattern.
-  if (!pme_)
-    pme_.emplace(wrapped_, system_.box, system_.radius, pme_params_, nlist_);
-  else
-    pme_->update(wrapped_);
+  // First rebuild constructs the backend's operator state; subsequent
+  // mobility updates refresh it in place (for PME tiers: reusing the FFT
+  // plans, influence table, and the BCSR pattern).
+  backend_->rebuild(wrapped_);
   if (config_.kbt == 0.0) {
     // Athermal (pure drift) run: no Brownian displacements to sample.
     displacements_ = Matrix(3 * system_.size(), config_.lambda_rpy);
     krylov_stats_ = {};
   } else {
     HBD_TRACE_SCOPE("bd.sample");
-    // The near-field/trajectory noise block is drawn from rng_ first in
-    // both branches — the trajectory stream's draw sequence is independent
-    // of the sampling method (the wave branch draws its mesh noise from
-    // the disjoint wave_rng_ substream only).
+    // The near-field/trajectory noise block is drawn from rng_ first for
+    // every tier — the trajectory stream's draw sequence is independent of
+    // the sampling method (only the wavespace backend draws mesh noise, and
+    // only from the disjoint wave_rng_ substream passed alongside).
     const Matrix z =
         gaussian_block(rng_, 3 * system_.size(), config_.lambda_rpy);
     const double two_kbt_dt = 2.0 * config_.kbt * config_.mu0 * config_.dt;
-    if (pme_params_.brownian == BrownianMethod::wavespace) {
-      WaveSpaceBrownianSampler sampler(*pme_, krylov_config_, wave_rng_);
-      displacements_ = sampler.sample_block(z, two_kbt_dt);
-      krylov_stats_ = sampler.last_stats();
-      HBD_COUNTER_ADD("wavespace.samples", 1);
-      HBD_COUNTER_ADD("wavespace.nearfield.iterations",
-                      krylov_stats_.iterations);
-      // Clamped spectral mass is expected at PD-safe splittings and its
-      // isotropic part is compensated in the near-field shift; the residual
-      // bias is what the covariance probe watches.
-      HBD_GAUGE_SET("wavespace.clamped_fraction",
-                    pme_->wave_clamped_fraction());
-    } else {
-      PmeMobility mob(*pme_);
-      KrylovBrownianSampler sampler(mob, krylov_config_);
-      displacements_ = sampler.sample_block(z, two_kbt_dt);
-      krylov_stats_ = sampler.last_stats();
-    }
+    displacements_ = backend_->sample_block(z, two_kbt_dt, &wave_rng_);
+    krylov_stats_ = backend_->last_stats();
     if constexpr (obs::kEnabled) {
       health_.record_krylov(steps_, krylov_stats_.iterations,
                             krylov_stats_.relative_change,
@@ -325,21 +319,113 @@ void MatrixFreeBdSimulation::rebuild() {
   }
   if constexpr (obs::kEnabled) {
     if (health_.probe_due()) {
-      probe_pme_error();
-      if (pme_params_.brownian == BrownianMethod::wavespace)
-        probe_covariance();
+      probe_backend_error();
+      if (backend_->tier() == MobilityTier::pse_wavespace) probe_covariance();
     }
   }
   block_cursor_ = 0;
   HBD_COUNTER_ADD("bd.rebuilds", 1);
   HBD_GAUGE_SET("bd.mobility_bytes", mobility_bytes());
+  HBD_GAUGE_SET("bd.tier", static_cast<double>(static_cast<int>(tier())));
 }
 
-void MatrixFreeBdSimulation::probe_pme_error() {
+void MatrixFreeBdSimulation::route_tier() {
+  if (!policy_ || forced_tier_) return;
+  const std::size_t n = system_.size();
+  const Device host{
+      PmePerfModel(effective_hardware(),
+                   static_cast<double>(value_bytes(pme_params_.precision))),
+      /*is_host=*/true};
+  const int iters = std::max(krylov_stats_.iterations, 1);
+  const double ri = effective_rebuild_interval(*nlist_);
+  const double rf = effective_rebuild_fraction(*nlist_);
+  const bool sym = pme_params_.storage == NearFieldStorage::symmetric;
+  // Candidate costs come from the recalibrated perf model (the drift audit
+  // folds measured per-phase scales into effective_hardware when
+  // auto-recalibration is on); declared accuracies are the tier defaults.
+  const TierPolicy::Candidate cands[kMobilityTierCount] = {
+      {MobilityTier::tea, tier_default_ep(MobilityTier::tea),
+       model_tea_step(host, n, config_.lambda_rpy)},
+      {MobilityTier::pse_wavespace,
+       tier_default_ep(MobilityTier::pse_wavespace),
+       model_bd_step(host, {}, n, system_.box, pme_params_.order, 1e-3,
+                     config_.lambda_rpy, iters, ri, sym, rf,
+                     /*wavespace=*/true, iters)
+           .cpu_only},
+      {MobilityTier::pme_krylov, tier_default_ep(MobilityTier::pme_krylov),
+       model_bd_step(host, {}, n, system_.box, pme_params_.order, 1e-3,
+                     config_.lambda_rpy, iters, ri, sym, rf)
+           .cpu_only},
+      {MobilityTier::dense, tier_default_ep(MobilityTier::dense),
+       model_dense_step(host, n, config_.lambda_rpy)},
+  };
+  const MobilityTier chosen = policy_->choose(cands);
+  if (chosen != tier()) swap_backend(chosen);
+}
+
+void MatrixFreeBdSimulation::swap_backend(MobilityTier t) {
+  if (t == MobilityTier::pme_krylov || t == MobilityTier::pse_wavespace) {
+    // Returning to the native tier restores the caller's exact params;
+    // other PME tiers get parameters regenerated for their declared target
+    // (the factory enforces the kernel/method pairing).
+    const PmeParams p =
+        t == native_tier_
+            ? native_params_
+            : pme_params_for_tier(t, system_.box, system_.radius,
+                                  tier_default_ep(t), native_params_.order,
+                                  native_params_.precision);
+    pme_params_ = p;
+    // The neighbor list is shared with the force fields, so it must match
+    // the new cutoff; the near-field rebuild knobs are re-applied.
+    nlist_ = std::make_shared<NeighborList>(system_.box, p.rmax, p.skin);
+    if (p.partial_rebuilds) nlist_->set_partial_rebuilds(true);
+    if (p.auto_skin && p.skin > 0.0)
+      nlist_->enable_auto_skin(p.auto_skin_interval);
+    backend_ = make_mobility_backend(t, system_.size(), system_.box,
+                                     system_.radius, pme_params_,
+                                     krylov_config_, nlist_);
+  } else {
+    // tea/dense need no PME operator; the existing list keeps serving the
+    // steric forces at the native cutoff.
+    backend_ = make_mobility_backend(t, system_.size(), system_.box,
+                                     system_.radius, pme_params_,
+                                     krylov_config_, nullptr);
+  }
+  // The old operator's cumulative timers/counters died with it — reset the
+  // audit/stream baselines so the next windows don't see negative deltas.
+  counts_seen_ = {};
+  phase_seen_.clear();
+  stream_phase_seen_.clear();
+  ++tier_switches_;
+  HBD_COUNTER_ADD("bd.tier_switches", 1);
+  HBD_GAUGE_SET("bd.tier", static_cast<double>(static_cast<int>(t)));
+  if constexpr (obs::kEnabled) obs::run_manifest() = manifest();
+}
+
+void MatrixFreeBdSimulation::set_tier(MobilityTier t) {
+  forced_tier_ = true;
+  if (backend_ && tier() == t) return;
+  if (pme()) audit_drift();
+  swap_backend(t);
+  // Invalidate the current displacement block: the next step() rebuilds and
+  // resamples on the new tier.
+  block_cursor_ = 0;
+}
+
+void MatrixFreeBdSimulation::set_error_budget(double ep) {
+  HBD_CHECK_MSG(ep > 0.0, "error budget must be positive, got " << ep);
+  error_budget_ = ep;
+  policy_.emplace(ErrorBudget{ep});
+  forced_tier_ = false;
+  // The health probes are the policy's online validation signal.
+  if constexpr (obs::kEnabled) health_.set_probes_enabled(true);
+}
+
+void MatrixFreeBdSimulation::probe_backend_error() {
   HBD_TRACE_SCOPE("health.ep_probe");
-  // The reference shares positions with the live operator (wrapped_ was
+  // The reference shares positions with the live backend (wrapped_ was
   // refreshed at the top of rebuild()) but nothing else: its truncation
-  // error is driven orders of magnitude below the operator under test.
+  // error is driven orders of magnitude below the backend under test.
   if (!ref_pme_)
     ref_pme_.emplace(wrapped_, system_.box, system_.radius,
                      reference_pme_params(system_.box, system_.radius));
@@ -347,10 +433,14 @@ void MatrixFreeBdSimulation::probe_pme_error() {
     ref_pme_->update(wrapped_);
   // Probe RNG is derived from the step index, not drawn from the trajectory
   // RNG — probing on/off cannot perturb the trajectory.
-  const double ep = measure_pme_error_operators(
-      *pme_, *ref_pme_, health_.probe_samples(),
+  const double ep = measure_backend_error(
+      *backend_, *ref_pme_, health_.probe_samples(),
       /*seed=*/0x9E3779B97F4A7C15ull ^ steps_);
   health_.record_ep(steps_, ep);
+  // Online tier validation: a probed violation permanently bars the tier;
+  // the policy promotes away from it at the next routing point.
+  if (policy_ && policy_->record_probe(tier(), ep))
+    HBD_COUNTER_ADD("bd.tier_violations", 1);
 }
 
 void MatrixFreeBdSimulation::probe_covariance() {
@@ -360,7 +450,7 @@ void MatrixFreeBdSimulation::probe_covariance() {
   // probing on or off.  8×16 = 128 samples put the estimator's own
   // relative std near 12%; the default tolerance (0.5) leaves headroom.
   const double err = measure_sample_covariance_error(
-      *pme_, krylov_config_, pme_params_.brownian,
+      *pme(), krylov_config_, BrownianMethod::wavespace,
       /*blocks=*/8, /*width=*/16,
       /*seed=*/0x8E4D1A53B7C6F902ull ^ steps_);
   health_.record_cov(steps_, err);
@@ -389,9 +479,9 @@ void MatrixFreeBdSimulation::step_once() {
     }
   }
   if (block_cursor_ == 0 || block_cursor_ >= config_.lambda_rpy) rebuild();
-  PmeMobility mob(*pme_);
-  propagate(system_, forces_, config_, mob, displacements_, block_cursor_,
-            nlist_.get(), wrapped_, forces_scratch_, velocity_scratch_);
+  propagate(system_, forces_, config_, *backend_, displacements_,
+            block_cursor_, nlist_.get(), wrapped_, forces_scratch_,
+            velocity_scratch_);
   if constexpr (obs::kEnabled) guard_step();
   ++block_cursor_;
   ++steps_;
@@ -443,9 +533,10 @@ void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
     obs::StreamRecord rec;
     rec.step = steps_ - 1;
     rec.wall_seconds = wall_seconds;
-    // Per-step phase seconds: deltas of the operator's cumulative timers.
-    if (pme_) {
-      const auto totals = pme_->timers().totals();
+    // Per-step phase seconds: deltas of the operator's cumulative timers
+    // (PME tiers only — tea/dense have no phase pipeline).
+    if (PmeOperator* op = pme()) {
+      const auto totals = op->timers().totals();
       for (std::size_t p = 0; p < obs::kStreamPhases; ++p) {
         const std::string key(obs::kStreamPhaseNames[p]);
         const auto it = totals.find(key);
@@ -468,6 +559,7 @@ void MatrixFreeBdSimulation::observe_step(double wall_seconds) {
       rec.roof_bytes_ratio = last_roof_bytes_ratio_;
       rec.roof_gbs = last_roof_gbs_;
     }
+    rec.tier = static_cast<double>(static_cast<int>(tier()));
     stream_->push(rec);
   }
 
@@ -544,6 +636,7 @@ obs::ReplayConfig MatrixFreeBdSimulation::replay_config() const {
   str("precision", precision_name(pme_params_.precision));
   str("brownian", brownian_method_name(pme_params_.brownian));
   str("kernel", ewald_kernel_name(pme_params_.kernel));
+  str("tier", mobility_tier_name(backend_ ? tier() : native_tier_));
   str("storage", pme_params_.storage == NearFieldStorage::symmetric
                      ? "symmetric"
                      : "full");
@@ -593,9 +686,11 @@ void MatrixFreeBdSimulation::audit_drift() {
   // Without telemetry the phase timers observe nothing — no measurements to
   // audit against.
   if constexpr (!obs::kEnabled) return;
+  PmeOperator* op = pme();
+  if (!op) return;  // tea/dense tiers have no phase pipeline to audit
   const std::size_t n = system_.size();
-  const auto totals = pme_->timers().totals();
-  const PmeOperator::ApplyCounts counts = pme_->apply_counts();
+  const auto totals = op->timers().totals();
+  const PmeOperator::ApplyCounts counts = op->apply_counts();
   const std::uint64_t d_single = counts.single - counts_seen_.single;
   const std::uint64_t d_block = counts.block - counts_seen_.block;
   const std::uint64_t d_cols =
@@ -611,15 +706,15 @@ void MatrixFreeBdSimulation::audit_drift() {
   // with the neighbor count measured from the near-field matrix itself.
   const PmePerfModel model(
       model_hw_, static_cast<double>(value_bytes(pme_params_.precision)));
-  const std::size_t mesh = pme_->params().mesh;
-  const int order = pme_->params().order;
+  const std::size_t mesh = op->params().mesh;
+  const int order = op->params().order;
   const std::size_t width =
       d_block > 0 ? static_cast<std::size_t>(d_cols / d_block) : 0;
   const double nbr =
-      static_cast<double>(pme_->realspace().logical_nnz_blocks() - n) /
+      static_cast<double>(op->realspace().logical_nnz_blocks() - n) /
       static_cast<double>(n);
   const bool sym =
-      pme_->realspace().storage() == NearFieldStorage::symmetric;
+      op->realspace().storage() == NearFieldStorage::symmetric;
   const double ns = static_cast<double>(d_single);
   const double nb = static_cast<double>(d_block);
 
@@ -667,7 +762,7 @@ void MatrixFreeBdSimulation::audit_drift() {
   const double fft_flops = cols * 3.0 * 2.5 * k3 * log2k3;
   const double interp_flops = cols * 6.0 * p3 * static_cast<double>(n);
   const double nnz =
-      static_cast<double>(pme_->realspace().logical_nnz_blocks());
+      static_cast<double>(op->realspace().logical_nnz_blocks());
   auto phase_flops = [&](std::string_view phase) {
     if (phase == "spreading" || phase == "interpolation")
       return interp_flops;
@@ -779,7 +874,7 @@ BdStepModel MatrixFreeBdSimulation::model_step(
 }
 
 std::size_t MatrixFreeBdSimulation::mobility_bytes() const {
-  return pme_ ? pme_->bytes() : 0;
+  return backend_ ? backend_->bytes() : 0;
 }
 
 }  // namespace hbd

@@ -18,6 +18,7 @@
 
 #include "common/neighbor_list.hpp"
 #include "common/rng.hpp"
+#include "core/backend.hpp"
 #include "core/brownian.hpp"
 #include "core/forces.hpp"
 #include "core/system.hpp"
@@ -65,11 +66,10 @@ class EwaldBdSimulation {
   ParticleSystem system_;
   std::shared_ptr<const ForceField> forces_;
   BdConfig config_;
-  EwaldParams ewald_params_;
   Xoshiro256 rng_;
 
-  std::optional<DenseMobility> mobility_;
-  std::optional<CholeskyBrownianSampler> sampler_;
+  /// The dense tier as a MobilityBackend: Ewald matrix + lazy Cholesky.
+  DenseCholeskyBackend backend_;
   Matrix displacements_;        // 3n×λ block of Brownian displacements
   std::size_t block_cursor_ = 0;
   std::size_t steps_ = 0;
@@ -108,11 +108,41 @@ class MatrixFreeBdSimulation {
   /// BrownianMethod::wavespace these are the near-field-only Lanczos
   /// iterations of the split sampler).
   const KrylovStats& last_krylov_stats() const { return krylov_stats_; }
-  /// The current PME operator (valid after the first step).
-  PmeOperator* pme() { return pme_ ? &*pme_ : nullptr; }
+  /// The current PME operator (null for tiers without one, e.g. tea).
+  PmeOperator* pme() { return backend_ ? backend_->pme() : nullptr; }
+  const PmeOperator* pme() const { return backend_ ? backend_->pme() : nullptr; }
   /// The simulation-owned neighbor list shared by the real-space assembly
   /// and the steric forces (cutoff = PME rmax, padded by the PME skin).
   const NeighborList& neighbor_list() const { return *nlist_; }
+
+  // --- Fidelity tiers ------------------------------------------------------
+
+  /// The active mobility tier (initially the tier implied by the ctor's
+  /// PmeParams: wavespace → pse_wavespace, otherwise pme_krylov).
+  MobilityTier tier() const { return backend_->tier(); }
+  const MobilityBackend& backend() const { return *backend_; }
+
+  /// Forces a specific tier: the backend is swapped immediately and the
+  /// next step resamples the Brownian block on it.  Disables TierPolicy
+  /// routing (a forced tier is never overridden) until set_error_budget()
+  /// re-enables it.  The trajectory RNG keeps drawing the same z blocks on
+  /// the trajectory stream, so forcing the native tier is a no-op.
+  void set_tier(MobilityTier t);
+
+  /// Enables policy routing: before every mobility rebuild the TierPolicy
+  /// picks the cheapest tier (per the recalibrated perf model) whose
+  /// declared accuracy fits `ep`, with hysteretic demotion and permanent
+  /// barring of tiers whose probed e_p violates the budget.  Turns the
+  /// health probes on (they are the policy's online validation signal).
+  void set_error_budget(double ep);
+  double error_budget() const { return error_budget_; }
+
+  /// Number of backend swaps performed so far (forced or policy-driven).
+  std::uint64_t tier_switches() const { return tier_switches_; }
+  /// The routing policy when set_error_budget() enabled one.
+  const TierPolicy* tier_policy() const {
+    return policy_ ? &*policy_ : nullptr;
+  }
 
   // --- Telemetry: numerical health (layer 4) -------------------------------
 
@@ -207,12 +237,20 @@ class MatrixFreeBdSimulation {
   /// recorder; called at the top of every rebuild, before sampling.
   void snapshot_flight();
   void rebuild();
+  /// TierPolicy hook at the top of rebuild(): scores all four tiers with
+  /// the recalibrated perf model and swaps the backend when the policy
+  /// picks a different one.  No-op without a policy or with a forced tier.
+  void route_tier();
+  /// Replaces the active backend with a freshly built one for `t`,
+  /// regenerating PME params/neighbor list when the tier needs them.
+  void swap_backend(MobilityTier t);
   /// Records one drift-audit window covering all operator applies since the
   /// previous call (the λ propagation applies + the Krylov block applies).
   void audit_drift();
-  /// Runs one amortized e_p probe of the live operator against the lazily
-  /// constructed high-resolution reference (telemetry builds only).
-  void probe_pme_error();
+  /// Runs one amortized e_p probe of the live backend against the lazily
+  /// constructed high-resolution reference (telemetry builds only); feeds
+  /// the TierPolicy's online validation when routing is enabled.
+  void probe_backend_error();
   /// Runs one step-seeded covariance probe of the split Brownian sampler
   /// (⟨(xᵀD)²⟩ vs xᵀ M̃ x; wavespace runs, telemetry builds only).
   void probe_covariance();
@@ -229,7 +267,19 @@ class MatrixFreeBdSimulation {
   Xoshiro256 wave_rng_;  // wave-space mesh noise (kWavespaceStream)
 
   std::shared_ptr<NeighborList> nlist_;
-  std::optional<PmeOperator> pme_;
+  /// The active mobility backend (owns the PME operator for PME tiers).
+  std::unique_ptr<MobilityBackend> backend_;
+  /// Tier implied by the ctor's PmeParams, whose exact params are kept in
+  /// native_params_ so returning to it restores the caller's configuration
+  /// bit for bit.
+  MobilityTier native_tier_ = MobilityTier::pme_krylov;
+  PmeParams native_params_;
+  /// Error-budget routing state (set_error_budget); forced_tier_ pins the
+  /// backend against policy overrides (set_tier).
+  std::optional<TierPolicy> policy_;
+  bool forced_tier_ = false;
+  std::uint64_t tier_switches_ = 0;
+  double error_budget_ = 0.0;
   /// High-resolution reference operator for the e_p probes (lazily built on
   /// the first probe, then refreshed in place — never constructed when
   /// probing is disabled).

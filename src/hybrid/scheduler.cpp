@@ -266,4 +266,23 @@ BdStepModel model_bd_step(const Device& host,
   return out;
 }
 
+double model_tea_step(const Device& host, std::size_t n, std::size_t lambda) {
+  const double lam = static_cast<double>(lambda < 1 ? 1 : lambda);
+  return host.model.t_tea_apply(n, 1) +
+         (host.model.t_tea_setup(n) + host.model.t_tea_apply(n, lambda)) /
+             lam;
+}
+
+double model_dense_step(const Device& host, std::size_t n,
+                        std::size_t lambda) {
+  const double lam = static_cast<double>(lambda < 1 ? 1 : lambda);
+  // λ triangular solves against the Cholesky factor: each streams half the
+  // matrix footprint of a full GEMV.
+  const double t_sample = lam * host.model.t_dense_apply(n) / 2.0;
+  return host.model.t_dense_apply(n) +
+         (host.model.t_dense_assembly(n) + host.model.t_cholesky(n) +
+          t_sample) /
+             lam;
+}
+
 }  // namespace hbd

@@ -113,6 +113,12 @@ void RunManifest::write_json(JsonWriter& w) const {
   w.field("trajectory", static_cast<double>(rng_stream_trajectory));
   w.field("wavespace", static_cast<double>(rng_stream_wavespace));
   w.end_object();
+  w.key("tier");
+  w.begin_object();
+  w.field("mobility_tier", mobility_tier);
+  w.field("switches", static_cast<double>(tier_switches));
+  w.field("error_budget", error_budget);
+  w.end_object();
   w.key("hardware");
   w.begin_object();
   w.field("name", hw_name);

@@ -128,6 +128,13 @@ struct RunManifest {
   /// Ewald split of the PME operator: "beenakker" (default) or the
   /// positively-split "pse" kernel the wavespace sampler requires.
   std::string ewald_kernel = "beenakker";
+  /// Active mobility fidelity tier (core/backend.hpp): "tea",
+  /// "pse_wavespace", "pme_krylov", or "dense".
+  std::string mobility_tier = "pme_krylov";
+  /// Backend swaps performed so far (forced or TierPolicy-driven).
+  std::uint64_t tier_switches = 0;
+  /// TierPolicy e_p budget; 0 when routing is disabled.
+  double error_budget = 0.0;
   /// RNG substream ids (long jumps from `seed`, see hbd::substream): the
   /// trajectory stream drives forces + near-field noise, the wavespace
   /// stream the mesh noise of the split sampler.

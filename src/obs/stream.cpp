@@ -44,6 +44,8 @@ struct StreamWriter::Window {
   // object is omitted so counters-off output stays byte-identical).
   double roof_bytes_ratio = -1.0;
   double roof_gbs = -1.0;
+  // Last active tier seen in the window (-1: none reported).
+  double tier = -1.0;
 
   void add(const StreamRecord& r) {
     if (steps == 0) first = r.step;
@@ -61,6 +63,7 @@ struct StreamWriter::Window {
     rng_draws = r.rng_draws;
     if (r.roof_bytes_ratio >= 0.0) roof_bytes_ratio = r.roof_bytes_ratio;
     if (r.roof_gbs >= 0.0) roof_gbs = r.roof_gbs;
+    if (r.tier >= 0.0) tier = r.tier;
   }
 
   void clear() {
@@ -76,6 +79,7 @@ struct StreamWriter::Window {
     rebuilds = 0;
     roof_bytes_ratio = -1.0;
     roof_gbs = -1.0;
+    tier = -1.0;
   }
 };
 
@@ -118,7 +122,8 @@ void StreamWriter::write_header() {
   if (opts_.csv) {
     out_ << "window,step_first,step_last,steps,wall_sum,wall_min,wall_max";
     for (const auto& name : kStreamPhaseNames) out_ << ",phase_" << name;
-    out_ << ",krylov_iters,rebuilds,rebuild_fraction,e_p,rng_draws,dropped\n";
+    out_ << ",krylov_iters,rebuilds,rebuild_fraction,e_p,rng_draws,dropped"
+            ",tier\n";
   } else {
     JsonWriter w(out_);
     w.begin_object();
@@ -183,7 +188,9 @@ void StreamWriter::emit(Window& w) {
       out_ << ',' << w.rebuilds << ',';
       num(w.rebuild_fraction); out_ << ',';
       num(w.ep);
-      out_ << ',' << w.rng_draws << ',' << drops << "\n";
+      out_ << ',' << w.rng_draws << ',' << drops << ',';
+      num(w.tier);
+      out_ << "\n";
     } else {
       JsonWriter jw(out_);
       jw.begin_object();
@@ -210,6 +217,7 @@ void StreamWriter::emit(Window& w) {
       jw.field("e_p", w.ep);
       jw.field("rng_draws", static_cast<double>(w.rng_draws));
       jw.field("dropped", static_cast<double>(drops));
+      jw.field("tier", w.tier);
       // Present only when hardware counters produced a summary, so the
       // counters-off stream stays byte-identical (schema checker treats
       // the object as optional).

@@ -61,6 +61,9 @@ struct StreamRecord {
   /// NDJSON output is byte-identical to pre-layer-7 builds.
   double roof_bytes_ratio = -1.0; ///< pooled measured/modeled bytes
   double roof_gbs = -1.0;         ///< bandwidth phases' achieved GB/s
+  /// Active mobility tier as a MobilityTier enum value (< 0: unknown —
+  /// e.g. records produced before the first rebuild).
+  double tier = -1.0;
 };
 
 /// Background NDJSON/CSV window writer over a lock-free SPSC ring.

@@ -34,7 +34,12 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
 }
 
 Tracer& Tracer::global() {
-  static Tracer tracer;
+  // Never destroyed (same idiom as Registry::global()): the HBD_METRICS
+  // atexit dump snapshots trace.recorded_spans/dropped_spans, and whether
+  // that handler runs before or after this static's destructor depends on
+  // first-touch order — a destructible local here is a use-after-free
+  // whenever the registry is touched before the first trace scope.
+  static Tracer* tracer = new Tracer();
   static int atexit_once = []() {
     std::atexit([]() {
       const char* path = std::getenv("HBD_TRACE");
@@ -44,7 +49,7 @@ Tracer& Tracer::global() {
     return 0;
   }();
   (void)atexit_once;
-  return tracer;
+  return *tracer;
 }
 
 double Tracer::now() const {

@@ -34,7 +34,12 @@ Validates that
     hardware mode, per-phase records whose measured/modeled byte ratio sits
     inside the 0.25-4 sanity band;
   * every artifact embeds the run-provenance manifest (version, compiler,
-    run configuration, PME parameters, perf-counter state).
+    run configuration, PME parameters, perf-counter state, and the fidelity
+    tier block: mobility_tier/switches/error_budget); --require-tier NAME
+    additionally pins the manifest's active tier (the CI leg that forces
+    HBD_TIER=tea uses it to prove the tier actually took).  Stream files pin
+    the last window's live tier field instead — their header manifest is
+    written at stream-open, before an env-forced set_tier takes effect.
 
 Exits non-zero (with a message per problem) on the first malformed file.
 """
@@ -43,6 +48,13 @@ import argparse
 import json
 import numbers
 import sys
+
+
+MOBILITY_TIERS = ("tea", "pse_wavespace", "pme_krylov", "dense")
+
+# Set from --require-tier: every checked manifest must then carry this
+# active tier (used by the forced-HBD_TIER CI legs).
+EXPECTED_TIER = None
 
 
 def fail(path, message):
@@ -66,8 +78,14 @@ def is_num(v):
     return isinstance(v, numbers.Real) and not isinstance(v, bool)
 
 
-def check_manifest(doc, path):
-    """The run-provenance block every exporter embeds (obs::RunManifest)."""
+def check_manifest(doc, path, pin_tier=True):
+    """The run-provenance block every exporter embeds (obs::RunManifest).
+
+    pin_tier=False skips the --require-tier equality (stream headers are
+    written at stream-open, before an env-forced set_tier takes effect —
+    their manifest legitimately records the construction-time tier; the
+    per-window tier field is the live signal and is pinned instead).
+    """
     m = doc.get("manifest")
     require(isinstance(m, dict), path, "missing manifest object")
     for key in ("version", "compiler", "flags", "build_type"):
@@ -100,6 +118,19 @@ def check_manifest(doc, path):
     for key in ("trajectory", "wavespace"):
         require(is_num(rng.get(key)), path,
                 f"manifest.rng_streams.{key} must be numeric")
+    tier = m.get("tier")
+    require(isinstance(tier, dict), path, "manifest.tier must be an object")
+    require(tier.get("mobility_tier") in MOBILITY_TIERS, path,
+            "manifest.tier.mobility_tier must be one of "
+            + "/".join(MOBILITY_TIERS))
+    require(is_num(tier.get("switches")) and tier["switches"] >= 0, path,
+            "manifest.tier.switches must be a non-negative number")
+    require(is_num(tier.get("error_budget")), path,
+            "manifest.tier.error_budget must be numeric")
+    if pin_tier and EXPECTED_TIER is not None:
+        require(tier["mobility_tier"] == EXPECTED_TIER, path,
+                f"manifest.tier.mobility_tier is {tier['mobility_tier']!r}, "
+                f"expected {EXPECTED_TIER!r} (--require-tier)")
     hw = m.get("hardware")
     require(isinstance(hw, dict), path,
             "manifest.hardware must be an object")
@@ -191,13 +222,16 @@ def check_bench(path):
     samples = doc.get("samples")
     require(isinstance(samples, list) and samples, path,
             "missing non-empty samples list")
-    keys = None
+    # Samples may be heterogeneous (e.g. a sweep plus a one-off arm with its
+    # own fields); percentiles are computed per key over the samples that
+    # carry it, so each percentile key just has to appear somewhere.
+    keys = set()
     for i, s in enumerate(samples):
-        require(isinstance(s, dict), path, f"samples[{i}] must be an object")
+        require(isinstance(s, dict) and s, path,
+                f"samples[{i}] must be a non-empty object")
         for k, v in s.items():
             require(is_num(v), path, f"samples[{i}].{k} must be numeric")
-        keys = set(s) if keys is None else keys
-        require(set(s) == keys, path, f"samples[{i}] keys differ")
+        keys |= set(s)
     pct = doc.get("percentiles")
     require(isinstance(pct, dict), path, "missing percentiles")
     for key, entry in pct.items():
@@ -303,7 +337,7 @@ def check_stream(path):
             "first line must be the header")
     require(is_num(header.get("interval")) and header["interval"] >= 1, path,
             "header.interval must be >= 1")
-    check_manifest(header, path)
+    check_manifest(header, path, pin_tier=False)
 
     next_step = None
     steps_total = 0
@@ -316,8 +350,10 @@ def check_stream(path):
                 f"{where}: window index must be {i - 1}")
         for key in ("step_first", "step_last", "steps", "krylov_iters",
                     "rebuilds", "rebuild_fraction", "e_p", "rng_draws",
-                    "dropped"):
+                    "dropped", "tier"):
             require(is_num(w.get(key)), path, f"{where}: {key} not numeric")
+        require(w["tier"] == -1 or (0 <= w["tier"] < len(MOBILITY_TIERS)),
+                path, f"{where}: tier must be -1 or a tier index")
         first, last, steps = w["step_first"], w["step_last"], w["steps"]
         require(last - first + 1 == steps, path,
                 f"{where}: steps != step range")
@@ -349,6 +385,14 @@ def check_stream(path):
                 require(is_num(roof.get(key)), path,
                         f"{where}: roofline.{key} not numeric")
     require(steps_total > 0, path, "no window lines after the header")
+    if EXPECTED_TIER is not None:
+        # The header manifest records the tier at stream-open; the windows
+        # carry the live tier, so the steady state is what gets pinned.
+        last_tier = docs[-1]["tier"]
+        want = MOBILITY_TIERS.index(EXPECTED_TIER)
+        require(last_tier == want, path,
+                f"last window tier is {last_tier}, expected {want} "
+                f"({EXPECTED_TIER!r}, --require-tier)")
     print(f"{path}: ok ({len(docs) - 1} windows, {steps_total} steps)")
 
 
@@ -573,7 +617,13 @@ def main():
                         help="saved GET /metrics Prometheus text dump")
     parser.add_argument("--roofline", action="append", default=[],
                         help="HBD_ROOFLINE hbd.roofline.v1 bundle")
+    parser.add_argument("--require-tier", choices=MOBILITY_TIERS,
+                        default=None,
+                        help="require every manifest's active mobility tier "
+                             "to be this tier")
     args = parser.parse_args()
+    global EXPECTED_TIER
+    EXPECTED_TIER = args.require_tier
     if not (args.trace or args.metrics or args.bench or args.health
             or args.stream or args.flight or args.prom or args.roofline):
         parser.error("nothing to check")
